@@ -1,0 +1,197 @@
+package orthoq
+
+// Benchmarks regenerating the paper's evaluation (DESIGN.md E1-E7).
+// Each benchmark times query *execution* of a pre-compiled plan, the
+// quantity the paper's elapsed-time figures report. Run with
+//
+//	go test -bench=. -benchmem
+//
+// and see cmd/orthoq-bench for the table/series renderings recorded in
+// EXPERIMENTS.md.
+
+import (
+	"sync"
+	"testing"
+)
+
+const benchSF = 0.005
+
+var (
+	benchOnce sync.Once
+	benchDB   *DB
+)
+
+func benchDBGet(b *testing.B) *DB {
+	b.Helper()
+	benchOnce.Do(func() {
+		db, err := OpenTPCH(benchSF, 1)
+		if err != nil {
+			panic(err)
+		}
+		benchDB = db
+	})
+	return benchDB
+}
+
+// benchQuery compiles once and times execution per iteration.
+func benchQuery(b *testing.B, sql string, cfg Config) {
+	b.Helper()
+	db := benchDBGet(b)
+	prep, err := db.prepare(sql, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := prep.run(db); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// figure1Q is the paper's running example with an unselective
+// threshold (the regime where strategy choice matters most).
+const figure1Q = `
+	select c_custkey from customer
+	where 1000 < (select sum(o_totalprice) from orders where o_custkey = c_custkey)`
+
+// flattenedOnly is the Figure-5-era configuration: decorrelation and
+// outerjoin simplification but none of the §3 reorderings.
+func flattenedOnly() Config {
+	return Config{Decorrelate: true, SimplifyOuterJoins: true, CostBased: true, JoinReorder: true}
+}
+
+// E1 / Figure 1 — the strategy lattice for Q1.
+
+func BenchmarkFigure1Correlated(b *testing.B) {
+	benchQuery(b, figure1Q, Config{})
+}
+
+func BenchmarkFigure1OuterjoinAgg(b *testing.B) {
+	benchQuery(b, figure1Q, Config{Decorrelate: true})
+}
+
+func BenchmarkFigure1JoinAgg(b *testing.B) {
+	benchQuery(b, figure1Q, Config{Decorrelate: true, SimplifyOuterJoins: true})
+}
+
+func BenchmarkFigure1CostBased(b *testing.B) {
+	benchQuery(b, figure1Q, DefaultConfig())
+}
+
+// E5 / Figure 9 left — TPC-H Q2 under the technique ladder.
+
+func BenchmarkTPCHQ2Full(b *testing.B) {
+	q, _ := TPCHQuery("Q2")
+	benchQuery(b, q, DefaultConfig())
+}
+
+func BenchmarkTPCHQ2Correlated(b *testing.B) {
+	q, _ := TPCHQuery("Q2")
+	benchQuery(b, q, Config{CostBased: true, SimplifyOuterJoins: true, JoinReorder: true})
+}
+
+func BenchmarkTPCHQ2FlattenBasic(b *testing.B) {
+	q, _ := TPCHQuery("Q2")
+	benchQuery(b, q, flattenedOnly())
+}
+
+// E6 / Figure 9 right — TPC-H Q17 under the technique ladder.
+
+func BenchmarkTPCHQ17Full(b *testing.B) {
+	q, _ := TPCHQuery("Q17")
+	benchQuery(b, q, DefaultConfig())
+}
+
+func BenchmarkTPCHQ17Correlated(b *testing.B) {
+	q, _ := TPCHQuery("Q17")
+	benchQuery(b, q, Config{CostBased: true, SimplifyOuterJoins: true, JoinReorder: true})
+}
+
+func BenchmarkTPCHQ17FlattenBasic(b *testing.B) {
+	q, _ := TPCHQuery("Q17")
+	benchQuery(b, q, flattenedOnly())
+}
+
+func BenchmarkTPCHQ17NoSegmentNoCorrelated(b *testing.B) {
+	q, _ := TPCHQuery("Q17")
+	cfg := DefaultConfig()
+	cfg.SegmentApply = false
+	cfg.CorrelatedReintro = false
+	benchQuery(b, q, cfg)
+}
+
+// E4 / Figure 8 — the remaining benchmark queries under full
+// optimization (the per-configuration table lives in orthoq-bench).
+
+func BenchmarkTPCHQ1(b *testing.B)  { benchNamed(b, "Q1") }
+func BenchmarkTPCHQ4(b *testing.B)  { benchNamed(b, "Q4") }
+func BenchmarkTPCHQ16(b *testing.B) { benchNamed(b, "Q16") }
+func BenchmarkTPCHQ18(b *testing.B) { benchNamed(b, "Q18") }
+func BenchmarkTPCHQ20(b *testing.B) { benchNamed(b, "Q20") }
+func BenchmarkTPCHQ21(b *testing.B) { benchNamed(b, "Q21") }
+func BenchmarkTPCHQ22(b *testing.B) { benchNamed(b, "Q22") }
+
+func benchNamed(b *testing.B, name string) {
+	b.Helper()
+	q, ok := TPCHQuery(name)
+	if !ok {
+		b.Fatalf("no query %s", name)
+	}
+	benchQuery(b, q, DefaultConfig())
+}
+
+// E7 — ablations: each primitive disabled in isolation, on a query
+// where it has a plan to offer (compare against the *Full variants).
+
+func BenchmarkAblationNoDecorrelationQ20(b *testing.B) {
+	q, _ := TPCHQuery("Q20")
+	benchQuery(b, q, Config{CostBased: true, SimplifyOuterJoins: true, JoinReorder: true})
+}
+
+func BenchmarkAblationNoGroupByReorder(b *testing.B) {
+	cfg := DefaultConfig()
+	cfg.GroupByReorder = false
+	cfg.LocalAgg = false
+	cfg.CorrelatedReintro = false
+	benchQuery(b, figure1Q, cfg)
+}
+
+func BenchmarkAblationNoOJSimplifyQ17(b *testing.B) {
+	q, _ := TPCHQuery("Q17")
+	cfg := DefaultConfig()
+	cfg.SimplifyOuterJoins = false
+	cfg.CorrelatedReintro = false
+	benchQuery(b, q, cfg)
+}
+
+func BenchmarkAblationNoJoinReorderQ2(b *testing.B) {
+	q, _ := TPCHQuery("Q2")
+	cfg := DefaultConfig()
+	cfg.JoinReorder = false
+	benchQuery(b, q, cfg)
+}
+
+// Compilation benchmarks: optimizer throughput.
+
+func BenchmarkOptimizeQ2(b *testing.B) {
+	db := benchDBGet(b)
+	q, _ := TPCHQuery("Q2")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.prepare(q, DefaultConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkOptimizeQ17(b *testing.B) {
+	db := benchDBGet(b)
+	q, _ := TPCHQuery("Q17")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.prepare(q, DefaultConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,68 @@
+// Command orthoq-bench regenerates the paper's evaluation artifacts
+// (Figure 1 strategy lattice, Figure 8 results table, Figure 9 series,
+// and per-primitive ablations) against generated TPC-H data. See
+// EXPERIMENTS.md for the recorded outputs and their paper-vs-measured
+// discussion.
+//
+// Usage:
+//
+//	orthoq-bench -exp all -sf 0.01 -reps 3
+//	orthoq-bench -exp figure9 -sfs 0.002,0.005,0.01,0.02
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"orthoq/internal/bench"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: figure1|figure8|figure9|ablation|all")
+	sf := flag.Float64("sf", 0.01, "TPC-H scale factor for figure1/figure8/ablation")
+	sfList := flag.String("sfs", "0.002,0.005,0.01,0.02", "comma-separated scale factors for figure9")
+	seed := flag.Int64("seed", 1, "data generator seed")
+	reps := flag.Int("reps", 3, "repetitions per measurement (median reported)")
+	flag.Parse()
+
+	run := func(name string, f func() error) {
+		if *exp != "all" && *exp != name {
+			return
+		}
+		if err := f(); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			os.Exit(1)
+		}
+	}
+
+	var db *bench.DB
+	openDB := func() *bench.DB {
+		if db == nil {
+			d, err := bench.OpenDB(*sf, *seed)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			db = d
+		}
+		return db
+	}
+
+	run("figure1", func() error { return bench.RunFigure1(os.Stdout, openDB(), *reps) })
+	run("figure8", func() error { return bench.RunFigure8(os.Stdout, openDB(), *reps) })
+	run("figure9", func() error {
+		var sfs []float64
+		for _, s := range strings.Split(*sfList, ",") {
+			v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+			if err != nil {
+				return err
+			}
+			sfs = append(sfs, v)
+		}
+		return bench.RunFigure9(os.Stdout, sfs, *seed, *reps)
+	})
+	run("ablation", func() error { return bench.RunAblations(os.Stdout, openDB(), *reps) })
+}

@@ -1,0 +1,85 @@
+// Subquery classes (paper §2.5): the three treatment classes the
+// normalizer distinguishes.
+//
+//   - Class 1 flattens with no common subexpressions (the usual case).
+//   - Class 2 (set operations under a correlated subquery) stays
+//     correlated by default, as in the paper's implementation, but
+//     flattens under Config.RemoveClass2 via identities (5)-(7).
+//   - Class 3 (exception subqueries) needs Max1Row: a scalar subquery
+//     returning several rows is a run-time error, unless keys prove at
+//     most one row, in which case Max1Row is elided.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"orthoq"
+)
+
+func main() {
+	db, err := orthoq.OpenTPCH(0.002, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// ---- Class 1: plain correlated aggregate, always flattened.
+	class1 := `
+		select c_custkey from customer
+		where 500000 < (select sum(o_totalprice) from orders where o_custkey = c_custkey)`
+	showClass(db, "class 1 (flattens to join + GroupBy)", class1, orthoq.DefaultConfig())
+
+	// ---- Class 2: UNION ALL inside a correlated subquery (the §2.5
+	// example). Default: the Apply survives normalization.
+	class2 := `
+		select ps_partkey, ps_suppkey from partsupp
+		where 100 > (select sum(v) from
+			(select s_acctbal as v from supplier where s_suppkey = ps_suppkey
+			 union all
+			 select p_retailprice as v from part where p_partkey = ps_partkey) as u)`
+	cfg := orthoq.DefaultConfig()
+	showClass(db, "class 2, default (stays correlated)", class2, cfg)
+	cfg.RemoveClass2 = true
+	showClass(db, "class 2, RemoveClass2 (identity (5) applies)", class2, cfg)
+
+	// ---- Class 3: scalar subquery that can return several rows.
+	class3 := `
+		select c_name,
+			(select o_orderkey from orders where o_custkey = c_custkey) as an_order
+		from customer`
+	fmt.Println("=== class 3 (Max1Row enforces scalar cardinality) ===")
+	if _, err := db.Query(class3); err != nil {
+		fmt.Printf("run-time error, as SQL requires: %v\n\n", err)
+	} else {
+		fmt.Println("no customer had two orders in this instance — no error raised")
+	}
+
+	// Reversing the roles makes the inner unique by key: the compiler
+	// elides Max1Row and the query flattens into an outerjoin.
+	elided := `
+		select o_orderkey,
+			(select c_name from customer where c_custkey = o_custkey) as cust
+		from orders limit 5`
+	rows, err := db.Query(elided)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("=== class 3 with key-based Max1Row elision ===")
+	fmt.Println(rows.Table())
+	if strings.Contains(rows.Plan, "Max1Row") {
+		log.Fatal("Max1Row should have been elided (c_custkey is the key)")
+	}
+	fmt.Println("plan contains no Max1Row — elided via key detection (§2.4).")
+}
+
+func showClass(db *orthoq.DB, title, sql string, cfg orthoq.Config) {
+	rows, err := db.QueryCfg(sql, cfg)
+	if err != nil {
+		log.Fatalf("%s: %v", title, err)
+	}
+	correlated := strings.Contains(rows.Plan, "Apply")
+	fmt.Printf("=== %s ===\n", title)
+	fmt.Printf("rows: %d   plan uses Apply: %v\n", len(rows.Data), correlated)
+	fmt.Println(rows.Plan)
+}

@@ -1,0 +1,3 @@
+module orthoq
+
+go 1.24

@@ -1,0 +1,164 @@
+// Package algebra defines the logical relational algebra used by the
+// optimizer: relational operators (including the paper's Apply and
+// SegmentApply), scalar expression trees, column metadata, and derived
+// logical properties (output columns, outer references, keys,
+// nullability).
+//
+// The representation follows Galindo-Legaria & Joshi (SIGMOD 2001):
+// columns carry global IDs, correlation is visible as free column
+// references, and all operators are bag-oriented.
+package algebra
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ColID identifies a column across the whole query. IDs are allocated
+// by Metadata and never reused, so a column reference is unambiguous no
+// matter where the expression tree is transplanted.
+type ColID int
+
+// ColSet is a set of column IDs. The zero value is the empty set.
+type ColSet struct {
+	m map[ColID]struct{}
+}
+
+// NewColSet builds a set from the given columns.
+func NewColSet(cols ...ColID) ColSet {
+	var s ColSet
+	for _, c := range cols {
+		s.Add(c)
+	}
+	return s
+}
+
+// Add inserts col.
+func (s *ColSet) Add(col ColID) {
+	if s.m == nil {
+		s.m = make(map[ColID]struct{})
+	}
+	s.m[col] = struct{}{}
+}
+
+// Remove deletes col.
+func (s *ColSet) Remove(col ColID) {
+	delete(s.m, col)
+}
+
+// Contains reports membership.
+func (s ColSet) Contains(col ColID) bool {
+	_, ok := s.m[col]
+	return ok
+}
+
+// Empty reports whether the set has no members.
+func (s ColSet) Empty() bool { return len(s.m) == 0 }
+
+// Len returns the cardinality.
+func (s ColSet) Len() int { return len(s.m) }
+
+// Copy returns an independent copy.
+func (s ColSet) Copy() ColSet {
+	var o ColSet
+	for c := range s.m {
+		o.Add(c)
+	}
+	return o
+}
+
+// UnionWith adds all members of o to s.
+func (s *ColSet) UnionWith(o ColSet) {
+	for c := range o.m {
+		s.Add(c)
+	}
+}
+
+// Union returns s ∪ o.
+func (s ColSet) Union(o ColSet) ColSet {
+	r := s.Copy()
+	r.UnionWith(o)
+	return r
+}
+
+// DifferenceWith removes all members of o from s.
+func (s *ColSet) DifferenceWith(o ColSet) {
+	for c := range o.m {
+		s.Remove(c)
+	}
+}
+
+// Difference returns s \ o.
+func (s ColSet) Difference(o ColSet) ColSet {
+	r := s.Copy()
+	r.DifferenceWith(o)
+	return r
+}
+
+// Intersection returns s ∩ o.
+func (s ColSet) Intersection(o ColSet) ColSet {
+	var r ColSet
+	for c := range s.m {
+		if o.Contains(c) {
+			r.Add(c)
+		}
+	}
+	return r
+}
+
+// Intersects reports whether the sets share a member.
+func (s ColSet) Intersects(o ColSet) bool {
+	for c := range s.m {
+		if o.Contains(c) {
+			return true
+		}
+	}
+	return false
+}
+
+// SubsetOf reports s ⊆ o.
+func (s ColSet) SubsetOf(o ColSet) bool {
+	for c := range s.m {
+		if !o.Contains(c) {
+			return false
+		}
+	}
+	return true
+}
+
+// Equals reports set equality.
+func (s ColSet) Equals(o ColSet) bool {
+	return len(s.m) == len(o.m) && s.SubsetOf(o)
+}
+
+// Ordered returns the members in ascending order.
+func (s ColSet) Ordered() []ColID {
+	out := make([]ColID, 0, len(s.m))
+	for c := range s.m {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// ForEach calls f for each member in ascending order.
+func (s ColSet) ForEach(f func(ColID)) {
+	for _, c := range s.Ordered() {
+		f(c)
+	}
+}
+
+// String renders the set as (1,2,3).
+func (s ColSet) String() string {
+	var b strings.Builder
+	b.WriteByte('(')
+	for i, c := range s.Ordered() {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Itoa(int(c)))
+	}
+	b.WriteByte(')')
+	return b.String()
+}

@@ -1,0 +1,73 @@
+package algebra
+
+import (
+	"fmt"
+
+	"orthoq/internal/sql/types"
+)
+
+// ColumnMeta describes one column ID: display name, type, nullability
+// and, for base-table columns, its origin.
+type ColumnMeta struct {
+	// Alias is the display name, e.g. "c_custkey" or "sum".
+	Alias string
+	// Type is the column's SQL type.
+	Type types.Kind
+	// NotNull records that the column can never be NULL in the relation
+	// producing it (before any outer join NULL-padding).
+	NotNull bool
+	// Table and Ord identify the base-table column this ID was created
+	// for, if any (Table == "" otherwise).
+	Table string
+	Ord   int
+}
+
+// Metadata allocates and describes column IDs for one query. It is
+// shared by all expressions of a query through optimization.
+type Metadata struct {
+	cols []ColumnMeta // ColID n is cols[n-1]
+}
+
+// NewMetadata returns an empty metadata.
+func NewMetadata() *Metadata { return &Metadata{} }
+
+// AddColumn allocates a fresh column ID.
+func (md *Metadata) AddColumn(alias string, typ types.Kind) ColID {
+	md.cols = append(md.cols, ColumnMeta{Alias: alias, Type: typ})
+	return ColID(len(md.cols))
+}
+
+// AddTableColumn allocates an ID for a base-table column.
+func (md *Metadata) AddTableColumn(table, alias string, typ types.Kind, notNull bool, ord int) ColID {
+	md.cols = append(md.cols, ColumnMeta{
+		Alias: alias, Type: typ, NotNull: notNull, Table: table, Ord: ord,
+	})
+	return ColID(len(md.cols))
+}
+
+// Column returns the metadata for id. It panics on an unknown ID, which
+// indicates an optimizer bug.
+func (md *Metadata) Column(id ColID) *ColumnMeta {
+	if id < 1 || int(id) > len(md.cols) {
+		panic(fmt.Sprintf("algebra: unknown column id %d", id))
+	}
+	return &md.cols[id-1]
+}
+
+// Alias returns the display name of id.
+func (md *Metadata) Alias(id ColID) string { return md.Column(id).Alias }
+
+// Type returns the type of id.
+func (md *Metadata) Type(id ColID) types.Kind { return md.Column(id).Type }
+
+// NumColumns returns how many IDs have been allocated.
+func (md *Metadata) NumColumns() int { return len(md.cols) }
+
+// QualifiedAlias renders "table.alias" when the column has a base table.
+func (md *Metadata) QualifiedAlias(id ColID) string {
+	c := md.Column(id)
+	if c.Table != "" {
+		return c.Table + "." + c.Alias
+	}
+	return c.Alias
+}

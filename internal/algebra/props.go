@@ -1,0 +1,400 @@
+package algebra
+
+import "fmt"
+
+// OutputCols returns the set of column IDs the expression produces.
+func OutputCols(r Rel) ColSet {
+	switch t := r.(type) {
+	case *Get:
+		return NewColSet(t.Cols...)
+	case *Select:
+		return OutputCols(t.Input)
+	case *Project:
+		out := t.Passthrough.Copy()
+		for _, it := range t.Items {
+			out.Add(it.Col)
+		}
+		return out
+	case *Join:
+		out := OutputCols(t.Left)
+		if t.Kind.ReturnsRightCols() {
+			out.UnionWith(OutputCols(t.Right))
+		}
+		return out
+	case *Apply:
+		out := OutputCols(t.Left)
+		if t.Kind.ReturnsRightCols() {
+			out.UnionWith(OutputCols(t.Right))
+		}
+		return out
+	case *GroupBy:
+		out := t.GroupCols.Copy()
+		for _, a := range t.Aggs {
+			out.Add(a.Col)
+		}
+		return out
+	case *SegmentApply:
+		return OutputCols(t.Inner)
+	case *SegmentRef:
+		return NewColSet(t.Cols...)
+	case *Max1Row:
+		return OutputCols(t.Input)
+	case *UnionAll:
+		return NewColSet(t.OutCols...)
+	case *Difference:
+		return NewColSet(t.OutCols...)
+	case *Values:
+		return NewColSet(t.Cols...)
+	case *Sort:
+		return OutputCols(t.Input)
+	case *Top:
+		return OutputCols(t.Input)
+	case *RowNumber:
+		out := OutputCols(t.Input)
+		out.Add(t.Col)
+		return out
+	}
+	panic(fmt.Sprintf("algebra: OutputCols: unhandled %T", r))
+}
+
+// scalarFreeCols returns the columns a scalar needs from its
+// environment: direct references plus the outer references of any
+// nested relational subexpressions.
+func scalarFreeCols(s Scalar) ColSet {
+	if s == nil {
+		return ColSet{}
+	}
+	free := ScalarCols(s)
+	for _, sub := range ScalarRelInputs(s) {
+		free.UnionWith(OuterRefs(sub))
+	}
+	return free
+}
+
+// relScalars returns the scalar expressions attached to the node
+// itself (not its children).
+func relScalars(r Rel) []Scalar {
+	switch t := r.(type) {
+	case *Select:
+		return []Scalar{t.Filter}
+	case *Project:
+		out := make([]Scalar, 0, len(t.Items))
+		for _, it := range t.Items {
+			out = append(out, it.Expr)
+		}
+		return out
+	case *Join:
+		if t.On != nil {
+			return []Scalar{t.On}
+		}
+	case *Apply:
+		if t.On != nil {
+			return []Scalar{t.On}
+		}
+	case *GroupBy:
+		out := make([]Scalar, 0, len(t.Aggs))
+		for _, a := range t.Aggs {
+			if a.Arg != nil {
+				out = append(out, a.Arg)
+			}
+		}
+		return out
+	case *Values:
+		var out []Scalar
+		for _, row := range t.Rows {
+			out = append(out, row...)
+		}
+		return out
+	}
+	return nil
+}
+
+// OuterRefs returns the expression's free column references: columns
+// used anywhere inside (including nested subqueries in scalar position)
+// that the expression does not itself produce. A non-empty result means
+// the expression is correlated — it is a parameterized expression in
+// the paper's sense.
+func OuterRefs(r Rel) ColSet {
+	var need ColSet
+	for _, s := range relScalars(r) {
+		need.UnionWith(scalarFreeCols(s))
+	}
+	var bound ColSet
+	switch t := r.(type) {
+	case *Apply:
+		// Right side's free refs may be bound by Left's output — this
+		// is exactly what Apply is for.
+		need.UnionWith(OuterRefs(t.Left))
+		need.UnionWith(OuterRefs(t.Right))
+		bound = OutputCols(t.Left).Union(OutputCols(t.Right))
+	case *SegmentApply:
+		need.UnionWith(OuterRefs(t.Input))
+		need.UnionWith(OuterRefs(t.Inner))
+		bound = OutputCols(t.Input).Union(OutputCols(t.Inner))
+		// SegmentRef columns are bound by the apply itself.
+		for _, in := range collectSegmentRefs(t.Inner) {
+			bound.UnionWith(NewColSet(in.Cols...))
+		}
+	default:
+		for _, c := range r.Inputs() {
+			need.UnionWith(OuterRefs(c))
+			bound.UnionWith(OutputCols(c))
+		}
+	}
+	need.DifferenceWith(bound)
+	need.DifferenceWith(OutputCols(r))
+	return need
+}
+
+// collectSegmentRefs gathers SegmentRef leaves in r without descending
+// into nested SegmentApply scopes (their refs belong to the nested
+// apply).
+func collectSegmentRefs(r Rel) []*SegmentRef {
+	var out []*SegmentRef
+	var walk func(Rel)
+	walk = func(n Rel) {
+		switch t := n.(type) {
+		case *SegmentRef:
+			out = append(out, t)
+			return
+		case *SegmentApply:
+			walk(t.Input) // Input is in the enclosing scope
+			return
+		}
+		for _, c := range n.Inputs() {
+			walk(c)
+		}
+		for _, s := range relScalars(n) {
+			for _, sub := range ScalarRelInputs(s) {
+				walk(sub)
+			}
+		}
+	}
+	walk(r)
+	return out
+}
+
+// KeyCols infers a candidate key for the expression. ok=false means no
+// key could be inferred (the optimizer then manufactures one with
+// RowNumber). An empty set with ok=true means the expression produces
+// at most one row.
+func KeyCols(r Rel) (ColSet, bool) {
+	switch t := r.(type) {
+	case *Get:
+		return t.KeyCols.Copy(), !t.KeyCols.Empty()
+	case *Select:
+		return KeyCols(t.Input)
+	case *Project:
+		k, ok := KeyCols(t.Input)
+		if ok && k.SubsetOf(OutputCols(t)) {
+			return k, true
+		}
+		return ColSet{}, false
+	case *Join:
+		return joinKey(t.Kind, t.Left, t.Right)
+	case *Apply:
+		return joinKey(t.Kind, t.Left, t.Right)
+	case *GroupBy:
+		if t.Kind == ScalarGroupBy {
+			return ColSet{}, true // exactly one row
+		}
+		return t.GroupCols.Copy(), true
+	case *Max1Row:
+		return ColSet{}, true
+	case *Values:
+		if len(t.Rows) <= 1 {
+			return ColSet{}, true
+		}
+		return ColSet{}, false
+	case *Sort:
+		return KeyCols(t.Input)
+	case *Top:
+		if t.N <= 1 {
+			return ColSet{}, true
+		}
+		return KeyCols(t.Input)
+	case *RowNumber:
+		return NewColSet(t.Col), true
+	case *SegmentRef:
+		return ColSet{}, false
+	case *SegmentApply, *UnionAll, *Difference:
+		return ColSet{}, false
+	}
+	return ColSet{}, false
+}
+
+func joinKey(kind JoinKind, left, right Rel) (ColSet, bool) {
+	lk, lok := KeyCols(left)
+	if kind == SemiJoin || kind == AntiSemiJoin {
+		return lk, lok
+	}
+	rk, rok := KeyCols(right)
+	if lok && rok {
+		return lk.Union(rk), true
+	}
+	return ColSet{}, false
+}
+
+// NotNullCols returns output columns guaranteed non-NULL. md supplies
+// base-table nullability.
+func NotNullCols(md *Metadata, r Rel) ColSet {
+	switch t := r.(type) {
+	case *Get:
+		var out ColSet
+		for _, c := range t.Cols {
+			if md.Column(c).NotNull {
+				out.Add(c)
+			}
+		}
+		return out
+	case *Select:
+		return NotNullCols(md, t.Input)
+	case *Project:
+		in := NotNullCols(md, t.Input)
+		out := in.Intersection(t.Passthrough)
+		for _, it := range t.Items {
+			if scalarNotNull(it.Expr, in) {
+				out.Add(it.Col)
+			}
+		}
+		return out
+	case *Join:
+		out := NotNullCols(md, t.Left)
+		if t.Kind == InnerJoin || t.Kind == CrossJoin {
+			out.UnionWith(NotNullCols(md, t.Right))
+		}
+		// LeftOuterJoin: right columns become nullable.
+		return out
+	case *Apply:
+		out := NotNullCols(md, t.Left)
+		if t.Kind == InnerJoin || t.Kind == CrossJoin {
+			out.UnionWith(NotNullCols(md, t.Right))
+		}
+		return out
+	case *GroupBy:
+		out := t.GroupCols.Intersection(NotNullCols(md, t.Input))
+		for _, a := range t.Aggs {
+			// count/count(*) never produce NULL: vector groups are
+			// non-empty by construction, and scalar count(∅) is 0.
+			if a.Func == AggCount || a.Func == AggCountStar {
+				out.Add(a.Col)
+			}
+		}
+		return out
+	case *SegmentApply:
+		return NotNullCols(md, t.Inner)
+	case *SegmentRef:
+		var out ColSet
+		for _, c := range t.Cols {
+			if md.Column(c).NotNull {
+				out.Add(c)
+			}
+		}
+		return out
+	case *Max1Row:
+		return NotNullCols(md, t.Input)
+	case *UnionAll:
+		ln := NotNullCols(md, t.Left)
+		rn := NotNullCols(md, t.Right)
+		var out ColSet
+		for i, oc := range t.OutCols {
+			if ln.Contains(t.LeftCols[i]) && rn.Contains(t.RightCols[i]) {
+				out.Add(oc)
+			}
+		}
+		return out
+	case *Difference:
+		ln := NotNullCols(md, t.Left)
+		var out ColSet
+		for i, oc := range t.OutCols {
+			if ln.Contains(t.LeftCols[i]) {
+				out.Add(oc)
+			}
+		}
+		return out
+	case *Values:
+		var out ColSet
+		for i, c := range t.Cols {
+			nn := len(t.Rows) > 0
+			for _, row := range t.Rows {
+				cst, ok := row[i].(*Const)
+				if !ok || cst.Val.IsNull() {
+					nn = false
+					break
+				}
+			}
+			if nn {
+				out.Add(c)
+			}
+		}
+		return out
+	case *Sort:
+		return NotNullCols(md, t.Input)
+	case *Top:
+		return NotNullCols(md, t.Input)
+	case *RowNumber:
+		out := NotNullCols(md, t.Input)
+		out.Add(t.Col)
+		return out
+	}
+	return ColSet{}
+}
+
+func scalarNotNull(s Scalar, notNullIn ColSet) bool {
+	switch t := s.(type) {
+	case *Const:
+		return !t.Val.IsNull()
+	case *ColRef:
+		return notNullIn.Contains(t.Col)
+	case *Arith:
+		return scalarNotNull(t.L, notNullIn) && scalarNotNull(t.R, notNullIn)
+	case *IsNull:
+		return true
+	}
+	return false
+}
+
+// VisitRel walks the relational tree depth-first (pre-order), including
+// relational subexpressions nested inside scalars, calling f on each
+// node. If f returns false the node's subtree is skipped.
+func VisitRel(r Rel, f func(Rel) bool) {
+	if r == nil || !f(r) {
+		return
+	}
+	for _, c := range r.Inputs() {
+		VisitRel(c, f)
+	}
+	for _, s := range relScalars(r) {
+		for _, sub := range ScalarRelInputs(s) {
+			VisitRel(sub, f)
+		}
+	}
+}
+
+// MaxCardOne reports whether the expression produces at most one row.
+func MaxCardOne(r Rel) bool {
+	switch t := r.(type) {
+	case *Max1Row:
+		return true
+	case *GroupBy:
+		return t.Kind == ScalarGroupBy
+	case *Select:
+		return MaxCardOne(t.Input)
+	case *Project:
+		return MaxCardOne(t.Input)
+	case *Values:
+		return len(t.Rows) <= 1
+	case *Top:
+		return t.N <= 1 || MaxCardOne(t.Input)
+	case *Sort:
+		return MaxCardOne(t.Input)
+	case *RowNumber:
+		return MaxCardOne(t.Input)
+	case *Join:
+		if t.Kind == SemiJoin || t.Kind == AntiSemiJoin {
+			return MaxCardOne(t.Left)
+		}
+		return MaxCardOne(t.Left) && MaxCardOne(t.Right)
+	}
+	return false
+}

@@ -1,0 +1,358 @@
+package algebrize
+
+import (
+	"strings"
+	"testing"
+
+	"orthoq/internal/algebra"
+	"orthoq/internal/sql/parser"
+	"orthoq/internal/sql/types"
+	"orthoq/internal/tpch"
+)
+
+func build(t *testing.T, sql string) (*Result, *algebra.Metadata) {
+	t.Helper()
+	q, err := parser.Parse(sql)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	md := algebra.NewMetadata()
+	res, err := Build(tpch.Schema(), md, q)
+	if err != nil {
+		t.Fatalf("algebrize: %v", err)
+	}
+	return res, md
+}
+
+func buildErr(t *testing.T, sql string) error {
+	t.Helper()
+	q, err := parser.Parse(sql)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	md := algebra.NewMetadata()
+	_, err = Build(tpch.Schema(), md, q)
+	if err == nil {
+		t.Fatalf("algebrize(%q): expected error", sql)
+	}
+	return err
+}
+
+func TestSimpleScan(t *testing.T) {
+	res, md := build(t, "select c_custkey, c_name from customer")
+	if len(res.OutCols) != 2 || res.OutNames[0] != "c_custkey" {
+		t.Fatalf("out = %v %v", res.OutCols, res.OutNames)
+	}
+	p, ok := res.Rel.(*algebra.Project)
+	if !ok {
+		t.Fatalf("root = %T", res.Rel)
+	}
+	if _, ok := p.Input.(*algebra.Get); !ok {
+		t.Fatalf("input = %T", p.Input)
+	}
+	if md.Type(res.OutCols[0]) != types.Int {
+		t.Errorf("c_custkey type = %v", md.Type(res.OutCols[0]))
+	}
+}
+
+func TestStarExpansion(t *testing.T) {
+	res, _ := build(t, "select * from region")
+	if len(res.OutCols) != 3 {
+		t.Fatalf("region.* = %d cols", len(res.OutCols))
+	}
+	// star over whole table needs no Project node
+	if _, ok := res.Rel.(*algebra.Get); !ok {
+		t.Errorf("select * root = %T, want Get", res.Rel)
+	}
+	res, _ = build(t, "select n.* from nation n join region r on n_regionkey = r_regionkey")
+	if len(res.OutCols) != 4 {
+		t.Fatalf("n.* = %d cols", len(res.OutCols))
+	}
+}
+
+func TestWhereAndTypes(t *testing.T) {
+	res, md := build(t, "select c_name from customer where c_acctbal > 100.5 and c_nationkey = 3")
+	p := res.Rel.(*algebra.Project)
+	sel := p.Input.(*algebra.Select)
+	conj := algebra.Conjuncts(sel.Filter)
+	if len(conj) != 2 {
+		t.Fatalf("conjuncts = %d", len(conj))
+	}
+	if md.Type(res.OutCols[0]) != types.String {
+		t.Errorf("type = %v", md.Type(res.OutCols[0]))
+	}
+}
+
+func TestQualifiedAndAliasedResolution(t *testing.T) {
+	res, _ := build(t, `select o.o_orderkey, c.c_name
+		from orders o join customer c on o.o_custkey = c.c_custkey`)
+	if len(res.OutCols) != 2 {
+		t.Fatal("cols")
+	}
+	// Ambiguity must be detected.
+	err := buildErr(t, "select c_custkey from customer c1, customer c2")
+	if !strings.Contains(err.Error(), "ambiguous") {
+		t.Errorf("want ambiguous error, got %v", err)
+	}
+	// Unknown column.
+	err = buildErr(t, "select nosuch from customer")
+	if !strings.Contains(err.Error(), "unknown column") {
+		t.Errorf("got %v", err)
+	}
+	// Unknown table.
+	err = buildErr(t, "select x from nowhere")
+	if !strings.Contains(err.Error(), "unknown table") {
+		t.Errorf("got %v", err)
+	}
+}
+
+func TestVectorGroupBy(t *testing.T) {
+	res, _ := build(t, `select o_custkey, sum(o_totalprice) as total, count(*) as n
+		from orders group by o_custkey having sum(o_totalprice) > 100`)
+	// Root: Project over Select(having) over GroupBy.
+	p := res.Rel.(*algebra.Project)
+	sel := p.Input.(*algebra.Select)
+	gb := sel.Input.(*algebra.GroupBy)
+	if gb.Kind != algebra.VectorGroupBy {
+		t.Errorf("kind = %v", gb.Kind)
+	}
+	if gb.GroupCols.Len() != 1 {
+		t.Errorf("group cols = %v", gb.GroupCols)
+	}
+	// 3 agg items: total, count(*), having's sum (duplicated call site).
+	if len(gb.Aggs) != 3 {
+		t.Errorf("aggs = %d", len(gb.Aggs))
+	}
+	if res.OutNames[1] != "total" {
+		t.Errorf("names = %v", res.OutNames)
+	}
+}
+
+func TestScalarGroupBy(t *testing.T) {
+	res, md := build(t, "select sum(o_totalprice) as s, avg(o_totalprice) as a from orders")
+	// The projection is the identity here, so the root is the GroupBy.
+	gb, ok := res.Rel.(*algebra.GroupBy)
+	if !ok {
+		t.Fatalf("root = %T", res.Rel)
+	}
+	if gb.Kind != algebra.ScalarGroupBy || !gb.GroupCols.Empty() {
+		t.Fatalf("gb = %+v", gb)
+	}
+	if md.Type(res.OutCols[1]) != types.Float {
+		t.Errorf("avg type = %v", md.Type(res.OutCols[1]))
+	}
+}
+
+func TestDistinctNormalizesToGroupBy(t *testing.T) {
+	res, _ := build(t, "select distinct o_custkey from orders")
+	gb, ok := res.Rel.(*algebra.GroupBy)
+	if !ok {
+		t.Fatalf("root = %T", res.Rel)
+	}
+	if gb.Kind != algebra.VectorGroupBy || len(gb.Aggs) != 0 {
+		t.Errorf("distinct gb = %+v", gb)
+	}
+	if !gb.GroupCols.Equals(algebra.NewColSet(res.OutCols...)) {
+		t.Errorf("group cols = %v, out = %v", gb.GroupCols, res.OutCols)
+	}
+}
+
+func TestCorrelatedScalarSubquery(t *testing.T) {
+	// The paper's Q1: the subquery must appear inside the filter scalar
+	// (Figure 3 form) with a free reference to c_custkey.
+	res, _ := build(t, `select c_custkey from customer
+		where 1000000 < (select sum(o_totalprice) from orders where o_custkey = c_custkey)`)
+	p := res.Rel.(*algebra.Project)
+	sel := p.Input.(*algebra.Select)
+	subs := algebra.ScalarRelInputs(sel.Filter)
+	if len(subs) != 1 {
+		t.Fatalf("subqueries in filter = %d", len(subs))
+	}
+	refs := algebra.OuterRefs(subs[0])
+	if refs.Len() != 1 {
+		t.Fatalf("outer refs = %v", refs)
+	}
+	// Whole tree is closed.
+	if !algebra.OuterRefs(res.Rel).Empty() {
+		t.Error("root has outer refs")
+	}
+	// Subquery is a scalar GroupBy.
+	if gb, ok := subs[0].(*algebra.GroupBy); !ok || gb.Kind != algebra.ScalarGroupBy {
+		t.Errorf("subquery root = %T", subs[0])
+	}
+}
+
+func TestExistsAndIn(t *testing.T) {
+	res, _ := build(t, `select c_custkey from customer
+		where exists (select o_orderkey from orders where o_custkey = c_custkey)
+		  and c_nationkey in (select n_nationkey from nation where n_name = 'FRANCE')
+		  and c_mktsegment not in ('AUTOMOBILE', 'BUILDING')`)
+	sel := res.Rel.(*algebra.Project).Input.(*algebra.Select)
+	conj := algebra.Conjuncts(sel.Filter)
+	if len(conj) != 3 {
+		t.Fatalf("conjuncts = %d", len(conj))
+	}
+	if _, ok := conj[0].(*algebra.Exists); !ok {
+		t.Errorf("conj0 = %T", conj[0])
+	}
+	q, ok := conj[1].(*algebra.Quantified)
+	if !ok || q.Op != algebra.CmpEq || q.All {
+		t.Errorf("conj1 = %#v", conj[1])
+	}
+	il, ok := conj[2].(*algebra.InList)
+	if !ok || !il.Negate || len(il.List) != 2 {
+		t.Errorf("conj2 = %#v", conj[2])
+	}
+}
+
+func TestNotInSubqueryIsNeAll(t *testing.T) {
+	res, _ := build(t, `select s_suppkey from supplier
+		where s_nationkey not in (select n_nationkey from nation)`)
+	sel := res.Rel.(*algebra.Project).Input.(*algebra.Select)
+	q, ok := sel.Filter.(*algebra.Quantified)
+	if !ok || q.Op != algebra.CmpNe || !q.All {
+		t.Fatalf("NOT IN compiled to %#v", sel.Filter)
+	}
+}
+
+func TestDerivedTable(t *testing.T) {
+	res, _ := build(t, `select total from
+		(select o_custkey, sum(o_totalprice) as total from orders group by o_custkey) as agg
+		where total > 50`)
+	if len(res.OutCols) != 1 || res.OutNames[0] != "total" {
+		t.Fatalf("out = %v", res.OutNames)
+	}
+	// qualified access to derived table columns
+	build(t, `select agg.total from
+		(select o_custkey, sum(o_totalprice) as total from orders group by o_custkey) as agg`)
+	// column aliases
+	res, _ = build(t, `select v from (select o_custkey from orders) as d(v)`)
+	if res.OutNames[0] != "v" {
+		t.Errorf("alias = %v", res.OutNames)
+	}
+}
+
+func TestUnionAll(t *testing.T) {
+	res, md := build(t, `select s_acctbal from supplier
+		union all
+		select p_retailprice from part`)
+	u, ok := res.Rel.(*algebra.UnionAll)
+	if !ok {
+		t.Fatalf("root = %T", res.Rel)
+	}
+	if len(u.OutCols) != 1 || md.Type(u.OutCols[0]) != types.Float {
+		t.Errorf("union out = %v", u.OutCols)
+	}
+	if err := buildErr(t, "select s_suppkey, s_name from supplier union all select p_partkey from part"); !strings.Contains(err.Error(), "columns") {
+		t.Errorf("arity error = %v", err)
+	}
+}
+
+func TestOrderByAndLimit(t *testing.T) {
+	res, _ := build(t, `select c_name from customer order by c_acctbal desc limit 5`)
+	top, ok := res.Rel.(*algebra.Top)
+	if !ok || top.N != 5 {
+		t.Fatalf("root = %T", res.Rel)
+	}
+	srt := top.Input.(*algebra.Sort)
+	if len(srt.By) != 1 || !srt.By[0].Desc {
+		t.Errorf("sort = %+v", srt.By)
+	}
+	// order by output alias
+	res, _ = build(t, `select c_acctbal * 2 as dbl from customer order by dbl`)
+	srt = res.Rel.(*algebra.Sort)
+	if srt.By[0].Col != res.OutCols[0] {
+		t.Errorf("order by alias resolved to %d, want %d", srt.By[0].Col, res.OutCols[0])
+	}
+}
+
+func TestGroupByValidation(t *testing.T) {
+	// Aggregates are rejected in WHERE.
+	if err := buildErr(t, "select c_name from customer where sum(c_acctbal) > 5"); err == nil {
+		t.Error("agg in where accepted")
+	}
+	// HAVING without grouping context.
+	if err := buildErr(t, "select c_name from customer having c_acctbal > 5"); err == nil {
+		t.Error("having without group by accepted")
+	}
+	// Ungrouped column in select list of grouped query.
+	if err := buildErr(t, "select c_name, count(*) from customer group by c_nationkey"); err == nil {
+		t.Error("ungrouped column accepted")
+	}
+	// Nested aggregates.
+	if err := buildErr(t, "select sum(count(*)) from customer"); err == nil {
+		t.Error("nested agg accepted")
+	}
+}
+
+func TestScalarSubqueryInSelectList(t *testing.T) {
+	// Paper's Q2 (§2.4 class-3 exception subquery shape).
+	res, _ := build(t, `select c_name,
+		(select o_orderkey from orders where o_custkey = c_custkey) as ok
+		from customer`)
+	p := res.Rel.(*algebra.Project)
+	if len(p.Items) != 1 {
+		t.Fatalf("items = %d", len(p.Items))
+	}
+	if _, ok := p.Items[0].Expr.(*algebra.Subquery); !ok {
+		t.Errorf("item = %T", p.Items[0].Expr)
+	}
+}
+
+func TestCaseAndArithTypes(t *testing.T) {
+	res, md := build(t, `select case when c_acctbal > 0 then 1 else 0 end as flag,
+		c_acctbal + 1 as b1, c_nationkey + 1 as n1 from customer`)
+	if md.Type(res.OutCols[0]) != types.Int {
+		t.Errorf("case type = %v", md.Type(res.OutCols[0]))
+	}
+	if md.Type(res.OutCols[1]) != types.Float {
+		t.Errorf("float arith = %v", md.Type(res.OutCols[1]))
+	}
+	if md.Type(res.OutCols[2]) != types.Int {
+		t.Errorf("int arith = %v", md.Type(res.OutCols[2]))
+	}
+}
+
+func TestComputedGroupingExpression(t *testing.T) {
+	res, _ := build(t, `select o_shippriority + 1 as g, count(*) as n
+		from orders group by o_shippriority + 1`)
+	_ = res
+	// The computed grouping expr should work end to end; find GroupBy.
+	var gb *algebra.GroupBy
+	algebra.VisitRel(res.Rel, func(r algebra.Rel) bool {
+		if g, ok := r.(*algebra.GroupBy); ok {
+			gb = g
+		}
+		return true
+	})
+	if gb == nil || gb.GroupCols.Len() != 1 {
+		t.Fatalf("gb = %+v", gb)
+	}
+	if _, ok := gb.Input.(*algebra.Project); !ok {
+		t.Errorf("grouping expr should be projected below, input = %T", gb.Input)
+	}
+}
+
+func TestSelectWithoutFrom(t *testing.T) {
+	res, _ := build(t, "select 1 as one, 'x' as s")
+	p := res.Rel.(*algebra.Project)
+	if _, ok := p.Input.(*algebra.Values); !ok {
+		t.Fatalf("input = %T", p.Input)
+	}
+	if len(res.OutCols) != 2 {
+		t.Errorf("out = %v", res.OutCols)
+	}
+}
+
+func TestQuantifiedComparison(t *testing.T) {
+	res, _ := build(t, `select p_partkey from part
+		where p_retailprice > all (select ps_supplycost from partsupp where ps_partkey = p_partkey)`)
+	sel := res.Rel.(*algebra.Project).Input.(*algebra.Select)
+	q, ok := sel.Filter.(*algebra.Quantified)
+	if !ok || !q.All || q.Op != algebra.CmpGt {
+		t.Fatalf("filter = %#v", sel.Filter)
+	}
+	if algebra.OuterRefs(q.Input).Len() != 1 {
+		t.Error("quantified subquery should be correlated")
+	}
+}

@@ -1,0 +1,101 @@
+package algebrize
+
+import (
+	"fmt"
+	"strings"
+
+	"orthoq/internal/sql/ast"
+)
+
+// astKey renders an AST expression as a canonical string so that a
+// select-list expression can be matched structurally against a GROUP BY
+// expression ("select a+1 ... group by a+1"). Identifiers are
+// lower-cased; subqueries never match (each instance is distinct).
+func astKey(e ast.Expr) string {
+	var b strings.Builder
+	writeKey(&b, e)
+	return b.String()
+}
+
+func writeKey(b *strings.Builder, e ast.Expr) {
+	switch t := e.(type) {
+	case nil:
+		b.WriteString("<nil>")
+	case *ast.Ident:
+		fmt.Fprintf(b, "id(%s.%s)", strings.ToLower(t.Table), strings.ToLower(t.Name))
+	case *ast.NumberLit:
+		fmt.Fprintf(b, "num(%s)", t.Text)
+	case *ast.StringLit:
+		fmt.Fprintf(b, "str(%q)", t.Val)
+	case *ast.DateLit:
+		fmt.Fprintf(b, "date(%s)", t.Val)
+	case *ast.NullLit:
+		b.WriteString("null")
+	case *ast.BoolLit:
+		fmt.Fprintf(b, "bool(%t)", t.Val)
+	case *ast.BinaryExpr:
+		fmt.Fprintf(b, "bin(%s,", t.Op)
+		writeKey(b, t.L)
+		b.WriteByte(',')
+		writeKey(b, t.R)
+		b.WriteByte(')')
+	case *ast.UnaryExpr:
+		fmt.Fprintf(b, "un(%s,", t.Op)
+		writeKey(b, t.Arg)
+		b.WriteByte(')')
+	case *ast.IsNullExpr:
+		fmt.Fprintf(b, "isnull(%t,", t.Not)
+		writeKey(b, t.Arg)
+		b.WriteByte(')')
+	case *ast.BetweenExpr:
+		fmt.Fprintf(b, "between(%t,", t.Not)
+		writeKey(b, t.Arg)
+		b.WriteByte(',')
+		writeKey(b, t.Lo)
+		b.WriteByte(',')
+		writeKey(b, t.Hi)
+		b.WriteByte(')')
+	case *ast.LikeExpr:
+		fmt.Fprintf(b, "like(%t,", t.Not)
+		writeKey(b, t.L)
+		b.WriteByte(',')
+		writeKey(b, t.R)
+		b.WriteByte(')')
+	case *ast.InExpr:
+		fmt.Fprintf(b, "in(%t,", t.Not)
+		writeKey(b, t.Arg)
+		for _, le := range t.List {
+			b.WriteByte(',')
+			writeKey(b, le)
+		}
+		if t.Query != nil {
+			fmt.Fprintf(b, ",query@%p", t.Query)
+		}
+		b.WriteByte(')')
+	case *ast.FuncCall:
+		fmt.Fprintf(b, "fn(%s,star=%t,distinct=%t", t.Name, t.Star, t.Distinct)
+		for _, a := range t.Args {
+			b.WriteByte(',')
+			writeKey(b, a)
+		}
+		b.WriteByte(')')
+	case *ast.CaseExpr:
+		b.WriteString("case(")
+		for _, w := range t.Whens {
+			writeKey(b, w.Cond)
+			b.WriteByte(':')
+			writeKey(b, w.Then)
+			b.WriteByte(',')
+		}
+		writeKey(b, t.Else)
+		b.WriteByte(')')
+	case *ast.SubqueryExpr:
+		fmt.Fprintf(b, "sub@%p", t)
+	case *ast.ExistsExpr:
+		fmt.Fprintf(b, "exists@%p", t)
+	case *ast.QuantExpr:
+		fmt.Fprintf(b, "quant@%p", t)
+	default:
+		fmt.Fprintf(b, "%T", e)
+	}
+}

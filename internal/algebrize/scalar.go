@@ -1,0 +1,338 @@
+package algebrize
+
+import (
+	"fmt"
+
+	"orthoq/internal/algebra"
+	"orthoq/internal/sql/ast"
+	"orthoq/internal/sql/types"
+)
+
+// exprCtx carries grouped-context rewrites: aggregate calls already
+// compiled into a GroupBy map to their result columns, and computed
+// grouping expressions (matched structurally via astKey) map to their
+// grouping columns.
+type exprCtx struct {
+	aggs   map[*ast.FuncCall]algebra.ColID
+	groups map[string]algebra.ColID
+}
+
+// buildScalar translates an AST expression to an algebra scalar. sc is
+// the resolution scope; ctx is non-nil when evaluating above a GroupBy.
+func (b *builder) buildScalar(e ast.Expr, sc *scope, ctx *exprCtx) (algebra.Scalar, error) {
+	if ctx != nil && len(ctx.groups) > 0 {
+		if id, ok := ctx.groups[astKey(e)]; ok {
+			return &algebra.ColRef{Col: id}, nil
+		}
+	}
+	switch t := e.(type) {
+	case *ast.Ident:
+		id, err := sc.resolve(t.Table, t.Name)
+		if err != nil {
+			return nil, fmt.Errorf("algebrize: %w", err)
+		}
+		return &algebra.ColRef{Col: id}, nil
+
+	case *ast.NumberLit:
+		if t.IsInt {
+			return &algebra.Const{Val: types.NewInt(t.Int)}, nil
+		}
+		return &algebra.Const{Val: types.NewFloat(t.Float)}, nil
+
+	case *ast.StringLit:
+		return &algebra.Const{Val: types.NewString(t.Val)}, nil
+
+	case *ast.DateLit:
+		d, err := types.DateFromString(t.Val)
+		if err != nil {
+			return nil, fmt.Errorf("algebrize: %w", err)
+		}
+		return &algebra.Const{Val: d}, nil
+
+	case *ast.IntervalLit:
+		return nil, fmt.Errorf("algebrize: INTERVAL is only valid in date + interval arithmetic")
+
+	case *ast.NullLit:
+		return &algebra.Const{Val: types.NullUnknown}, nil
+
+	case *ast.BoolLit:
+		return &algebra.Const{Val: types.NewBool(t.Val)}, nil
+
+	case *ast.BinaryExpr:
+		// Date ± interval folds to a date constant at compile time (the
+		// TPC-H queries use it only with literal dates).
+		if iv, isIv := t.R.(*ast.IntervalLit); isIv && (t.Op == "+" || t.Op == "-") {
+			l, err := b.buildScalar(t.L, sc, ctx)
+			if err != nil {
+				return nil, err
+			}
+			c, isConst := l.(*algebra.Const)
+			if !isConst {
+				return nil, fmt.Errorf("algebrize: interval arithmetic requires a constant date")
+			}
+			n := iv.N
+			if t.Op == "-" {
+				n = -n
+			}
+			d, err := types.AddInterval(c.Val, n, iv.Unit)
+			if err != nil {
+				return nil, fmt.Errorf("algebrize: %w", err)
+			}
+			return &algebra.Const{Val: d}, nil
+		}
+		l, err := b.buildScalar(t.L, sc, ctx)
+		if err != nil {
+			return nil, err
+		}
+		r, err := b.buildScalar(t.R, sc, ctx)
+		if err != nil {
+			return nil, err
+		}
+		switch t.Op {
+		case "and":
+			return algebra.ConjoinAll(l, r), nil
+		case "or":
+			return &algebra.Or{Args: []algebra.Scalar{l, r}}, nil
+		case "=":
+			return &algebra.Cmp{Op: algebra.CmpEq, L: l, R: r}, nil
+		case "<>":
+			return &algebra.Cmp{Op: algebra.CmpNe, L: l, R: r}, nil
+		case "<":
+			return &algebra.Cmp{Op: algebra.CmpLt, L: l, R: r}, nil
+		case "<=":
+			return &algebra.Cmp{Op: algebra.CmpLe, L: l, R: r}, nil
+		case ">":
+			return &algebra.Cmp{Op: algebra.CmpGt, L: l, R: r}, nil
+		case ">=":
+			return &algebra.Cmp{Op: algebra.CmpGe, L: l, R: r}, nil
+		case "+":
+			return &algebra.Arith{Op: types.OpAdd, L: l, R: r}, nil
+		case "-":
+			return &algebra.Arith{Op: types.OpSub, L: l, R: r}, nil
+		case "*":
+			return &algebra.Arith{Op: types.OpMul, L: l, R: r}, nil
+		case "/":
+			return &algebra.Arith{Op: types.OpDiv, L: l, R: r}, nil
+		case "%":
+			return &algebra.Arith{Op: types.OpMod, L: l, R: r}, nil
+		}
+		return nil, fmt.Errorf("algebrize: unknown operator %q", t.Op)
+
+	case *ast.UnaryExpr:
+		if t.Op == "not" {
+			a, err := b.buildScalar(t.Arg, sc, ctx)
+			if err != nil {
+				return nil, err
+			}
+			return &algebra.Not{Arg: a}, nil
+		}
+		// unary minus: fold literals, otherwise 0 - x
+		if n, ok := t.Arg.(*ast.NumberLit); ok {
+			if n.IsInt {
+				return &algebra.Const{Val: types.NewInt(-n.Int)}, nil
+			}
+			return &algebra.Const{Val: types.NewFloat(-n.Float)}, nil
+		}
+		a, err := b.buildScalar(t.Arg, sc, ctx)
+		if err != nil {
+			return nil, err
+		}
+		return &algebra.Arith{Op: types.OpSub, L: &algebra.Const{Val: types.NewInt(0)}, R: a}, nil
+
+	case *ast.IsNullExpr:
+		a, err := b.buildScalar(t.Arg, sc, ctx)
+		if err != nil {
+			return nil, err
+		}
+		return &algebra.IsNull{Arg: a, Negate: t.Not}, nil
+
+	case *ast.BetweenExpr:
+		arg, err := b.buildScalar(t.Arg, sc, ctx)
+		if err != nil {
+			return nil, err
+		}
+		lo, err := b.buildScalar(t.Lo, sc, ctx)
+		if err != nil {
+			return nil, err
+		}
+		hi, err := b.buildScalar(t.Hi, sc, ctx)
+		if err != nil {
+			return nil, err
+		}
+		if t.Not {
+			return &algebra.Or{Args: []algebra.Scalar{
+				&algebra.Cmp{Op: algebra.CmpLt, L: arg, R: lo},
+				&algebra.Cmp{Op: algebra.CmpGt, L: arg, R: hi},
+			}}, nil
+		}
+		return algebra.ConjoinAll(
+			&algebra.Cmp{Op: algebra.CmpGe, L: arg, R: lo},
+			&algebra.Cmp{Op: algebra.CmpLe, L: arg, R: hi},
+		), nil
+
+	case *ast.LikeExpr:
+		l, err := b.buildScalar(t.L, sc, ctx)
+		if err != nil {
+			return nil, err
+		}
+		r, err := b.buildScalar(t.R, sc, ctx)
+		if err != nil {
+			return nil, err
+		}
+		return &algebra.Like{L: l, R: r, Negate: t.Not}, nil
+
+	case *ast.InExpr:
+		arg, err := b.buildScalar(t.Arg, sc, ctx)
+		if err != nil {
+			return nil, err
+		}
+		if t.Query != nil {
+			sub, err := b.buildQuery(t.Query, sc)
+			if err != nil {
+				return nil, err
+			}
+			if len(sub.outCols) != 1 {
+				return nil, fmt.Errorf("algebrize: IN subquery must return one column, got %d", len(sub.outCols))
+			}
+			// x IN (Q)  ≡  x = ANY (Q);  x NOT IN (Q)  ≡  x <> ALL (Q)
+			if t.Not {
+				return &algebra.Quantified{Op: algebra.CmpNe, All: true, Arg: arg,
+					Input: sub.rel, Col: sub.outCols[0]}, nil
+			}
+			return &algebra.Quantified{Op: algebra.CmpEq, Arg: arg,
+				Input: sub.rel, Col: sub.outCols[0]}, nil
+		}
+		list := make([]algebra.Scalar, len(t.List))
+		for i, le := range t.List {
+			v, err := b.buildScalar(le, sc, ctx)
+			if err != nil {
+				return nil, err
+			}
+			list[i] = v
+		}
+		return &algebra.InList{Arg: arg, List: list, Negate: t.Not}, nil
+
+	case *ast.FuncCall:
+		if ctx != nil {
+			if col, ok := ctx.aggs[t]; ok {
+				return &algebra.ColRef{Col: col}, nil
+			}
+		}
+		if isAggName(t.Name) {
+			return nil, fmt.Errorf("algebrize: aggregate %s not allowed in this context", t.Name)
+		}
+		return nil, fmt.Errorf("algebrize: unknown function %q", t.Name)
+
+	case *ast.CaseExpr:
+		c := &algebra.Case{}
+		for _, w := range t.Whens {
+			cond, err := b.buildScalar(w.Cond, sc, ctx)
+			if err != nil {
+				return nil, err
+			}
+			then, err := b.buildScalar(w.Then, sc, ctx)
+			if err != nil {
+				return nil, err
+			}
+			c.Whens = append(c.Whens, algebra.When{Cond: cond, Then: then})
+		}
+		if t.Else != nil {
+			el, err := b.buildScalar(t.Else, sc, ctx)
+			if err != nil {
+				return nil, err
+			}
+			c.Else = el
+		}
+		return c, nil
+
+	case *ast.SubqueryExpr:
+		sub, err := b.buildQuery(t.Query, sc)
+		if err != nil {
+			return nil, err
+		}
+		if len(sub.outCols) != 1 {
+			return nil, fmt.Errorf("algebrize: scalar subquery must return one column, got %d", len(sub.outCols))
+		}
+		return &algebra.Subquery{Input: sub.rel, Col: sub.outCols[0]}, nil
+
+	case *ast.ExistsExpr:
+		sub, err := b.buildQuery(t.Query, sc)
+		if err != nil {
+			return nil, err
+		}
+		return &algebra.Exists{Input: sub.rel, Negate: t.Not}, nil
+
+	case *ast.QuantExpr:
+		arg, err := b.buildScalar(t.L, sc, ctx)
+		if err != nil {
+			return nil, err
+		}
+		sub, err := b.buildQuery(t.Query, sc)
+		if err != nil {
+			return nil, err
+		}
+		if len(sub.outCols) != 1 {
+			return nil, fmt.Errorf("algebrize: quantified subquery must return one column, got %d", len(sub.outCols))
+		}
+		var op algebra.CmpOp
+		switch t.Op {
+		case "=":
+			op = algebra.CmpEq
+		case "<>":
+			op = algebra.CmpNe
+		case "<":
+			op = algebra.CmpLt
+		case "<=":
+			op = algebra.CmpLe
+		case ">":
+			op = algebra.CmpGt
+		case ">=":
+			op = algebra.CmpGe
+		default:
+			return nil, fmt.Errorf("algebrize: bad quantified operator %q", t.Op)
+		}
+		return &algebra.Quantified{Op: op, All: t.All, Arg: arg,
+			Input: sub.rel, Col: sub.outCols[0]}, nil
+	}
+	return nil, fmt.Errorf("algebrize: unsupported expression %T", e)
+}
+
+// typeOf infers the result type of a compiled scalar.
+func (b *builder) typeOf(s algebra.Scalar) types.Kind {
+	switch t := s.(type) {
+	case *algebra.ColRef:
+		return b.md.Type(t.Col)
+	case *algebra.Const:
+		return t.Val.Kind()
+	case *algebra.Cmp, *algebra.And, *algebra.Or, *algebra.Not,
+		*algebra.IsNull, *algebra.Like, *algebra.InList,
+		*algebra.Exists, *algebra.Quantified:
+		return types.Bool
+	case *algebra.Arith:
+		lk, rk := b.typeOf(t.L), b.typeOf(t.R)
+		switch {
+		case lk == types.Date || rk == types.Date:
+			if lk == types.Date && rk == types.Date {
+				return types.Int
+			}
+			return types.Date
+		case lk == types.Float || rk == types.Float:
+			return types.Float
+		default:
+			return types.Int
+		}
+	case *algebra.Case:
+		for _, w := range t.Whens {
+			if k := b.typeOf(w.Then); k != types.Unknown {
+				return k
+			}
+		}
+		if t.Else != nil {
+			return b.typeOf(t.Else)
+		}
+		return types.Unknown
+	case *algebra.Subquery:
+		return b.md.Type(t.Col)
+	}
+	return types.Unknown
+}

@@ -1,0 +1,77 @@
+// Package algebrize translates the parser's AST into the logical
+// algebra of internal/algebra. Its output is the paper's §2.1 "direct
+// algebraic representation": a tree mixing relational and scalar
+// operators in which subqueries appear inside scalar expressions
+// (Figure 3). The mutual recursion is removed later by
+// internal/core.IntroduceApplies.
+package algebrize
+
+import (
+	"fmt"
+	"strings"
+
+	"orthoq/internal/algebra"
+)
+
+// scopeCol is one name binding visible to expression resolution.
+type scopeCol struct {
+	table string // qualifier (table alias), lower-cased; may be ""
+	name  string // column name, lower-cased
+	id    algebra.ColID
+}
+
+// scope is a lexical name-resolution environment. parent points at the
+// enclosing query's scope; resolving through it records a correlated
+// (outer) reference, which is what ultimately makes a subquery
+// correlated.
+type scope struct {
+	parent *scope
+	cols   []scopeCol
+}
+
+func (s *scope) add(table, name string, id algebra.ColID) {
+	s.cols = append(s.cols, scopeCol{
+		table: strings.ToLower(table),
+		name:  strings.ToLower(name),
+		id:    id,
+	})
+}
+
+// resolve finds the column for a possibly-qualified name, searching
+// enclosing scopes outward. It returns an error for unknown or
+// ambiguous names.
+func (s *scope) resolve(table, name string) (algebra.ColID, error) {
+	table = strings.ToLower(table)
+	name = strings.ToLower(name)
+	for cur := s; cur != nil; cur = cur.parent {
+		var found []algebra.ColID
+		for _, c := range cur.cols {
+			if c.name != name {
+				continue
+			}
+			if table != "" && c.table != table {
+				continue
+			}
+			found = append(found, c.id)
+		}
+		if len(found) == 1 {
+			return found[0], nil
+		}
+		if len(found) > 1 {
+			return 0, fmt.Errorf("ambiguous column %s", qualName(table, name))
+		}
+	}
+	return 0, fmt.Errorf("unknown column %s", qualName(table, name))
+}
+
+func qualName(table, name string) string {
+	if table != "" {
+		return table + "." + name
+	}
+	return name
+}
+
+// merge appends another scope's bindings (for join scopes).
+func (s *scope) merge(o *scope) {
+	s.cols = append(s.cols, o.cols...)
+}

@@ -1,0 +1,89 @@
+package bench
+
+import (
+	"io"
+	"strings"
+	"testing"
+)
+
+// tinyDB builds the smallest useful database so the harness smoke
+// tests stay fast.
+func tinyDB(t *testing.T) *DB {
+	t.Helper()
+	db, err := OpenDB(0.001, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestRunFigure1Smoke(t *testing.T) {
+	var sb strings.Builder
+	if err := RunFigure1(&sb, tinyDB(t), 1); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"correlated", "outerjoin+agg", "agg+join", "cost-based pick"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("figure1 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunFigure8Smoke(t *testing.T) {
+	if err := RunFigure8(io.Discard, tinyDB(t), 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunFigure9Smoke(t *testing.T) {
+	if err := RunFigure9(io.Discard, []float64{0.001}, 3, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunAblationsSmoke(t *testing.T) {
+	var sb strings.Builder
+	if err := RunAblations(&sb, tinyDB(t), 1); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "decorrelation") {
+		t.Errorf("ablation output:\n%s", sb.String())
+	}
+}
+
+// TestFigure1StrategiesAgree re-checks the harness's own result
+// verification logic at a different seed.
+func TestFigure1StrategiesAgree(t *testing.T) {
+	db, err := OpenDB(0.001, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sql := figure1SQL(500)
+	var fp string
+	for _, s := range Figure1Strategies() {
+		plan, err := s.Build(db, sql)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name, err)
+		}
+		got, err := plan.fingerprint(db)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name, err)
+		}
+		if fp == "" {
+			fp = got
+		} else if got != fp {
+			t.Errorf("%s disagrees with previous strategies", s.Name)
+		}
+	}
+}
+
+func TestSystemConfigsLadder(t *testing.T) {
+	systems := SystemConfigs()
+	if len(systems) < 5 {
+		t.Fatalf("expected the technique ladder, got %d systems", len(systems))
+	}
+	if systems[0].Name != "correlated-only" || systems[4].Name != "full-optimization" {
+		t.Errorf("ladder order: %s ... %s", systems[0].Name, systems[4].Name)
+	}
+}

@@ -1,0 +1,228 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"time"
+
+	"orthoq/internal/algebra"
+	"orthoq/internal/core"
+	"orthoq/internal/opt"
+)
+
+// figure1SQL is the paper's running example Q1 with a parameterized
+// threshold: customers who have ordered more than $threshold.
+func figure1SQL(threshold float64) string {
+	return fmt.Sprintf(`
+		select c_custkey
+		from customer
+		where %.0f <
+			(select sum(o_totalprice)
+			 from orders
+			 where o_custkey = c_custkey)`, threshold)
+}
+
+// Figure1Strategy is one box of the paper's Figure 1 lattice.
+type Figure1Strategy struct {
+	Name  string
+	Build func(db *DB, sql string) (*Plan, error)
+}
+
+// Figure1Strategies enumerates the execution strategies connected by
+// the paper's primitives.
+func Figure1Strategies() []Figure1Strategy {
+	return []Figure1Strategy{
+		{
+			// Straight correlated execution (Figure 2): per-customer
+			// scan of orders — the inner seek uses the o_custkey index,
+			// so this is also the "correlated index-lookup" plan.
+			Name: "correlated",
+			Build: func(db *DB, sql string) (*Plan, error) {
+				return compile(db, "correlated", sql, core.Options{KeepCorrelated: true}, nil)
+			},
+		},
+		{
+			// Dayal: outerjoin then aggregate (correlation removed,
+			// outerjoin NOT simplified).
+			Name: "outerjoin+agg",
+			Build: func(db *DB, sql string) (*Plan, error) {
+				return compile(db, "outerjoin+agg", sql, core.Options{KeepOuterJoins: true}, nil)
+			},
+		},
+		{
+			// Figure 5 normal form: join then aggregate.
+			Name: "join+agg",
+			Build: func(db *DB, sql string) (*Plan, error) {
+				return compile(db, "join+agg", sql, core.Options{}, nil)
+			},
+		},
+		{
+			// Kim: aggregate then join (GroupBy pushed below the join).
+			Name: "agg+join",
+			Build: func(db *DB, sql string) (*Plan, error) {
+				return compile(db, "agg+join", sql, core.Options{}, forceGroupByBelowJoin)
+			},
+		},
+		{
+			// Aggregate below the preserved outerjoin (§3.2).
+			Name: "agg+outerjoin",
+			Build: func(db *DB, sql string) (*Plan, error) {
+				return compile(db, "agg+outerjoin", sql, core.Options{KeepOuterJoins: true}, forceGroupByBelowJoin)
+			},
+		},
+		{
+			// Local/global split with the local aggregate pushed below
+			// the join (§3.3 eager aggregation).
+			Name: "localagg+join",
+			Build: func(db *DB, sql string) (*Plan, error) {
+				return compile(db, "localagg+join", sql, core.Options{}, forceLocalAggBelowJoin)
+			},
+		},
+	}
+}
+
+// forceGroupByBelowJoin applies the §3.1/3.2 push at the first
+// eligible GroupBy.
+func forceGroupByBelowJoin(md *algebra.Metadata, rel algebra.Rel) (algebra.Rel, error) {
+	applied := false
+	out := transformOnce(rel, func(n algebra.Rel) (algebra.Rel, bool) {
+		gb, ok := n.(*algebra.GroupBy)
+		if !ok || applied {
+			return nil, false
+		}
+		nr, ok := core.TryPushGroupByBelowJoin(md, gb)
+		if ok {
+			applied = true
+		}
+		return nr, ok
+	})
+	if !applied {
+		return nil, fmt.Errorf("GroupBy push below join not applicable")
+	}
+	return out, nil
+}
+
+// forceLocalAggBelowJoin splits the first eligible GroupBy and pushes
+// the local half below the join.
+func forceLocalAggBelowJoin(md *algebra.Metadata, rel algebra.Rel) (algebra.Rel, error) {
+	split := false
+	out := transformOnce(rel, func(n algebra.Rel) (algebra.Rel, bool) {
+		gb, ok := n.(*algebra.GroupBy)
+		if !ok || split {
+			return nil, false
+		}
+		nr, ok := core.TrySplitGroupBy(md, gb)
+		if ok {
+			split = true
+		}
+		return nr, ok
+	})
+	if !split {
+		return nil, fmt.Errorf("GroupBy split not applicable")
+	}
+	pushed := false
+	out = transformOnce(out, func(n algebra.Rel) (algebra.Rel, bool) {
+		lg, ok := n.(*algebra.GroupBy)
+		if !ok || lg.Kind != algebra.LocalGroupBy || pushed {
+			return nil, false
+		}
+		nr, ok := core.TryPushLocalGroupByBelowJoin(md, lg)
+		if ok {
+			pushed = true
+		}
+		return nr, ok
+	})
+	if !pushed {
+		return nil, fmt.Errorf("local GroupBy push not applicable")
+	}
+	return out, nil
+}
+
+// transformOnce rewrites the first node (pre-order) where f applies.
+func transformOnce(r algebra.Rel, f func(algebra.Rel) (algebra.Rel, bool)) algebra.Rel {
+	if nr, ok := f(r); ok {
+		return nr
+	}
+	ins := r.Inputs()
+	for i, c := range ins {
+		nc := transformOnce(c, f)
+		if nc != c {
+			kids := make([]algebra.Rel, len(ins))
+			copy(kids, ins)
+			kids[i] = nc
+			return r.WithInputs(kids)
+		}
+	}
+	return r
+}
+
+// Figure1Row is one measured strategy.
+type Figure1Row struct {
+	Strategy string
+	Rows     int
+	Elapsed  string
+	Note     string
+}
+
+// RunFigure1 forces every strategy for the running example at two
+// thresholds (selective and unselective HAVING) and times them; the
+// final row shows the cost-based optimizer's pick.
+func RunFigure1(w io.Writer, db *DB, reps int) error {
+	for _, scenario := range []struct {
+		name      string
+		threshold float64
+	}{
+		{"selective (1000000 < sum)", 1000000},
+		{"unselective (1000 < sum)", 1000},
+	} {
+		fmt.Fprintf(w, "\nFigure 1 — strategy lattice for Q1, %s, SF %g\n", scenario.name, db.SF)
+		sql := figure1SQL(scenario.threshold)
+		tbl := &table{header: []string{"strategy", "rows", "median time"}}
+		var fp string
+		for _, s := range Figure1Strategies() {
+			plan, err := s.Build(db, sql)
+			if err != nil {
+				tbl.add(s.Name, "-", "n/a: "+err.Error())
+				continue
+			}
+			got, err := plan.fingerprint(db)
+			if err != nil {
+				return err
+			}
+			if fp == "" {
+				fp = got
+			} else if fp != got {
+				return fmt.Errorf("strategy %s returns different results", s.Name)
+			}
+			var rows int
+			med, err := medianTime(reps, func() (time.Duration, error) {
+				r, d, err := plan.Execute(db)
+				rows = r
+				return d, err
+			})
+			if err != nil {
+				return err
+			}
+			tbl.add(s.Name, fmt.Sprint(rows), fmtDur(med))
+		}
+		// Cost-based pick.
+		plan, err := compile(db, "cost-based", sql, core.Options{}, nil)
+		if err != nil {
+			return err
+		}
+		chosen := optimize(db, plan, opt.Config{})
+		var rows int
+		med, err := medianTime(reps, func() (time.Duration, error) {
+			r, d, err := chosen.Execute(db)
+			rows = r
+			return d, err
+		})
+		if err != nil {
+			return err
+		}
+		tbl.add("cost-based pick", fmt.Sprint(rows), fmtDur(med))
+		tbl.write(w)
+	}
+	return nil
+}

@@ -1,0 +1,259 @@
+package core
+
+import (
+	"orthoq/internal/algebra"
+	"orthoq/internal/eval"
+	"orthoq/internal/sql/types"
+)
+
+// FoldConstants simplifies constant scalar subtrees and propagates
+// empty relations — the paper's §4 "detecting empty subexpressions"
+// normalization. A filter that folds to FALSE (or NULL) empties its
+// subtree; empty inputs collapse joins, aggregations and set
+// operations according to their semantics (scalar aggregation over an
+// empty input still produces its one agg(∅) row, §1.1).
+func FoldConstants(md *algebra.Metadata, r algebra.Rel) algebra.Rel {
+	return transformUp(r, func(n algebra.Rel) algebra.Rel {
+		n = foldNodeScalars(n)
+		return collapseEmpty(md, n)
+	})
+}
+
+// emptyRel reports whether the node is statically empty.
+func emptyRel(r algebra.Rel) bool {
+	v, ok := r.(*algebra.Values)
+	return ok && len(v.Rows) == 0
+}
+
+// emptyOf builds an empty relation with the node's output columns.
+func emptyOf(r algebra.Rel) algebra.Rel {
+	return &algebra.Values{Cols: algebra.OutputCols(r).Ordered()}
+}
+
+// foldNodeScalars folds the node's own scalar expressions.
+func foldNodeScalars(n algebra.Rel) algebra.Rel {
+	switch t := n.(type) {
+	case *algebra.Select:
+		if f := foldScalar(t.Filter); f != t.Filter {
+			return &algebra.Select{Input: t.Input, Filter: f}
+		}
+	case *algebra.Join:
+		if t.On != nil {
+			if f := foldScalar(t.On); f != t.On {
+				nj := *t
+				nj.On = f
+				return &nj
+			}
+		}
+	case *algebra.Project:
+		changed := false
+		items := make([]algebra.ProjItem, len(t.Items))
+		for i, it := range t.Items {
+			items[i] = it
+			if f := foldScalar(it.Expr); f != it.Expr {
+				items[i].Expr = f
+				changed = true
+			}
+		}
+		if changed {
+			return &algebra.Project{Input: t.Input, Passthrough: t.Passthrough, Items: items}
+		}
+	}
+	return n
+}
+
+// collapseEmpty applies the empty-propagation rules.
+func collapseEmpty(md *algebra.Metadata, n algebra.Rel) algebra.Rel {
+	switch t := n.(type) {
+	case *algebra.Select:
+		if emptyRel(t.Input) || isFalseConst(t.Filter) {
+			return emptyOf(t)
+		}
+	case *algebra.Project, *algebra.Sort, *algebra.RowNumber, *algebra.Max1Row:
+		if emptyRel(n.Inputs()[0]) {
+			return emptyOf(n)
+		}
+	case *algebra.Top:
+		if emptyRel(t.Input) || t.N <= 0 {
+			return emptyOf(t)
+		}
+	case *algebra.Join:
+		switch t.Kind {
+		case algebra.InnerJoin, algebra.CrossJoin:
+			if emptyRel(t.Left) || emptyRel(t.Right) || isFalseConst(t.On) {
+				return emptyOf(t)
+			}
+		case algebra.SemiJoin:
+			if emptyRel(t.Left) || emptyRel(t.Right) || isFalseConst(t.On) {
+				return emptyOf(t)
+			}
+		case algebra.AntiSemiJoin:
+			if emptyRel(t.Left) {
+				return emptyOf(t)
+			}
+			// Empty right (or an unsatisfiable predicate): every left
+			// row survives.
+			if emptyRel(t.Right) || isFalseConst(t.On) {
+				return t.Left
+			}
+		case algebra.LeftOuterJoin:
+			if emptyRel(t.Left) {
+				return emptyOf(t)
+			}
+			// Empty right: every left row padded with NULLs.
+			if emptyRel(t.Right) || isFalseConst(t.On) {
+				return padRight(md, t)
+			}
+		}
+	case *algebra.GroupBy:
+		if emptyRel(t.Input) && t.Kind != algebra.ScalarGroupBy {
+			return emptyOf(t)
+		}
+		// Scalar aggregation of an empty input still yields one row;
+		// leave it for the executor (it computes agg(∅)).
+	case *algebra.UnionAll:
+		if emptyRel(t.Left) && emptyRel(t.Right) {
+			return &algebra.Values{Cols: t.OutCols}
+		}
+	case *algebra.Difference:
+		if emptyRel(t.Left) {
+			return &algebra.Values{Cols: t.OutCols}
+		}
+	case *algebra.Apply:
+		if emptyRel(t.Left) {
+			return emptyOf(t)
+		}
+	}
+	return n
+}
+
+// padRight rewrites a LOJ with a statically empty inner side into a
+// projection of the left input with NULLs for the inner columns.
+func padRight(md *algebra.Metadata, j *algebra.Join) algebra.Rel {
+	p := &algebra.Project{Input: j.Left, Passthrough: algebra.OutputCols(j.Left)}
+	algebra.OutputCols(j.Right).ForEach(func(c algebra.ColID) {
+		p.Items = append(p.Items, algebra.ProjItem{
+			Col:  c,
+			Expr: &algebra.Const{Val: types.Null(md.Type(c))},
+		})
+	})
+	return p
+}
+
+var foldEvaluator = &eval.Evaluator{}
+
+// foldScalar folds constant subexpressions bottom-up. Division by zero
+// and other run-time errors are left unfolded so they surface (or not)
+// per the execution semantics.
+func foldScalar(s algebra.Scalar) algebra.Scalar {
+	if s == nil {
+		return nil
+	}
+	switch t := s.(type) {
+	case *algebra.Const, *algebra.ColRef:
+		return s
+	case *algebra.Cmp:
+		l, r := foldScalar(t.L), foldScalar(t.R)
+		if isConst(l) && isConst(r) {
+			if d, err := foldEvaluator.Eval(&algebra.Cmp{Op: t.Op, L: l, R: r}, eval.MapEnv{}); err == nil {
+				return &algebra.Const{Val: d}
+			}
+		}
+		if l != t.L || r != t.R {
+			return &algebra.Cmp{Op: t.Op, L: l, R: r}
+		}
+		return t
+	case *algebra.Arith:
+		l, r := foldScalar(t.L), foldScalar(t.R)
+		if isConst(l) && isConst(r) {
+			if d, err := foldEvaluator.Eval(&algebra.Arith{Op: t.Op, L: l, R: r}, eval.MapEnv{}); err == nil {
+				return &algebra.Const{Val: d}
+			}
+		}
+		if l != t.L || r != t.R {
+			return &algebra.Arith{Op: t.Op, L: l, R: r}
+		}
+		return t
+	case *algebra.Not:
+		a := foldScalar(t.Arg)
+		if isConst(a) {
+			if d, err := foldEvaluator.Eval(&algebra.Not{Arg: a}, eval.MapEnv{}); err == nil {
+				return &algebra.Const{Val: d}
+			}
+		}
+		if a != t.Arg {
+			return &algebra.Not{Arg: a}
+		}
+		return t
+	case *algebra.And:
+		var args []algebra.Scalar
+		for _, a := range t.Args {
+			fa := foldScalar(a)
+			if algebra.IsTrueConst(fa) {
+				continue
+			}
+			if isFalseConst(fa) {
+				return &algebra.Const{Val: types.NewBool(false)}
+			}
+			args = append(args, fa)
+		}
+		switch len(args) {
+		case 0:
+			return algebra.TrueScalar()
+		case 1:
+			return args[0]
+		}
+		return &algebra.And{Args: args}
+	case *algebra.Or:
+		var args []algebra.Scalar
+		for _, a := range t.Args {
+			fa := foldScalar(a)
+			if algebra.IsTrueConst(fa) {
+				return algebra.TrueScalar()
+			}
+			if isFalseConst(fa) {
+				continue
+			}
+			args = append(args, fa)
+		}
+		switch len(args) {
+		case 0:
+			return &algebra.Const{Val: types.NewBool(false)}
+		case 1:
+			return args[0]
+		}
+		return &algebra.Or{Args: args}
+	case *algebra.IsNull:
+		a := foldScalar(t.Arg)
+		if c, ok := a.(*algebra.Const); ok {
+			res := c.Val.IsNull()
+			if t.Negate {
+				res = !res
+			}
+			return &algebra.Const{Val: types.NewBool(res)}
+		}
+		if a != t.Arg {
+			return &algebra.IsNull{Arg: a, Negate: t.Negate}
+		}
+		return t
+	}
+	return s
+}
+
+func isConst(s algebra.Scalar) bool {
+	_, ok := s.(*algebra.Const)
+	return ok
+}
+
+// isFalseConst reports a literal FALSE or NULL predicate (both reject
+// every row in predicate position).
+func isFalseConst(s algebra.Scalar) bool {
+	c, ok := s.(*algebra.Const)
+	if !ok {
+		return false
+	}
+	if c.Val.IsNull() {
+		return true
+	}
+	return c.Val.Kind() == types.Bool && !c.Val.Bool()
+}

@@ -1,0 +1,175 @@
+package core
+
+import (
+	"orthoq/internal/algebra"
+)
+
+// matchRels reports whether two expressions are instances of the same
+// relational expression, differing only in column identities. On
+// success it returns the bijection from b's produced columns to a's.
+// This drives §3.4.1 SegmentApply detection (correlation removal
+// "frequently results in two almost identical expressions joined
+// together").
+func matchRels(md *algebra.Metadata, a, b algebra.Rel) (map[algebra.ColID]algebra.ColID, bool) {
+	remap := make(map[algebra.ColID]algebra.ColID)
+	if !matchInto(md, a, b, remap) {
+		return nil, false
+	}
+	return remap, true
+}
+
+func matchInto(md *algebra.Metadata, a, b algebra.Rel, remap map[algebra.ColID]algebra.ColID) bool {
+	switch ta := a.(type) {
+	case *algebra.Get:
+		tb, ok := b.(*algebra.Get)
+		if !ok || ta.Table != tb.Table || len(ta.Cols) != len(tb.Cols) {
+			return false
+		}
+		for i := range ta.Cols {
+			remap[tb.Cols[i]] = ta.Cols[i]
+		}
+		return true
+
+	case *algebra.Select:
+		tb, ok := b.(*algebra.Select)
+		if !ok || !matchInto(md, ta.Input, tb.Input, remap) {
+			return false
+		}
+		return scalarsMatch(ta.Filter, tb.Filter, remap)
+
+	case *algebra.Project:
+		tb, ok := b.(*algebra.Project)
+		if !ok || len(ta.Items) != len(tb.Items) || !matchInto(md, ta.Input, tb.Input, remap) {
+			return false
+		}
+		// Passthrough sets must correspond under the mapping.
+		mapped := algebra.ColSet{}
+		tb.Passthrough.ForEach(func(c algebra.ColID) {
+			mapped.Add(remapID(c, remap))
+		})
+		if !mapped.Equals(ta.Passthrough) {
+			return false
+		}
+		for i := range ta.Items {
+			if !scalarsMatch(ta.Items[i].Expr, tb.Items[i].Expr, remap) {
+				return false
+			}
+			remap[tb.Items[i].Col] = ta.Items[i].Col
+		}
+		return true
+
+	case *algebra.GroupBy:
+		tb, ok := b.(*algebra.GroupBy)
+		if !ok || ta.Kind != tb.Kind || len(ta.Aggs) != len(tb.Aggs) ||
+			!matchInto(md, ta.Input, tb.Input, remap) {
+			return false
+		}
+		mapped := algebra.ColSet{}
+		tb.GroupCols.ForEach(func(c algebra.ColID) {
+			mapped.Add(remapID(c, remap))
+		})
+		if !mapped.Equals(ta.GroupCols) {
+			return false
+		}
+		for i := range ta.Aggs {
+			aa, ab := ta.Aggs[i], tb.Aggs[i]
+			if aa.Func != ab.Func || aa.Distinct != ab.Distinct {
+				return false
+			}
+			if (aa.Arg == nil) != (ab.Arg == nil) {
+				return false
+			}
+			if aa.Arg != nil && !scalarsMatch(aa.Arg, ab.Arg, remap) {
+				return false
+			}
+			remap[ab.Col] = aa.Col
+		}
+		return true
+
+	case *algebra.Join:
+		tb, ok := b.(*algebra.Join)
+		if !ok || ta.Kind != tb.Kind ||
+			!matchInto(md, ta.Left, tb.Left, remap) ||
+			!matchInto(md, ta.Right, tb.Right, remap) {
+			return false
+		}
+		return scalarsMatch(ta.On, tb.On, remap)
+	}
+	return false
+}
+
+// scalarsMatch compares scalar trees with b's columns read through the
+// mapping; unmapped columns (outer references) must be identical.
+func scalarsMatch(a, b algebra.Scalar, remap map[algebra.ColID]algebra.ColID) bool {
+	if (a == nil) != (b == nil) {
+		return false
+	}
+	if a == nil {
+		return true
+	}
+	switch ta := a.(type) {
+	case *algebra.ColRef:
+		tb, ok := b.(*algebra.ColRef)
+		return ok && remapID(tb.Col, remap) == ta.Col
+	case *algebra.Const:
+		tb, ok := b.(*algebra.Const)
+		if !ok {
+			return false
+		}
+		if ta.Val.IsNull() || tb.Val.IsNull() {
+			return ta.Val.IsNull() == tb.Val.IsNull()
+		}
+		return ta.Val.Kind() == tb.Val.Kind() && ta.Val.String() == tb.Val.String()
+	case *algebra.Cmp:
+		tb, ok := b.(*algebra.Cmp)
+		return ok && ta.Op == tb.Op && scalarsMatch(ta.L, tb.L, remap) && scalarsMatch(ta.R, tb.R, remap)
+	case *algebra.And:
+		tb, ok := b.(*algebra.And)
+		return ok && scalarListMatch(ta.Args, tb.Args, remap)
+	case *algebra.Or:
+		tb, ok := b.(*algebra.Or)
+		return ok && scalarListMatch(ta.Args, tb.Args, remap)
+	case *algebra.Not:
+		tb, ok := b.(*algebra.Not)
+		return ok && scalarsMatch(ta.Arg, tb.Arg, remap)
+	case *algebra.Arith:
+		tb, ok := b.(*algebra.Arith)
+		return ok && ta.Op == tb.Op && scalarsMatch(ta.L, tb.L, remap) && scalarsMatch(ta.R, tb.R, remap)
+	case *algebra.IsNull:
+		tb, ok := b.(*algebra.IsNull)
+		return ok && ta.Negate == tb.Negate && scalarsMatch(ta.Arg, tb.Arg, remap)
+	case *algebra.Like:
+		tb, ok := b.(*algebra.Like)
+		return ok && ta.Negate == tb.Negate && scalarsMatch(ta.L, tb.L, remap) && scalarsMatch(ta.R, tb.R, remap)
+	case *algebra.InList:
+		tb, ok := b.(*algebra.InList)
+		return ok && ta.Negate == tb.Negate && scalarsMatch(ta.Arg, tb.Arg, remap) &&
+			scalarListMatch(ta.List, tb.List, remap)
+	case *algebra.Case:
+		tb, ok := b.(*algebra.Case)
+		if !ok || len(ta.Whens) != len(tb.Whens) {
+			return false
+		}
+		for i := range ta.Whens {
+			if !scalarsMatch(ta.Whens[i].Cond, tb.Whens[i].Cond, remap) ||
+				!scalarsMatch(ta.Whens[i].Then, tb.Whens[i].Then, remap) {
+				return false
+			}
+		}
+		return scalarsMatch(ta.Else, tb.Else, remap)
+	}
+	// Subqueries and quantifiers never match structurally.
+	return false
+}
+
+func scalarListMatch(a, b []algebra.Scalar, remap map[algebra.ColID]algebra.ColID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !scalarsMatch(a[i], b[i], remap) {
+			return false
+		}
+	}
+	return true
+}

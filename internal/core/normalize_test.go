@@ -1,0 +1,403 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"orthoq/internal/algebra"
+	"orthoq/internal/algebrize"
+	"orthoq/internal/sql/parser"
+	"orthoq/internal/sql/types"
+	"orthoq/internal/tpch"
+)
+
+// algebrizeSQL parses and algebrizes against the TPC-H schema.
+func algebrizeSQL(t *testing.T, sql string) (*algebrize.Result, *algebra.Metadata) {
+	t.Helper()
+	q, err := parser.Parse(sql)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	md := algebra.NewMetadata()
+	res, err := algebrize.Build(tpch.Schema(), md, q)
+	if err != nil {
+		t.Fatalf("algebrize: %v", err)
+	}
+	return res, md
+}
+
+const paperQ1 = `
+	select c_custkey
+	from customer
+	where 1000000 <
+		(select sum(o_totalprice)
+		 from orders
+		 where o_custkey = c_custkey)`
+
+// TestFigure2ApplyIntroduction checks that removing the mutual
+// recursion from the paper's Q1 produces exactly the Figure 2 tree:
+// Select over Apply(customer, SGb(Select(orders))).
+func TestFigure2ApplyIntroduction(t *testing.T) {
+	res, md := algebrizeSQL(t, paperQ1)
+	r, err := IntroduceApplies(md, res.Rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := algebra.FormatRel(md, r)
+	want := strings.Join([]string{
+		"Project [customer.c_custkey]",
+		"  Select [1000000 < sum]",
+		"    Apply (bind:customer.c_custkey)",
+		"      Get customer",
+		"      SGb aggs:[sum:=sum(orders.o_totalprice)]",
+		"        Select [orders.o_custkey = customer.c_custkey]",
+		"          Get orders",
+		"",
+	}, "\n")
+	if got != want {
+		t.Errorf("Figure 2 mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+	// No subqueries remain inside scalars.
+	algebra.VisitRel(r, func(n algebra.Rel) bool {
+		if s, ok := n.(*algebra.Select); ok && algebra.HasSubquery(s.Filter) {
+			t.Error("scalar still contains a relational subexpression")
+		}
+		return true
+	})
+}
+
+// TestFigure5CorrelationRemoval walks Q1 through the Figure 5
+// derivation: identity (9), then identity (2), then outerjoin
+// simplification, ending at GroupBy over inner join.
+func TestFigure5CorrelationRemoval(t *testing.T) {
+	res, md := algebrizeSQL(t, paperQ1)
+	r, err := Normalize(md, res.Rel, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := algebra.FormatRel(md, r)
+	want := strings.Join([]string{
+		"Project [customer.c_custkey]",
+		"  Select [1000000 < sum]",
+		"    Gb [customer.c_custkey, customer.c_name, customer.c_address, customer.c_nationkey, customer.c_phone, customer.c_acctbal, customer.c_mktsegment, customer.c_comment] aggs:[sum:=sum(orders.o_totalprice)]",
+		"      Join [orders.o_custkey = customer.c_custkey]",
+		"        Get customer",
+		"        Get orders",
+		"",
+	}, "\n")
+	if got != want {
+		t.Errorf("Figure 5 mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestNormalizeKeepsOuterJoinWithoutRejection: without a
+// null-rejecting filter the outerjoin must be preserved (Dayal's
+// strategy), since customers without orders need NULL aggregates.
+func TestNormalizeKeepsOuterJoinWithoutRejection(t *testing.T) {
+	res, md := algebrizeSQL(t, `
+		select c_custkey,
+			(select sum(o_totalprice) from orders where o_custkey = c_custkey) as total
+		from customer`)
+	r, err := Normalize(md, res.Rel, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lojs, inner int
+	algebra.VisitRel(r, func(n algebra.Rel) bool {
+		if j, ok := n.(*algebra.Join); ok {
+			switch j.Kind {
+			case algebra.LeftOuterJoin:
+				lojs++
+			case algebra.InnerJoin:
+				inner++
+			}
+		}
+		return true
+	})
+	if lojs != 1 || inner != 0 {
+		t.Errorf("want exactly one preserved LOJ, got loj=%d inner=%d:\n%s",
+			lojs, inner, algebra.FormatRel(md, r))
+	}
+}
+
+// TestCountStarDecorrelation: count(*) requires the identity (9)
+// aggregate adjustment — count over a non-nullable probe column — and
+// the count=0 case must survive (customers with no orders count 0, and
+// the filter count >= 0 keeps them, so the outerjoin must remain).
+func TestCountStarDecorrelation(t *testing.T) {
+	res, md := algebrizeSQL(t, `
+		select c_custkey,
+			(select count(*) from orders where o_custkey = c_custkey) as n
+		from customer`)
+	r, err := Normalize(md, res.Rel, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := algebra.FormatRel(md, r)
+	if !strings.Contains(plan, "LeftOuterJoin") {
+		t.Errorf("count(*) subquery needs preserved LOJ:\n%s", plan)
+	}
+	if !strings.Contains(plan, "count(orders.o_orderkey)") {
+		t.Errorf("count(*) must be redirected to a non-nullable inner column:\n%s", plan)
+	}
+	if strings.Contains(plan, "Apply") {
+		t.Errorf("apply not removed:\n%s", plan)
+	}
+}
+
+// TestExistsBecomesSemiJoin: the §2.4 special case — existential
+// subquery as a select conjunct turns into Apply-semijoin, then into a
+// plain semijoin after decorrelation.
+func TestExistsBecomesSemiJoin(t *testing.T) {
+	res, md := algebrizeSQL(t, `
+		select c_custkey from customer
+		where exists (select o_orderkey from orders where o_custkey = c_custkey)`)
+	r, err := Normalize(md, res.Rel, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := algebra.FormatRel(md, r)
+	if !strings.Contains(plan, "SemiJoin [orders.o_custkey = customer.c_custkey]") {
+		t.Errorf("want decorrelated semijoin:\n%s", plan)
+	}
+	if strings.Contains(plan, "Apply") {
+		t.Errorf("apply not removed:\n%s", plan)
+	}
+}
+
+func TestNotExistsBecomesAntiSemiJoin(t *testing.T) {
+	res, md := algebrizeSQL(t, `
+		select c_custkey from customer
+		where not exists (select o_orderkey from orders where o_custkey = c_custkey)`)
+	r, err := Normalize(md, res.Rel, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := algebra.FormatRel(md, r)
+	if !strings.Contains(plan, "AntiSemiJoin") {
+		t.Errorf("want antisemijoin:\n%s", plan)
+	}
+}
+
+func TestInSubqueryBecomesSemiJoin(t *testing.T) {
+	res, md := algebrizeSQL(t, `
+		select s_suppkey from supplier
+		where s_nationkey in (select n_nationkey from nation where n_name = 'FRANCE')`)
+	r, err := Normalize(md, res.Rel, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := algebra.FormatRel(md, r)
+	if !strings.Contains(plan, "SemiJoin [supplier.s_nationkey = nation.n_nationkey]") {
+		t.Errorf("IN should decorrelate to semijoin:\n%s", plan)
+	}
+}
+
+func TestNotInBecomesAntiSemiJoinWithNullGuards(t *testing.T) {
+	res, md := algebrizeSQL(t, `
+		select s_suppkey from supplier
+		where s_nationkey not in (select n_nationkey from nation)`)
+	r, err := Normalize(md, res.Rel, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := algebra.FormatRel(md, r)
+	if !strings.Contains(plan, "AntiSemiJoin") {
+		t.Errorf("NOT IN should become antisemijoin:\n%s", plan)
+	}
+	if !strings.Contains(plan, "IS NULL") {
+		t.Errorf("NOT IN antisemijoin predicate needs NULL guards:\n%s", plan)
+	}
+}
+
+// TestMax1RowPlacementAndElision: class 3 — a scalar subquery that may
+// return several rows gets Max1Row; reversing the roles so the inner
+// table is looked up by key elides it (paper §2.4).
+func TestMax1RowPlacementAndElision(t *testing.T) {
+	// Orders per customer: many rows possible -> Max1Row required.
+	res, md := algebrizeSQL(t, `
+		select c_name,
+			(select o_orderkey from orders where o_custkey = c_custkey) as ok
+		from customer`)
+	r, err := IntroduceApplies(md, res.Rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(algebra.FormatRel(md, r), "Max1Row") {
+		t.Errorf("expected Max1Row:\n%s", algebra.FormatRel(md, r))
+	}
+
+	// Customer per order: c_custkey is the key -> Max1Row elided.
+	res, md = algebrizeSQL(t, `
+		select o_orderkey,
+			(select c_name from customer where c_custkey = o_custkey) as cn
+		from orders`)
+	r, err = IntroduceApplies(md, res.Rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(algebra.FormatRel(md, r), "Max1Row") {
+		t.Errorf("Max1Row should be elided via key detection:\n%s", algebra.FormatRel(md, r))
+	}
+	// And the whole query decorrelates into an outer join (customer may
+	// be missing only if referential integrity is broken, but the
+	// optimizer cannot know that).
+	rn, err := Normalize(md, res.Rel, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := algebra.FormatRel(md, rn)
+	if strings.Contains(plan, "Apply") {
+		t.Errorf("key-elided scalar subquery should decorrelate:\n%s", plan)
+	}
+	if !strings.Contains(plan, "LeftOuterJoin") {
+		t.Errorf("scalar subquery needs LOJ to preserve orders:\n%s", plan)
+	}
+}
+
+// TestClass2StaysCorrelatedByDefault mirrors the paper's shipped
+// behavior: the §2.5 UNION ALL example keeps its Apply unless
+// RemoveClass2 is set.
+func TestClass2StaysCorrelatedByDefault(t *testing.T) {
+	const class2 = `
+		select ps_partkey
+		from partsupp
+		where 100 >
+			(select sum(s_acctbal) from
+				(select s_acctbal
+				 from supplier
+				 where s_suppkey = ps_suppkey
+				 union all
+				 select p_retailprice as s_acctbal
+				 from part
+				 where p_partkey = ps_partkey) as unionresult)`
+	res, md := algebrizeSQL(t, class2)
+	r, err := Normalize(md, res.Rel, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := algebra.FormatRel(md, r)
+	if !strings.Contains(plan, "Apply") {
+		t.Errorf("class-2 subquery should stay correlated by default:\n%s", plan)
+	}
+
+	// With the flag, identity (5) applies and the Apply disappears.
+	res2, md2 := algebrizeSQL(t, class2)
+	r2, err := Normalize(md2, res2.Rel, Options{RemoveClass2: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan2 := algebra.FormatRel(md2, r2)
+	if strings.Contains(plan2, "Apply") {
+		t.Errorf("RemoveClass2 should remove the union apply:\n%s", plan2)
+	}
+	if !strings.Contains(plan2, "UnionAll") {
+		t.Errorf("union must survive:\n%s", plan2)
+	}
+}
+
+// TestTPCHQ17Normalization: Q17's correlated aggregate over the second
+// lineitem instance decorrelates into GroupBy over a self-join; the
+// l_quantity < x filter rejects NULL so the outerjoin simplifies.
+func TestTPCHQ17Normalization(t *testing.T) {
+	res, md := algebrizeSQL(t, `
+		select sum(l_extendedprice) / 7.0 as avg_yearly
+		from lineitem, part
+		where p_partkey = l_partkey
+		  and p_brand = 'Brand#23'
+		  and p_container = 'MED BOX'
+		  and l_quantity < (
+			select 0.2 * avg(l_quantity)
+			from lineitem l2
+			where l2.l_partkey = part.p_partkey)`)
+	r, err := Normalize(md, res.Rel, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := algebra.FormatRel(md, r)
+	if strings.Contains(plan, "Apply") {
+		t.Errorf("Q17 should fully decorrelate:\n%s", plan)
+	}
+	if strings.Contains(plan, "LeftOuterJoin") {
+		t.Errorf("Q17's LOJ should simplify to join (l_quantity < x rejects NULL):\n%s", plan)
+	}
+	if !strings.Contains(plan, "avg(") {
+		t.Errorf("missing avg aggregate:\n%s", plan)
+	}
+}
+
+// TestUncorrelatedScalarSubquery: a parameter-free subquery becomes a
+// plain (cross) join by identity (1).
+func TestUncorrelatedScalarSubquery(t *testing.T) {
+	res, md := algebrizeSQL(t, `
+		select c_custkey from customer
+		where c_acctbal > (select avg(c_acctbal) from customer c2)`)
+	r, err := Normalize(md, res.Rel, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := algebra.FormatRel(md, r)
+	if strings.Contains(plan, "Apply") {
+		t.Errorf("uncorrelated subquery must become a join:\n%s", plan)
+	}
+	if !strings.Contains(plan, "CrossJoin") && !strings.Contains(plan, "Join") {
+		t.Errorf("expected a join:\n%s", plan)
+	}
+}
+
+// TestQuantifiedAllDecorrelates: p_retailprice > ALL (...) becomes an
+// antisemijoin with the 3VL-exact predicate.
+func TestQuantifiedAllDecorrelates(t *testing.T) {
+	res, md := algebrizeSQL(t, `
+		select p_partkey from part
+		where p_retailprice > all (select ps_supplycost from partsupp where ps_partkey = p_partkey)`)
+	r, err := Normalize(md, res.Rel, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := algebra.FormatRel(md, r)
+	if !strings.Contains(plan, "AntiSemiJoin") {
+		t.Errorf("ALL should become antisemijoin:\n%s", plan)
+	}
+	if strings.Contains(plan, "Apply") {
+		t.Errorf("should decorrelate:\n%s", plan)
+	}
+}
+
+// TestSelectPushdownThroughProject exercises predicate pushdown with
+// item inlining.
+func TestSelectPushdownThroughProject(t *testing.T) {
+	res, md := algebrizeSQL(t, `
+		select v from (select c_acctbal * 2 as v from customer) as d where v > 10`)
+	r, err := Normalize(md, res.Rel, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := algebra.FormatRel(md, r)
+	// The filter must sit below the Project, against the Get.
+	idxSel := strings.Index(plan, "Select")
+	idxProj := strings.Index(plan, "Project")
+	if idxSel < idxProj {
+		t.Errorf("filter should be pushed below the project:\n%s", plan)
+	}
+	if !strings.Contains(plan, "(customer.c_acctbal * 2) > 10") {
+		t.Errorf("inlined predicate missing:\n%s", plan)
+	}
+}
+
+// algebrizeSQLShared algebrizes additional SQL into an existing
+// metadata so tests can compose expressions.
+func algebrizeSQLShared(t *testing.T, md *algebra.Metadata, sql string) (*algebrize.Result, *algebra.Metadata) {
+	t.Helper()
+	q, err := parser.Parse(sql)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	res, err := algebrize.Build(tpch.Schema(), md, q)
+	if err != nil {
+		t.Fatalf("algebrize: %v", err)
+	}
+	return res, md
+}
+
+func mdFloat(v float64) types.Datum { return types.NewFloat(v) }

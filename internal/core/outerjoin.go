@@ -1,0 +1,146 @@
+package core
+
+import (
+	"orthoq/internal/algebra"
+	"orthoq/internal/eval"
+	"orthoq/internal/sql/types"
+)
+
+// StrictNull reports whether the scalar is guaranteed to evaluate to
+// NULL whenever all columns of set are NULL. A predicate that is
+// strict-null over an outerjoin's inner columns rejects NULL-padded
+// rows (NULL is not TRUE), which licenses simplifying the outerjoin to
+// a join (Galindo-Legaria & Rosenthal's framework, used in §1.2).
+func StrictNull(s algebra.Scalar, set algebra.ColSet) bool {
+	switch t := s.(type) {
+	case *algebra.ColRef:
+		return set.Contains(t.Col)
+	case *algebra.Cmp:
+		return StrictNull(t.L, set) || StrictNull(t.R, set)
+	case *algebra.Arith:
+		return StrictNull(t.L, set) || StrictNull(t.R, set)
+	case *algebra.Like:
+		return StrictNull(t.L, set) || StrictNull(t.R, set)
+	case *algebra.Not:
+		return StrictNull(t.Arg, set)
+	case *algebra.And:
+		// AND is NULL-or-FALSE when one arg is NULL; either way the
+		// row is rejected, so one strict arg suffices for rejection.
+		for _, a := range t.Args {
+			if StrictNull(a, set) {
+				return true
+			}
+		}
+		return false
+	}
+	return false
+}
+
+// NullRejects reports whether predicate p filters out rows in which
+// all columns of set are NULL.
+func NullRejects(p algebra.Scalar, set algebra.ColSet) bool {
+	for _, c := range algebra.Conjuncts(p) {
+		if StrictNull(c, set) {
+			return true
+		}
+	}
+	return false
+}
+
+// SimplifyOuterJoins converts left outerjoins to inner joins under
+// null-rejecting predicates. Beyond direct Select-over-LOJ patterns it
+// derives null-rejection through GroupBy (paper §1.2): a filter on an
+// aggregate result rejects the groups produced by unmatched outer rows
+// when the aggregate yields its empty-input value on them.
+func SimplifyOuterJoins(md *algebra.Metadata, r algebra.Rel) algebra.Rel {
+	return transformUp(r, func(n algebra.Rel) algebra.Rel {
+		sel, ok := n.(*algebra.Select)
+		if !ok {
+			return n
+		}
+		switch in := sel.Input.(type) {
+		case *algebra.Join:
+			if in.Kind == algebra.LeftOuterJoin &&
+				NullRejects(sel.Filter, algebra.OutputCols(in.Right)) {
+				nj := *in
+				nj.Kind = algebra.InnerJoin
+				return &algebra.Select{Input: &nj, Filter: sel.Filter}
+			}
+		case *algebra.GroupBy:
+			if nj, ok := simplifyThroughGroupBy(md, sel.Filter, in); ok {
+				return &algebra.Select{Input: nj, Filter: sel.Filter}
+			}
+		}
+		return n
+	})
+}
+
+// simplifyThroughGroupBy checks whether a filter above a GroupBy over a
+// left outerjoin rejects exactly the groups that unmatched outer rows
+// produce, and if so returns the GroupBy over the simplified join.
+//
+// Structural requirements (mirroring identity (9)'s shape): the
+// grouping columns include a key of the join's preserved side and the
+// aggregate arguments use only inner-side columns, so each unmatched
+// row forms a singleton group whose aggregates equal agg(∅).
+func simplifyThroughGroupBy(md *algebra.Metadata, filter algebra.Scalar, gb *algebra.GroupBy) (algebra.Rel, bool) {
+	j, ok := gb.Input.(*algebra.Join)
+	if !ok || j.Kind != algebra.LeftOuterJoin {
+		return nil, false
+	}
+	if gb.Kind != algebra.VectorGroupBy {
+		return nil, false
+	}
+	leftKey, ok := algebra.KeyCols(j.Left)
+	if !ok || !leftKey.SubsetOf(gb.GroupCols) {
+		return nil, false
+	}
+	rightCols := algebra.OutputCols(j.Right)
+	var aggCols, nullOnEmpty algebra.ColSet
+	for _, a := range gb.Aggs {
+		if a.Arg != nil && !algebra.ScalarCols(a.Arg).SubsetOf(rightCols) {
+			return nil, false
+		}
+		aggCols.Add(a.Col)
+		if a.Func.NullOnEmpty() {
+			nullOnEmpty.Add(a.Col)
+		}
+	}
+	if !rejectsEmptyGroups(filter, gb, aggCols, nullOnEmpty) {
+		return nil, false
+	}
+	nj := *j
+	nj.Kind = algebra.InnerJoin
+	ngb := *gb
+	ngb.Input = &nj
+	return &ngb, true
+}
+
+// rejectsEmptyGroups reports whether some conjunct of filter rejects a
+// group whose aggregates hold their empty-input values: either the
+// conjunct is strict-null over NULL-on-empty aggregates, or it
+// references only aggregate columns and evaluates to not-TRUE on the
+// empty-input values (covering count(*) = 0, which is non-NULL).
+func rejectsEmptyGroups(filter algebra.Scalar, gb *algebra.GroupBy, aggCols, nullOnEmpty algebra.ColSet) bool {
+	env := make(eval.MapEnv, len(gb.Aggs))
+	for _, a := range gb.Aggs {
+		if a.Func.NullOnEmpty() {
+			env[a.Col] = types.NullUnknown
+		} else {
+			env[a.Col] = types.NewInt(0)
+		}
+	}
+	ev := &eval.Evaluator{}
+	for _, c := range algebra.Conjuncts(filter) {
+		if StrictNull(c, nullOnEmpty) {
+			return true
+		}
+		if algebra.ScalarCols(c).SubsetOf(aggCols) && !algebra.HasSubquery(c) {
+			v, err := ev.EvalBool(c, env)
+			if err == nil && v != types.TriTrue {
+				return true
+			}
+		}
+	}
+	return false
+}

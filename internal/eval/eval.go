@@ -1,0 +1,218 @@
+// Package eval evaluates algebra scalar expressions over an
+// environment binding column IDs to datums. It implements SQL
+// three-valued logic and is shared by the execution engine (filters,
+// projections), the normalizer (null-rejection analysis evaluates
+// predicates on synthesized rows), and constant folding.
+package eval
+
+import (
+	"fmt"
+
+	"orthoq/internal/algebra"
+	"orthoq/internal/sql/types"
+)
+
+// Env supplies column values during evaluation.
+type Env interface {
+	// Value returns the datum bound to col. ok=false means the column
+	// is not bound (an evaluation error for well-formed plans).
+	Value(col algebra.ColID) (types.Datum, bool)
+}
+
+// MapEnv is an Env over a map.
+type MapEnv map[algebra.ColID]types.Datum
+
+// Value implements Env.
+func (m MapEnv) Value(c algebra.ColID) (types.Datum, bool) {
+	d, ok := m[c]
+	return d, ok
+}
+
+// SubqueryHandler evaluates relational subexpressions reached during
+// scalar evaluation (Subquery/Exists/Quantified nodes). The normalizer
+// removes these before execution, so the executor installs a handler
+// that fails; tests may install real handlers.
+type SubqueryHandler func(s algebra.Scalar, env Env) (types.Datum, error)
+
+// Evaluator evaluates scalars.
+type Evaluator struct {
+	// OnSubquery handles nested relational nodes; nil means they are an
+	// error.
+	OnSubquery SubqueryHandler
+}
+
+// Eval computes the value of s under env.
+func (ev *Evaluator) Eval(s algebra.Scalar, env Env) (types.Datum, error) {
+	switch t := s.(type) {
+	case *algebra.ColRef:
+		d, ok := env.Value(t.Col)
+		if !ok {
+			return types.NullUnknown, fmt.Errorf("eval: unbound column %d", t.Col)
+		}
+		return d, nil
+
+	case *algebra.Const:
+		return t.Val, nil
+
+	case *algebra.Cmp:
+		l, err := ev.Eval(t.L, env)
+		if err != nil {
+			return types.NullUnknown, err
+		}
+		r, err := ev.Eval(t.R, env)
+		if err != nil {
+			return types.NullUnknown, err
+		}
+		return triDatum(types.CompareSQL(l, r, t.Op.Test)), nil
+
+	case *algebra.And:
+		acc := types.TriTrue
+		for _, a := range t.Args {
+			v, err := ev.EvalBool(a, env)
+			if err != nil {
+				return types.NullUnknown, err
+			}
+			acc = acc.And(v)
+			if acc == types.TriFalse {
+				break
+			}
+		}
+		return triDatum(acc), nil
+
+	case *algebra.Or:
+		acc := types.TriFalse
+		for _, a := range t.Args {
+			v, err := ev.EvalBool(a, env)
+			if err != nil {
+				return types.NullUnknown, err
+			}
+			acc = acc.Or(v)
+			if acc == types.TriTrue {
+				break
+			}
+		}
+		return triDatum(acc), nil
+
+	case *algebra.Not:
+		v, err := ev.EvalBool(t.Arg, env)
+		if err != nil {
+			return types.NullUnknown, err
+		}
+		return triDatum(v.Not()), nil
+
+	case *algebra.Arith:
+		l, err := ev.Eval(t.L, env)
+		if err != nil {
+			return types.NullUnknown, err
+		}
+		r, err := ev.Eval(t.R, env)
+		if err != nil {
+			return types.NullUnknown, err
+		}
+		return types.Arith(t.Op, l, r)
+
+	case *algebra.IsNull:
+		v, err := ev.Eval(t.Arg, env)
+		if err != nil {
+			return types.NullUnknown, err
+		}
+		res := v.IsNull()
+		if t.Negate {
+			res = !res
+		}
+		return types.NewBool(res), nil
+
+	case *algebra.Like:
+		l, err := ev.Eval(t.L, env)
+		if err != nil {
+			return types.NullUnknown, err
+		}
+		r, err := ev.Eval(t.R, env)
+		if err != nil {
+			return types.NullUnknown, err
+		}
+		tv := types.Like(l, r)
+		if t.Negate {
+			tv = tv.Not()
+		}
+		return triDatum(tv), nil
+
+	case *algebra.InList:
+		arg, err := ev.Eval(t.Arg, env)
+		if err != nil {
+			return types.NullUnknown, err
+		}
+		// SQL IN list: TRUE if any equal; NULL if no match but a NULL
+		// operand was seen; FALSE otherwise.
+		acc := types.TriFalse
+		for _, le := range t.List {
+			v, err := ev.Eval(le, env)
+			if err != nil {
+				return types.NullUnknown, err
+			}
+			acc = acc.Or(types.CompareSQL(arg, v, algebra.CmpEq.Test))
+			if acc == types.TriTrue {
+				break
+			}
+		}
+		if t.Negate {
+			acc = acc.Not()
+		}
+		return triDatum(acc), nil
+
+	case *algebra.Case:
+		for _, w := range t.Whens {
+			c, err := ev.EvalBool(w.Cond, env)
+			if err != nil {
+				return types.NullUnknown, err
+			}
+			if c == types.TriTrue {
+				return ev.Eval(w.Then, env)
+			}
+		}
+		if t.Else != nil {
+			return ev.Eval(t.Else, env)
+		}
+		return types.NullUnknown, nil
+
+	case *algebra.Subquery, *algebra.Exists, *algebra.Quantified:
+		if ev.OnSubquery == nil {
+			return types.NullUnknown, fmt.Errorf("eval: unexpected relational subexpression %T (normalization should have removed it)", s)
+		}
+		return ev.OnSubquery(s, env)
+	}
+	return types.NullUnknown, fmt.Errorf("eval: unhandled scalar %T", s)
+}
+
+// EvalBool evaluates s as a predicate under 3VL.
+func (ev *Evaluator) EvalBool(s algebra.Scalar, env Env) (types.TriBool, error) {
+	d, err := ev.Eval(s, env)
+	if err != nil {
+		return types.TriNull, err
+	}
+	return DatumTri(d), nil
+}
+
+// DatumTri converts a (possibly NULL) boolean datum to TriBool.
+func DatumTri(d types.Datum) types.TriBool {
+	if d.IsNull() {
+		return types.TriNull
+	}
+	if d.Kind() == types.Bool {
+		return types.TriOf(d.Bool())
+	}
+	// Non-boolean non-null is truthy only if it is a nonzero number;
+	// well-typed plans do not hit this.
+	return types.TriOf(!d.IsNull())
+}
+
+func triDatum(t types.TriBool) types.Datum {
+	switch t {
+	case types.TriTrue:
+		return types.NewBool(true)
+	case types.TriFalse:
+		return types.NewBool(false)
+	default:
+		return types.Null(types.Bool)
+	}
+}

@@ -1,0 +1,197 @@
+package exec
+
+import (
+	"fmt"
+
+	"orthoq/internal/algebra"
+)
+
+// compile lowers a logical operator tree to an iterator tree,
+// wrapping each operator in a statistics collector when tracing is
+// enabled.
+func compile(ctx *Context, rel algebra.Rel) (*node, error) {
+	n, err := compileNode(ctx, rel)
+	if err != nil || ctx.trace == nil {
+		return n, err
+	}
+	st, ok := ctx.trace[rel]
+	if !ok {
+		st = &OpStats{}
+		ctx.trace[rel] = st
+	}
+	return newNode(&traceIter{in: n.it, st: st}, n.cols), nil
+}
+
+func compileNode(ctx *Context, rel algebra.Rel) (*node, error) {
+	switch t := rel.(type) {
+	case *algebra.Get:
+		return compileGet(ctx, t, nil)
+
+	case *algebra.Select:
+		// Select over Get: chance for an index seek when equality
+		// conjuncts bind indexed columns with outer values.
+		if g, ok := t.Input.(*algebra.Get); ok {
+			return compileGet(ctx, g, t.Filter)
+		}
+		in, err := compile(ctx, t.Input)
+		if err != nil {
+			return nil, err
+		}
+		return newNode(&filterIter{ctx: ctx, in: in, pred: t.Filter}, in.cols), nil
+
+	case *algebra.Project:
+		in, err := compile(ctx, t.Input)
+		if err != nil {
+			return nil, err
+		}
+		cols := append([]algebra.ColID(nil), t.Passthrough.Ordered()...)
+		for _, it := range t.Items {
+			cols = append(cols, it.Col)
+		}
+		return newNode(&projectIter{ctx: ctx, in: in, proj: t, cols: cols}, cols), nil
+
+	case *algebra.Join:
+		return compileJoin(ctx, t)
+
+	case *algebra.Apply:
+		return compileApply(ctx, t)
+
+	case *algebra.GroupBy:
+		in, err := compile(ctx, t.Input)
+		if err != nil {
+			return nil, err
+		}
+		cols := append([]algebra.ColID(nil), t.GroupCols.Ordered()...)
+		for _, a := range t.Aggs {
+			cols = append(cols, a.Col)
+		}
+		return newNode(&hashAggIter{ctx: ctx, in: in, gb: t, cols: cols}, cols), nil
+
+	case *algebra.SegmentApply:
+		return compileSegmentApply(ctx, t)
+
+	case *algebra.SegmentRef:
+		if len(ctx.segStack) == 0 {
+			return nil, fmt.Errorf("exec: SegmentRef outside SegmentApply scope")
+		}
+		owner := ctx.segStack[len(ctx.segStack)-1]
+		return newNode(&segmentRefIter{ctx: ctx, owner: owner}, t.Cols), nil
+
+	case *algebra.Max1Row:
+		in, err := compile(ctx, t.Input)
+		if err != nil {
+			return nil, err
+		}
+		return newNode(&max1RowIter{in: in}, in.cols), nil
+
+	case *algebra.UnionAll:
+		return compileUnion(ctx, t)
+
+	case *algebra.Difference:
+		return compileDifference(ctx, t)
+
+	case *algebra.Values:
+		return newNode(&valuesIter{ctx: ctx, v: t}, t.Cols), nil
+
+	case *algebra.Sort:
+		in, err := compile(ctx, t.Input)
+		if err != nil {
+			return nil, err
+		}
+		return newNode(&sortIter{ctx: ctx, in: in, by: t.By}, in.cols), nil
+
+	case *algebra.Top:
+		in, err := compile(ctx, t.Input)
+		if err != nil {
+			return nil, err
+		}
+		return newNode(&topIter{in: in, n: t.N}, in.cols), nil
+
+	case *algebra.RowNumber:
+		in, err := compile(ctx, t.Input)
+		if err != nil {
+			return nil, err
+		}
+		cols := append(append([]algebra.ColID(nil), in.cols...), t.Col)
+		return newNode(&rowNumberIter{in: in}, cols), nil
+	}
+	return nil, fmt.Errorf("exec: cannot compile %T", rel)
+}
+
+func compileUnion(ctx *Context, u *algebra.UnionAll) (*node, error) {
+	l, err := compile(ctx, u.Left)
+	if err != nil {
+		return nil, err
+	}
+	r, err := compile(ctx, u.Right)
+	if err != nil {
+		return nil, err
+	}
+	lsel, err := selectOrds(l, u.LeftCols)
+	if err != nil {
+		return nil, err
+	}
+	rsel, err := selectOrds(r, u.RightCols)
+	if err != nil {
+		return nil, err
+	}
+	return newNode(&unionIter{l: l, r: r, lsel: lsel, rsel: rsel}, u.OutCols), nil
+}
+
+func compileDifference(ctx *Context, d *algebra.Difference) (*node, error) {
+	l, err := compile(ctx, d.Left)
+	if err != nil {
+		return nil, err
+	}
+	r, err := compile(ctx, d.Right)
+	if err != nil {
+		return nil, err
+	}
+	lsel, err := selectOrds(l, d.LeftCols)
+	if err != nil {
+		return nil, err
+	}
+	rsel, err := selectOrds(r, d.RightCols)
+	if err != nil {
+		return nil, err
+	}
+	return newNode(&differenceIter{l: l, r: r, lsel: lsel, rsel: rsel}, d.OutCols), nil
+}
+
+func selectOrds(n *node, cols []algebra.ColID) ([]int, error) {
+	sel := make([]int, len(cols))
+	for i, c := range cols {
+		o, ok := n.ords[c]
+		if !ok {
+			return nil, fmt.Errorf("exec: column %d not in input", c)
+		}
+		sel[i] = o
+	}
+	return sel, nil
+}
+
+func compileSegmentApply(ctx *Context, sa *algebra.SegmentApply) (*node, error) {
+	in, err := compile(ctx, sa.Input)
+	if err != nil {
+		return nil, err
+	}
+	ctx.segStack = append(ctx.segStack, sa)
+	inner, err := compile(ctx, sa.Inner)
+	ctx.segStack = ctx.segStack[:len(ctx.segStack)-1]
+	if err != nil {
+		return nil, err
+	}
+	inSel, err := selectOrds(in, sa.InputCols)
+	if err != nil {
+		return nil, err
+	}
+	var segOrds []int
+	for i, c := range sa.InputCols {
+		if sa.SegmentCols.Contains(c) {
+			segOrds = append(segOrds, i)
+		}
+	}
+	return newNode(&segmentApplyIter{
+		ctx: ctx, sa: sa, in: in, inner: inner, inSel: inSel, segOrds: segOrds,
+	}, inner.cols), nil
+}

@@ -1,0 +1,181 @@
+// Package exec is the execution engine: it compiles logical algebra
+// trees into pull-based (Volcano-style) iterator trees over the
+// in-memory store and runs them.
+//
+// Physical algorithm selection mirrors the cost model in internal/opt:
+// joins with extractable equality keys run as hash joins, other joins
+// as nested loops; Apply runs as correlated nested loops whose inner
+// side re-opens per outer row, using index seeks when the correlated
+// predicate binds an indexed column (the classic index-lookup-join);
+// aggregation is hash-based; SegmentApply partitions its input and
+// evaluates the inner expression once per segment (paper §3.4).
+package exec
+
+import (
+	"fmt"
+
+	"orthoq/internal/algebra"
+	"orthoq/internal/eval"
+	"orthoq/internal/sql/types"
+	"orthoq/internal/storage"
+)
+
+// Context carries run-time state shared by the iterator tree.
+type Context struct {
+	Store *storage.Store
+	Md    *algebra.Metadata
+
+	// params holds correlation bindings installed by Apply iterators.
+	params eval.MapEnv
+	// segments holds the current segment rows per SegmentApply scope.
+	segments map[*algebra.SegmentApply]*segmentBinding
+	// segStack tracks the enclosing SegmentApply scopes during
+	// compilation so SegmentRefs bind to their owner.
+	segStack []*algebra.SegmentApply
+	// evaluator shared across operators.
+	ev *eval.Evaluator
+	// RowBudget, when positive, aborts execution after this many
+	// operator-row productions — a guard for runaway plans in tests.
+	RowBudget int64
+	produced  int64
+	// trace, when non-nil, collects per-operator statistics keyed by
+	// the logical node (see EnableTrace / FormatTrace).
+	trace map[algebra.Rel]*OpStats
+}
+
+type segmentBinding struct {
+	cols []algebra.ColID
+	rows []types.Row
+}
+
+// NewContext creates an execution context.
+func NewContext(store *storage.Store, md *algebra.Metadata) *Context {
+	ctx := &Context{
+		Store:    store,
+		Md:       md,
+		params:   make(eval.MapEnv),
+		segments: make(map[*algebra.SegmentApply]*segmentBinding),
+	}
+	ctx.ev = &eval.Evaluator{}
+	return ctx
+}
+
+func (c *Context) charge() error {
+	if c.RowBudget > 0 {
+		c.produced++
+		if c.produced > c.RowBudget {
+			return fmt.Errorf("exec: row budget exceeded (%d)", c.RowBudget)
+		}
+	}
+	return nil
+}
+
+// iterator is the Volcano operator interface.
+type iterator interface {
+	// Open prepares the iterator; it may be called again after Close to
+	// re-execute (Apply re-opens its inner side per outer row).
+	Open() error
+	// Next returns the next row, or ok=false at end of stream.
+	Next() (types.Row, bool, error)
+	Close() error
+}
+
+// node is a compiled operator: an iterator plus its output layout.
+type node struct {
+	it   iterator
+	cols []algebra.ColID
+	ords map[algebra.ColID]int
+}
+
+func newNode(it iterator, cols []algebra.ColID) *node {
+	ords := make(map[algebra.ColID]int, len(cols))
+	for i, c := range cols {
+		ords[c] = i
+	}
+	return &node{it: it, cols: cols, ords: ords}
+}
+
+// rowEnv resolves scalar column references against the current row of
+// a node, falling back to correlation parameters.
+type rowEnv struct {
+	ctx  *Context
+	ords map[algebra.ColID]int
+	row  types.Row
+}
+
+// Value implements eval.Env.
+func (e *rowEnv) Value(c algebra.ColID) (types.Datum, bool) {
+	if i, ok := e.ords[c]; ok {
+		return e.row[i], true
+	}
+	d, ok := e.ctx.params[c]
+	return d, ok
+}
+
+// combinedEnv resolves against two nodes' rows (join predicates).
+type combinedEnv struct {
+	ctx          *Context
+	lords, rords map[algebra.ColID]int
+	lrow, rrow   types.Row
+}
+
+// Value implements eval.Env.
+func (e *combinedEnv) Value(c algebra.ColID) (types.Datum, bool) {
+	if i, ok := e.lords[c]; ok {
+		return e.lrow[i], true
+	}
+	if i, ok := e.rords[c]; ok {
+		return e.rrow[i], true
+	}
+	d, ok := e.ctx.params[c]
+	return d, ok
+}
+
+// Result is a fully materialized query result.
+type Result struct {
+	Cols  []algebra.ColID
+	Names []string
+	Rows  []types.Row
+}
+
+// Run compiles and executes the plan, materializing all rows. outCols
+// selects and orders the result columns (nil = plan output order).
+func Run(ctx *Context, rel algebra.Rel, outCols []algebra.ColID) (*Result, error) {
+	n, err := compile(ctx, rel)
+	if err != nil {
+		return nil, err
+	}
+	if outCols == nil {
+		outCols = n.cols
+	}
+	sel := make([]int, len(outCols))
+	for i, c := range outCols {
+		o, ok := n.ords[c]
+		if !ok {
+			return nil, fmt.Errorf("exec: output column %d (%s) not produced by plan", c, ctx.Md.Alias(c))
+		}
+		sel[i] = o
+	}
+	if err := n.it.Open(); err != nil {
+		return nil, err
+	}
+	defer n.it.Close()
+	res := &Result{Cols: outCols}
+	for _, c := range outCols {
+		res.Names = append(res.Names, ctx.Md.Alias(c))
+	}
+	for {
+		row, ok, err := n.it.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return res, nil
+		}
+		out := make(types.Row, len(sel))
+		for i, o := range sel {
+			out[i] = row[o]
+		}
+		res.Rows = append(res.Rows, out)
+	}
+}

@@ -1,0 +1,514 @@
+package exec
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+
+	"orthoq/internal/algebra"
+	"orthoq/internal/algebrize"
+	"orthoq/internal/core"
+	"orthoq/internal/sql/parser"
+	"orthoq/internal/sql/types"
+	"orthoq/internal/storage"
+	"orthoq/internal/tpch"
+)
+
+// testDB loads a small deterministic dataset into the TPC-H schema.
+func testDB(t testing.TB) *storage.Store {
+	t.Helper()
+	st := freshStore()
+	mustLoad(t, st, "region", [][]any{
+		{0, "AFRICA", "r0"},
+		{1, "EUROPE", "r1"},
+	})
+	mustLoad(t, st, "nation", [][]any{
+		{0, "ALGERIA", 0, "n0"},
+		{1, "FRANCE", 1, "n1"},
+		{2, "GERMANY", 1, "n2"},
+	})
+	mustLoad(t, st, "supplier", [][]any{
+		{1, "s1", "addr", 1, "p", 100.0, "c"},
+		{2, "s2", "addr", 2, "p", -10.0, "c"},
+		{3, "s3", "addr", 0, "p", 50.0, "c"},
+	})
+	mustLoad(t, st, "customer", [][]any{
+		{1, "alice", "a", 1, "p", 100.0, "BUILDING", "c"},
+		{2, "bob", "b", 1, "p", 200.0, "AUTOMOBILE", "c"},
+		{3, "carol", "c", 2, "p", 300.0, "BUILDING", "c"},
+		{4, "dave", "d", 0, "p", -5.0, "MACHINERY", "c"},
+	})
+	mustLoad(t, st, "orders", [][]any{
+		{10, 1, "O", 500.0, d("1995-01-01"), "1-URGENT", "clerk", 0, "o"},
+		{11, 1, "F", 700.0, d("1995-02-01"), "2-HIGH", "clerk", 0, "o"},
+		{12, 2, "O", 2000000.0, d("1995-03-01"), "1-URGENT", "clerk", 0, "o"},
+		{13, 3, "F", 100.0, d("1995-04-01"), "3-MEDIUM", "clerk", 0, "o"},
+	})
+	mustLoad(t, st, "part", [][]any{
+		{100, "green part", "m1", "Brand#23", "T1", 5, "MED BOX", 10.0, "p"},
+		{101, "red part", "m2", "Brand#13", "T2", 7, "LG BOX", 20.0, "p"},
+	})
+	mustLoad(t, st, "partsupp", [][]any{
+		{100, 1, 10, 5.0, "ps"},
+		{100, 2, 20, 3.0, "ps"},
+		{101, 2, 30, 8.0, "ps"},
+	})
+	mustLoad(t, st, "lineitem", [][]any{
+		// orderkey, partkey, suppkey, linenumber, qty, extprice, disc, tax,
+		// rf, ls, ship, commit, receipt, instruct, mode, comment
+		{10, 100, 1, 1, 1.0, 100.0, 0.0, 0.0, "N", "O", d("1995-01-02"), d("1995-01-03"), d("1995-01-04"), "i", "AIR", "l"},
+		{10, 100, 2, 2, 10.0, 900.0, 0.0, 0.0, "N", "O", d("1995-01-02"), d("1995-01-03"), d("1995-01-04"), "i", "AIR", "l"},
+		{11, 100, 1, 1, 20.0, 1800.0, 0.0, 0.0, "N", "O", d("1995-02-02"), d("1995-02-03"), d("1995-02-04"), "i", "SHIP", "l"},
+		{12, 101, 2, 1, 7.0, 700.0, 0.0, 0.0, "R", "F", d("1995-03-02"), d("1995-03-03"), d("1995-03-04"), "i", "MAIL", "l"},
+		{13, 101, 2, 1, 3.0, 300.0, 0.0, 0.0, "A", "F", d("1995-04-02"), d("1995-04-03"), d("1995-04-04"), "i", "RAIL", "l"},
+	})
+	return st
+}
+
+func freshStore() *storage.Store {
+	cat := tpch.Schema()
+	// Catalog already holds all tables; create a store that shares the
+	// schemas and allocates storage per table.
+	st := storage.NewFromCatalog(cat)
+	return st
+}
+
+func d(s string) types.Datum { return types.MustDate(s) }
+
+func mustLoad(t testing.TB, st *storage.Store, table string, rows [][]any) {
+	t.Helper()
+	tbl, ok := st.Table(table)
+	if !ok {
+		t.Fatalf("no table %s", table)
+	}
+	for _, r := range rows {
+		row := make(types.Row, len(r))
+		for i, v := range r {
+			switch x := v.(type) {
+			case int:
+				row[i] = types.NewInt(int64(x))
+			case float64:
+				row[i] = types.NewFloat(x)
+			case string:
+				row[i] = types.NewString(x)
+			case types.Datum:
+				row[i] = x
+			case nil:
+				row[i] = types.NullUnknown
+			default:
+				t.Fatalf("bad literal %T", v)
+			}
+		}
+		if err := tbl.Insert(row); err != nil {
+			t.Fatalf("insert %s: %v", table, err)
+		}
+	}
+	tbl.BuildIndexes()
+}
+
+// runSQL algebrizes, normalizes with opts, and executes.
+func runSQL(t testing.TB, st *storage.Store, sql string, opts core.Options) *Result {
+	t.Helper()
+	q, err := parser.Parse(sql)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	md := algebra.NewMetadata()
+	res, err := algebrize.Build(st.Catalog, md, q)
+	if err != nil {
+		t.Fatalf("algebrize: %v", err)
+	}
+	rel, err := core.Normalize(md, res.Rel, opts)
+	if err != nil {
+		t.Fatalf("normalize: %v", err)
+	}
+	ctx := NewContext(st, md)
+	ctx.RowBudget = 10_000_000
+	out, err := Run(ctx, rel, res.OutCols)
+	if err != nil {
+		t.Fatalf("run: %v\nplan:\n%s", err, algebra.FormatRel(md, rel))
+	}
+	return out
+}
+
+// resultKey renders rows order-independently for comparison.
+func resultKey(r *Result) []string {
+	keys := make([]string, len(r.Rows))
+	for i, row := range r.Rows {
+		parts := make([]string, len(row))
+		for j, dt := range row {
+			parts[j] = dt.String()
+		}
+		keys[i] = strings.Join(parts, "|")
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func expectRows(t *testing.T, r *Result, want ...string) {
+	t.Helper()
+	got := resultKey(r)
+	sort.Strings(want)
+	if len(got) != len(want) {
+		t.Fatalf("rows = %v, want %v", got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("rows = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestScanFilterProject(t *testing.T) {
+	st := testDB(t)
+	r := runSQL(t, st, "select c_name, c_acctbal * 2 as dbl from customer where c_nationkey = 1", core.Options{})
+	expectRows(t, r, "'alice'|200", "'bob'|400")
+}
+
+func TestVectorAggExec(t *testing.T) {
+	st := testDB(t)
+	r := runSQL(t, st, `select o_custkey, sum(o_totalprice) as s, count(*) as n
+		from orders group by o_custkey order by o_custkey`, core.Options{})
+	expectRows(t, r, "1|1200|2", "2|2000000|1", "3|100|1")
+}
+
+func TestScalarAggEmptyInput(t *testing.T) {
+	st := testDB(t)
+	r := runSQL(t, st, `select sum(o_totalprice) as s, count(*) as n from orders where o_custkey = 99`, core.Options{})
+	expectRows(t, r, "NULL|0")
+}
+
+func TestPaperQ1BothStrategies(t *testing.T) {
+	st := testDB(t)
+	q := `select c_custkey from customer
+		where 1000000 < (select sum(o_totalprice) from orders where o_custkey = c_custkey)`
+	// Only bob (customer 2, order 2,000,000) qualifies.
+	dec := runSQL(t, st, q, core.Options{})
+	expectRows(t, dec, "2")
+	corr := runSQL(t, st, q, core.Options{KeepCorrelated: true})
+	expectRows(t, corr, "2")
+}
+
+func TestScalarSubqueryNullForEmpty(t *testing.T) {
+	st := testDB(t)
+	q := `select c_custkey,
+		(select sum(o_totalprice) from orders where o_custkey = c_custkey) as total
+		from customer`
+	want := []string{"1|1200", "2|2000000", "3|100", "4|NULL"}
+	expectRows(t, runSQL(t, st, q, core.Options{}), want...)
+	expectRows(t, runSQL(t, st, q, core.Options{KeepCorrelated: true}), want...)
+}
+
+func TestCountStarSubqueryZeroForEmpty(t *testing.T) {
+	st := testDB(t)
+	q := `select c_custkey,
+		(select count(*) from orders where o_custkey = c_custkey) as n
+		from customer`
+	want := []string{"1|2", "2|1", "3|1", "4|0"}
+	expectRows(t, runSQL(t, st, q, core.Options{}), want...)
+	expectRows(t, runSQL(t, st, q, core.Options{KeepCorrelated: true}), want...)
+}
+
+func TestExistsAndNotExists(t *testing.T) {
+	st := testDB(t)
+	q := `select c_custkey from customer
+		where exists (select o_orderkey from orders where o_custkey = c_custkey)`
+	expectRows(t, runSQL(t, st, q, core.Options{}), "1", "2", "3")
+	expectRows(t, runSQL(t, st, q, core.Options{KeepCorrelated: true}), "1", "2", "3")
+
+	nq := `select c_custkey from customer
+		where not exists (select o_orderkey from orders where o_custkey = c_custkey)`
+	expectRows(t, runSQL(t, st, nq, core.Options{}), "4")
+	expectRows(t, runSQL(t, st, nq, core.Options{KeepCorrelated: true}), "4")
+}
+
+func TestInAndNotInWithNulls(t *testing.T) {
+	st := testDB(t)
+	// Add an order with NULL would violate schema; use nullable column:
+	// customer.c_acctbal is non-null here, so test NOT IN semantics via
+	// values that simply don't match plus standard cases.
+	q := `select c_custkey from customer
+		where c_nationkey in (select n_nationkey from nation where n_regionkey = 1)`
+	expectRows(t, runSQL(t, st, q, core.Options{}), "1", "2", "3")
+
+	nq := `select c_custkey from customer
+		where c_nationkey not in (select n_nationkey from nation where n_regionkey = 1)`
+	expectRows(t, runSQL(t, st, nq, core.Options{}), "4")
+}
+
+func TestQuantifiedAll(t *testing.T) {
+	st := testDB(t)
+	q := `select p_partkey from part
+		where p_retailprice > all (select ps_supplycost from partsupp where ps_partkey = p_partkey)`
+	// part 100: 10 > max(5,3) yes; part 101: 20 > 8 yes.
+	expectRows(t, runSQL(t, st, q, core.Options{}), "100", "101")
+
+	q2 := `select p_partkey from part
+		where p_retailprice < all (select ps_supplycost from partsupp where ps_partkey = p_partkey)`
+	expectRows(t, runSQL(t, st, q2, core.Options{}))
+}
+
+func TestMax1RowError(t *testing.T) {
+	st := testDB(t)
+	q, err := parser.Parse(`select c_name,
+		(select o_orderkey from orders where o_custkey = c_custkey) as ok
+		from customer`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	md := algebra.NewMetadata()
+	res, err := algebrize.Build(st.Catalog, md, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel, err := core.Normalize(md, res.Rel, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := NewContext(st, md)
+	_, err = Run(ctx, rel, res.OutCols)
+	if err == nil || !strings.Contains(err.Error(), "more than one row") {
+		t.Fatalf("want cardinality error, got %v", err)
+	}
+}
+
+func TestScalarSubqueryInSelectListSingleMatch(t *testing.T) {
+	st := testDB(t)
+	q := `select o_orderkey,
+		(select c_name from customer where c_custkey = o_custkey) as cn
+		from orders`
+	want := []string{"10|'alice'", "11|'alice'", "12|'bob'", "13|'carol'"}
+	expectRows(t, runSQL(t, st, q, core.Options{}), want...)
+	expectRows(t, runSQL(t, st, q, core.Options{KeepCorrelated: true}), want...)
+}
+
+func TestJoinForms(t *testing.T) {
+	st := testDB(t)
+	q := `select c_name, o_orderkey from customer join orders on o_custkey = c_custkey where o_totalprice > 400`
+	expectRows(t, runSQL(t, st, q, core.Options{}), "'alice'|10", "'alice'|11", "'bob'|12")
+
+	lq := `select c_name, o_orderkey
+		from customer left outer join orders on o_custkey = c_custkey and o_totalprice > 400`
+	expectRows(t, runSQL(t, st, lq, core.Options{}),
+		"'alice'|10", "'alice'|11", "'bob'|12", "'carol'|NULL", "'dave'|NULL")
+}
+
+func TestUnionAllExec(t *testing.T) {
+	st := testDB(t)
+	q := `select s_acctbal as v from supplier union all select p_retailprice as v from part`
+	expectRows(t, runSQL(t, st, q, core.Options{}), "100", "-10", "50", "10", "20")
+}
+
+func TestDistinctExec(t *testing.T) {
+	st := testDB(t)
+	q := `select distinct c_mktsegment from customer`
+	expectRows(t, runSQL(t, st, q, core.Options{}), "'BUILDING'", "'AUTOMOBILE'", "'MACHINERY'")
+}
+
+func TestOrderByLimitExec(t *testing.T) {
+	st := testDB(t)
+	q := `select c_name from customer order by c_acctbal desc limit 2`
+	r := runSQL(t, st, q, core.Options{})
+	if len(r.Rows) != 2 || r.Rows[0][0].Str() != "carol" || r.Rows[1][0].Str() != "bob" {
+		t.Fatalf("rows = %v", resultKey(r))
+	}
+}
+
+func TestHavingExec(t *testing.T) {
+	st := testDB(t)
+	q := `select o_custkey, sum(o_totalprice) as s from orders
+		group by o_custkey having sum(o_totalprice) > 150`
+	expectRows(t, runSQL(t, st, q, core.Options{}), "1|1200", "2|2000000")
+}
+
+func TestCaseAndArithExec(t *testing.T) {
+	st := testDB(t)
+	q := `select c_custkey, case when c_acctbal < 0 then 'neg' else 'pos' end as sign from customer`
+	expectRows(t, runSQL(t, st, q, core.Options{}), "1|'pos'", "2|'pos'", "3|'pos'", "4|'neg'")
+}
+
+func TestAvgAndDistinctAggExec(t *testing.T) {
+	st := testDB(t)
+	q := `select avg(l_quantity) as a, count(distinct l_partkey) as p from lineitem`
+	r := runSQL(t, st, q, core.Options{})
+	if len(r.Rows) != 1 {
+		t.Fatal("want one row")
+	}
+	if got := r.Rows[0][0].Float(); got != 8.2 {
+		t.Errorf("avg = %v, want 8.2", got)
+	}
+	if got := r.Rows[0][1].Int(); got != 2 {
+		t.Errorf("distinct parts = %d, want 2", got)
+	}
+}
+
+func TestQ17ShapeExec(t *testing.T) {
+	st := testDB(t)
+	q := `select sum(l_extendedprice) / 7.0 as avg_yearly
+		from lineitem, part
+		where p_partkey = l_partkey
+		  and p_brand = 'Brand#23'
+		  and p_container = 'MED BOX'
+		  and l_quantity < (
+			select 0.2 * avg(l_quantity)
+			from lineitem l2
+			where l2.l_partkey = part.p_partkey)`
+	// part 100 avg qty = (1+10+20)/3 = 31/3 ≈ 10.333; 0.2*avg ≈ 2.0667.
+	// Only the qty=1 lineitem qualifies: 100.0 / 7.0 ≈ 14.2857.
+	for _, opts := range []core.Options{{}, {KeepCorrelated: true}} {
+		r := runSQL(t, st, q, opts)
+		if len(r.Rows) != 1 {
+			t.Fatalf("opts=%+v rows=%d", opts, len(r.Rows))
+		}
+		got := r.Rows[0][0].Float()
+		if got < 14.28 || got > 14.29 {
+			t.Errorf("opts=%+v avg_yearly = %v, want ≈14.2857", opts, got)
+		}
+	}
+}
+
+func TestClass2UnionSubqueryExec(t *testing.T) {
+	st := testDB(t)
+	q := `select ps_partkey, ps_suppkey from partsupp
+		where 100 > (select sum(v) from
+			(select s_acctbal as v from supplier where s_suppkey = ps_suppkey
+			 union all
+			 select p_retailprice as v from part where p_partkey = ps_partkey) as u)`
+	// ps(100,1): 100+10=110 no; ps(100,2): -10+10=0 yes; ps(101,2): -10+20=10 yes.
+	want := []string{"100|2", "101|2"}
+	expectRows(t, runSQL(t, st, q, core.Options{}), want...)                     // correlated (class 2 kept)
+	expectRows(t, runSQL(t, st, q, core.Options{RemoveClass2: true}), want...)   // identity (5)
+	expectRows(t, runSQL(t, st, q, core.Options{KeepCorrelated: true}), want...) // raw apply
+}
+
+// TestRandomizedDecorrelationEquivalence is the property test for the
+// Figure 4 identities: on random data, the correlated (Apply) plan and
+// the decorrelated plan must agree for a battery of subquery shapes.
+func TestRandomizedDecorrelationEquivalence(t *testing.T) {
+	queries := []string{
+		`select c_custkey from customer
+		 where 100 < (select sum(o_totalprice) from orders where o_custkey = c_custkey)`,
+		`select c_custkey,
+		 (select count(*) from orders where o_custkey = c_custkey) as n from customer`,
+		`select c_custkey,
+		 (select max(o_totalprice) from orders where o_custkey = c_custkey and o_orderstatus = 'O') as m
+		 from customer`,
+		`select c_custkey from customer
+		 where exists (select o_orderkey from orders where o_custkey = c_custkey and o_totalprice > 300)`,
+		`select c_custkey from customer
+		 where not exists (select o_orderkey from orders where o_custkey = c_custkey)`,
+		`select c_custkey from customer
+		 where c_nationkey in (select n_nationkey from nation where n_regionkey = 1)`,
+		`select c_custkey from customer
+		 where c_acctbal > all (select o_totalprice / 10000.0 from orders where o_custkey = c_custkey)`,
+		`select o_orderkey, (select c_name from customer where c_custkey = o_custkey) as cn from orders`,
+	}
+	for seed := int64(0); seed < 5; seed++ {
+		st := randomDB(t, seed)
+		for qi, q := range queries {
+			dec := runSQL(t, st, q, core.Options{})
+			cor := runSQL(t, st, q, core.Options{KeepCorrelated: true})
+			dk, ck := resultKey(dec), resultKey(cor)
+			if fmt.Sprint(dk) != fmt.Sprint(ck) {
+				t.Errorf("seed %d query %d: decorrelated %v != correlated %v", seed, qi, dk, ck)
+			}
+		}
+	}
+}
+
+// randomDB builds a random small database (keys valid, values random).
+func randomDB(t testing.TB, seed int64) *storage.Store {
+	t.Helper()
+	rnd := rand.New(rand.NewSource(seed))
+	st := freshStore()
+	var regions, nations [][]any
+	for i := 0; i < 2; i++ {
+		regions = append(regions, []any{i, fmt.Sprintf("R%d", i), "x"})
+	}
+	for i := 0; i < 4; i++ {
+		nations = append(nations, []any{i, fmt.Sprintf("N%d", i), rnd.Intn(2), "x"})
+	}
+	mustLoad(t, st, "region", regions)
+	mustLoad(t, st, "nation", nations)
+	var custs [][]any
+	nc := 3 + rnd.Intn(6)
+	for i := 1; i <= nc; i++ {
+		custs = append(custs, []any{i, fmt.Sprintf("c%d", i), "a", rnd.Intn(4), "p",
+			float64(rnd.Intn(400) - 100), "SEG", "c"})
+	}
+	mustLoad(t, st, "customer", custs)
+	var ords [][]any
+	no := rnd.Intn(15)
+	for i := 1; i <= no; i++ {
+		ords = append(ords, []any{i, 1 + rnd.Intn(nc+1), // may dangle past nc: keep within nc+1 to test no-match
+			[]string{"O", "F"}[rnd.Intn(2)], float64(rnd.Intn(1000)),
+			d("1995-01-01"), "p", "clerk", 0, "o"})
+	}
+	mustLoad(t, st, "orders", ords)
+	return st
+}
+
+func TestExceptAllExec(t *testing.T) {
+	st := testDB(t)
+	// Customers in nation 1 minus customers named bob.
+	q := `select c_custkey from customer where c_nationkey = 1
+		except all
+		select c_custkey from customer where c_name = 'bob'`
+	expectRows(t, runSQL(t, st, q, core.Options{}), "1")
+	// Bag semantics: duplicates subtract one-for-one.
+	q2 := `select c_nationkey from customer
+		except all
+		select n_regionkey from nation`
+	// customer nationkeys: 1,1,2,0 ; nation regionkeys: 0,1,1.
+	expectRows(t, runSQL(t, st, q2, core.Options{}), "2")
+}
+
+func TestPreparedViaRootAPIShape(t *testing.T) {
+	// Exercised through the root package tests; here just confirm the
+	// Difference operator round-trips compile/execute when built from
+	// a union-like mapping.
+	st := testDB(t)
+	q := `select s_acctbal as v from supplier
+		except all
+		select p_retailprice as v from part`
+	// supplier: 100,-10,50 ; part: 10,20 → nothing cancels.
+	expectRows(t, runSQL(t, st, q, core.Options{}), "100", "-10", "50")
+}
+
+// TestCaseSubqueriesConditionalExecution: the §2.4 conditional-scalar
+// problem. The THEN branch's subquery would raise a Max1Row error for
+// customers with several orders — but the WHEN condition excludes
+// exactly those customers, so no error may surface. The ELSE branch's
+// subquery must only run for multi-order customers.
+func TestCaseSubqueriesConditionalExecution(t *testing.T) {
+	st := testDB(t)
+	q := `select c_custkey,
+		case when (select count(*) from orders where o_custkey = c_custkey) <= 1
+		     then (select o_orderkey from orders where o_custkey = c_custkey)
+		     else -1
+		end as v
+		from customer`
+	// alice(1) has 2 orders -> -1; bob(2) -> 12; carol(3) -> 13;
+	// dave(4) has none -> NULL (scalar subquery over empty set).
+	want := []string{"1|-1", "2|12", "3|13", "4|NULL"}
+	expectRows(t, runSQL(t, st, q, core.Options{}), want...)
+	expectRows(t, runSQL(t, st, q, core.Options{KeepCorrelated: true}), want...)
+}
+
+// TestCaseSubqueryElseGuard: the ELSE arm's subquery must be guarded
+// by the negation of every WHEN condition.
+func TestCaseSubqueryElseGuard(t *testing.T) {
+	st := testDB(t)
+	q := `select c_custkey,
+		case when (select count(*) from orders where o_custkey = c_custkey) <> 1
+		     then 0
+		     else (select o_orderkey from orders where o_custkey = c_custkey)
+		end as v
+		from customer`
+	// alice: 2 orders -> 0; bob -> 12; carol -> 13; dave: 0 orders -> 0.
+	want := []string{"1|0", "2|12", "3|13", "4|0"}
+	expectRows(t, runSQL(t, st, q, core.Options{}), want...)
+	expectRows(t, runSQL(t, st, q, core.Options{KeepCorrelated: true}), want...)
+}

@@ -1,0 +1,210 @@
+package exec
+
+import (
+	"fmt"
+
+	"orthoq/internal/algebra"
+	"orthoq/internal/sql/types"
+)
+
+// aggState accumulates one aggregate within one group.
+type aggState struct {
+	count   int64
+	sumF    float64
+	sumI    int64
+	isFloat bool
+	anyRow  bool
+	minMax  types.Datum
+	seen    map[string]struct{} // distinct values
+}
+
+func (s *aggState) add(item *algebra.AggItem, d types.Datum) {
+	if item.Func == algebra.AggCountStar {
+		s.count++
+		return
+	}
+	if d.IsNull() {
+		return // aggregates ignore NULLs
+	}
+	if item.Distinct {
+		if s.seen == nil {
+			s.seen = make(map[string]struct{})
+		}
+		key := d.String()
+		if _, dup := s.seen[key]; dup {
+			return
+		}
+		s.seen[key] = struct{}{}
+	}
+	switch item.Func {
+	case algebra.AggCount:
+		s.count++
+	case algebra.AggSum, algebra.AggAvg:
+		s.count++
+		if d.Kind() == types.Float {
+			s.isFloat = true
+			s.sumF += d.Float()
+		} else {
+			s.sumI += d.Int()
+		}
+		s.anyRow = true
+	case algebra.AggMin:
+		if !s.anyRow || types.Compare(d, s.minMax) < 0 {
+			s.minMax = d
+		}
+		s.anyRow = true
+	case algebra.AggMax:
+		if !s.anyRow || types.Compare(d, s.minMax) > 0 {
+			s.minMax = d
+		}
+		s.anyRow = true
+	case algebra.AggConstAny:
+		if !s.anyRow {
+			s.minMax = d
+		}
+		s.anyRow = true
+	}
+}
+
+func (s *aggState) result(item *algebra.AggItem) types.Datum {
+	switch item.Func {
+	case algebra.AggCount, algebra.AggCountStar:
+		return types.NewInt(s.count)
+	case algebra.AggSum:
+		if !s.anyRow {
+			return types.NullUnknown
+		}
+		if s.isFloat {
+			return types.NewFloat(s.sumF + float64(s.sumI))
+		}
+		return types.NewInt(s.sumI)
+	case algebra.AggAvg:
+		if !s.anyRow || s.count == 0 {
+			return types.NullUnknown
+		}
+		return types.NewFloat((s.sumF + float64(s.sumI)) / float64(s.count))
+	case algebra.AggMin, algebra.AggMax, algebra.AggConstAny:
+		if !s.anyRow {
+			return types.NullUnknown
+		}
+		return s.minMax
+	}
+	return types.NullUnknown
+}
+
+// hashAggIter implements vector, scalar and local GroupBy with hash
+// grouping. Local GroupBy executes identically to vector GroupBy (the
+// paper notes the execution engine need not distinguish them — the
+// separate operator only widens the optimizer's reorder freedom).
+type hashAggIter struct {
+	ctx  *Context
+	in   *node
+	gb   *algebra.GroupBy
+	cols []algebra.ColID
+
+	out []types.Row
+	pos int
+}
+
+type aggGroup struct {
+	key    types.Row
+	states []aggState
+}
+
+func (h *hashAggIter) Open() error {
+	if err := h.in.it.Open(); err != nil {
+		return err
+	}
+	groupCols := h.gb.GroupCols.Ordered()
+	keyOrds := make([]int, len(groupCols))
+	for i, c := range groupCols {
+		o, ok := h.in.ords[c]
+		if !ok {
+			return fmt.Errorf("exec: grouping column %d missing from input", c)
+		}
+		keyOrds[i] = o
+	}
+	env := rowEnv{ctx: h.ctx, ords: h.in.ords}
+	groups := map[uint64][]*aggGroup{}
+	var order []*aggGroup
+	keyIdx := make([]int, len(groupCols))
+	for i := range keyIdx {
+		keyIdx[i] = i
+	}
+	for {
+		row, ok, err := h.in.it.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		if err := h.ctx.charge(); err != nil {
+			return err
+		}
+		key := mapRow(row, keyOrds)
+		hk := types.HashRow(key, keyIdx)
+		var g *aggGroup
+		for _, cand := range groups[hk] {
+			if types.EqualRows(cand.key, keyIdx, key, keyIdx) {
+				g = cand
+				break
+			}
+		}
+		if g == nil {
+			g = &aggGroup{key: key, states: make([]aggState, len(h.gb.Aggs))}
+			groups[hk] = append(groups[hk], g)
+			order = append(order, g)
+		}
+		env.row = row
+		for i := range h.gb.Aggs {
+			item := &h.gb.Aggs[i]
+			var d types.Datum
+			if item.Arg != nil {
+				v, err := h.ctx.ev.Eval(item.Arg, &env)
+				if err != nil {
+					return err
+				}
+				d = v
+			}
+			g.states[i].add(item, d)
+		}
+	}
+	if err := h.in.it.Close(); err != nil {
+		return err
+	}
+
+	h.out = h.out[:0]
+	if len(order) == 0 && h.gb.Kind == algebra.ScalarGroupBy {
+		// Scalar aggregation returns exactly one row on empty input
+		// (paper §1.1): agg(∅) per aggregate.
+		row := make(types.Row, 0, len(h.gb.Aggs))
+		for i := range h.gb.Aggs {
+			var empty aggState
+			row = append(row, empty.result(&h.gb.Aggs[i]))
+		}
+		h.out = append(h.out, row)
+	} else {
+		for _, g := range order {
+			row := make(types.Row, 0, len(g.key)+len(g.states))
+			row = append(row, g.key...)
+			for i := range g.states {
+				row = append(row, g.states[i].result(&h.gb.Aggs[i]))
+			}
+			h.out = append(h.out, row)
+		}
+	}
+	h.pos = 0
+	return nil
+}
+
+func (h *hashAggIter) Next() (types.Row, bool, error) {
+	if h.pos >= len(h.out) {
+		return nil, false, nil
+	}
+	row := h.out[h.pos]
+	h.pos++
+	return row, true, nil
+}
+
+func (h *hashAggIter) Close() error { return nil }

@@ -1,0 +1,517 @@
+package exec
+
+import (
+	"orthoq/internal/algebra"
+	"orthoq/internal/sql/types"
+)
+
+// compileJoin lowers a join: hash join when equality keys can be
+// extracted, nested loops otherwise.
+func compileJoin(ctx *Context, j *algebra.Join) (*node, error) {
+	left, err := compile(ctx, j.Left)
+	if err != nil {
+		return nil, err
+	}
+	right, err := compile(ctx, j.Right)
+	if err != nil {
+		return nil, err
+	}
+	outCols := joinOutCols(j.Kind, left, right)
+
+	lKeys, rKeys, residual := SplitJoinKeys(j.On,
+		algebra.NewColSet(left.cols...), algebra.NewColSet(right.cols...))
+	if len(lKeys) > 0 {
+		lOrds := make([]int, len(lKeys))
+		rOrds := make([]int, len(rKeys))
+		for i := range lKeys {
+			lOrds[i] = left.ords[lKeys[i]]
+			rOrds[i] = right.ords[rKeys[i]]
+		}
+		it := &hashJoinIter{ctx: ctx, kind: j.Kind, left: left, right: right,
+			lOrds: lOrds, rOrds: rOrds, residual: algebra.ConjoinAll(residual...)}
+		return newNode(it, outCols), nil
+	}
+	it := &nlJoinIter{ctx: ctx, kind: j.Kind, left: left, right: right, on: j.On}
+	return newNode(it, outCols), nil
+}
+
+func joinOutCols(kind algebra.JoinKind, left, right *node) []algebra.ColID {
+	out := append([]algebra.ColID(nil), left.cols...)
+	if kind.ReturnsRightCols() {
+		out = append(out, right.cols...)
+	}
+	return out
+}
+
+// SplitJoinKeys extracts hash-join equality keys (left-col = right-col
+// conjuncts) from a join predicate, returning the paired key columns
+// and the residual conjuncts. It is shared with the cost model.
+func SplitJoinKeys(on algebra.Scalar, leftCols, rightCols algebra.ColSet) (lk, rk []algebra.ColID, residual []algebra.Scalar) {
+	for _, c := range algebra.Conjuncts(on) {
+		if cmp, ok := c.(*algebra.Cmp); ok && cmp.Op == algebra.CmpEq {
+			l, lok := cmp.L.(*algebra.ColRef)
+			r, rok := cmp.R.(*algebra.ColRef)
+			if lok && rok {
+				switch {
+				case leftCols.Contains(l.Col) && rightCols.Contains(r.Col):
+					lk = append(lk, l.Col)
+					rk = append(rk, r.Col)
+					continue
+				case leftCols.Contains(r.Col) && rightCols.Contains(l.Col):
+					lk = append(lk, r.Col)
+					rk = append(rk, l.Col)
+					continue
+				}
+			}
+		}
+		residual = append(residual, c)
+	}
+	return lk, rk, residual
+}
+
+// hashJoinIter builds a hash table on the right input and probes with
+// the left, supporting inner, left outer, semi and antisemi variants.
+// SQL equality semantics: NULL keys never match.
+type hashJoinIter struct {
+	ctx          *Context
+	kind         algebra.JoinKind
+	left, right  *node
+	lOrds, rOrds []int
+	residual     algebra.Scalar
+
+	table   map[uint64][]types.Row
+	cenv    combinedEnv
+	lrow    types.Row
+	matches []types.Row
+	midx    int
+	haveL   bool
+	matched bool
+	rWidth  int
+}
+
+func (h *hashJoinIter) Open() error {
+	if err := h.right.it.Open(); err != nil {
+		return err
+	}
+	h.table = make(map[uint64][]types.Row)
+	h.rWidth = len(h.right.cols)
+	for {
+		row, ok, err := h.right.it.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		if rowHasNullAt(row, h.rOrds) {
+			continue // NULL keys never join
+		}
+		k := types.HashRow(row, h.rOrds)
+		h.table[k] = append(h.table[k], row)
+	}
+	if err := h.right.it.Close(); err != nil {
+		return err
+	}
+	h.cenv = combinedEnv{ctx: h.ctx, lords: h.left.ords, rords: h.right.ords}
+	h.haveL = false
+	return h.left.it.Open()
+}
+
+func rowHasNullAt(row types.Row, ords []int) bool {
+	for _, o := range ords {
+		if row[o].IsNull() {
+			return true
+		}
+	}
+	return false
+}
+
+func (h *hashJoinIter) Next() (types.Row, bool, error) {
+	for {
+		if !h.haveL {
+			lrow, ok, err := h.left.it.Next()
+			if err != nil || !ok {
+				return nil, false, err
+			}
+			if err := h.ctx.charge(); err != nil {
+				return nil, false, err
+			}
+			h.lrow = lrow
+			h.haveL = true
+			h.matched = false
+			h.midx = 0
+			if rowHasNullAt(lrow, h.lOrds) {
+				h.matches = nil
+			} else {
+				h.matches = h.table[types.HashRow(lrow, h.lOrds)]
+			}
+		}
+		for h.midx < len(h.matches) {
+			rrow := h.matches[h.midx]
+			h.midx++
+			if !types.EqualRows(h.lrow, h.lOrds, rrow, h.rOrds) {
+				continue
+			}
+			pass := true
+			if h.residual != nil && !algebra.IsTrueConst(h.residual) {
+				h.cenv.lrow, h.cenv.rrow = h.lrow, rrow
+				v, err := h.ctx.ev.EvalBool(h.residual, &h.cenv)
+				if err != nil {
+					return nil, false, err
+				}
+				pass = v == types.TriTrue
+			}
+			if !pass {
+				continue
+			}
+			h.matched = true
+			switch h.kind {
+			case algebra.SemiJoin:
+				h.haveL = false
+				return h.lrow, true, nil
+			case algebra.AntiSemiJoin:
+				h.haveL = false
+				// fall to next left row via loop (no emission)
+			default:
+				return concatRows(h.lrow, rrow), true, nil
+			}
+			if h.kind == algebra.AntiSemiJoin {
+				break
+			}
+		}
+		// exhausted matches for this left row
+		wasMatched := h.matched
+		if h.haveL {
+			h.haveL = false
+			switch h.kind {
+			case algebra.AntiSemiJoin:
+				if !wasMatched {
+					return h.lrow, true, nil
+				}
+			case algebra.LeftOuterJoin:
+				if !wasMatched {
+					return concatRows(h.lrow, nullRow(h.rWidth)), true, nil
+				}
+			}
+		}
+	}
+}
+
+func (h *hashJoinIter) Close() error { return h.left.it.Close() }
+
+func concatRows(l, r types.Row) types.Row {
+	out := make(types.Row, 0, len(l)+len(r))
+	out = append(out, l...)
+	out = append(out, r...)
+	return out
+}
+
+func nullRow(n int) types.Row {
+	out := make(types.Row, n)
+	for i := range out {
+		out[i] = types.NullUnknown
+	}
+	return out
+}
+
+// nlJoinIter is a nested-loops join with a materialized right side.
+type nlJoinIter struct {
+	ctx         *Context
+	kind        algebra.JoinKind
+	left, right *node
+	on          algebra.Scalar
+
+	rrows   []types.Row
+	cenv    combinedEnv
+	lrow    types.Row
+	haveL   bool
+	matched bool
+	ridx    int
+}
+
+func (n *nlJoinIter) Open() error {
+	if err := n.right.it.Open(); err != nil {
+		return err
+	}
+	n.rrows = n.rrows[:0]
+	for {
+		row, ok, err := n.right.it.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		n.rrows = append(n.rrows, row)
+	}
+	if err := n.right.it.Close(); err != nil {
+		return err
+	}
+	n.cenv = combinedEnv{ctx: n.ctx, lords: n.left.ords, rords: n.right.ords}
+	n.haveL = false
+	return n.left.it.Open()
+}
+
+func (n *nlJoinIter) Next() (types.Row, bool, error) {
+	for {
+		if !n.haveL {
+			lrow, ok, err := n.left.it.Next()
+			if err != nil || !ok {
+				return nil, false, err
+			}
+			n.lrow = lrow
+			n.haveL = true
+			n.matched = false
+			n.ridx = 0
+		}
+		for n.ridx < len(n.rrows) {
+			rrow := n.rrows[n.ridx]
+			n.ridx++
+			if err := n.ctx.charge(); err != nil {
+				return nil, false, err
+			}
+			pass := true
+			if n.on != nil && !algebra.IsTrueConst(n.on) {
+				n.cenv.lrow, n.cenv.rrow = n.lrow, rrow
+				v, err := n.ctx.ev.EvalBool(n.on, &n.cenv)
+				if err != nil {
+					return nil, false, err
+				}
+				pass = v == types.TriTrue
+			}
+			if !pass {
+				continue
+			}
+			n.matched = true
+			switch n.kind {
+			case algebra.SemiJoin:
+				n.haveL = false
+				return n.lrow, true, nil
+			case algebra.AntiSemiJoin:
+				n.haveL = false
+			default:
+				return concatRows(n.lrow, rrow), true, nil
+			}
+			if n.kind == algebra.AntiSemiJoin {
+				break
+			}
+		}
+		wasMatched := n.matched
+		if n.haveL {
+			n.haveL = false
+			switch n.kind {
+			case algebra.AntiSemiJoin:
+				if !wasMatched {
+					return n.lrow, true, nil
+				}
+			case algebra.LeftOuterJoin:
+				if !wasMatched {
+					return concatRows(n.lrow, nullRow(len(n.right.cols))), true, nil
+				}
+			}
+		}
+	}
+}
+
+func (n *nlJoinIter) Close() error { return n.left.it.Close() }
+
+// compileApply lowers correlated execution: the right side is compiled
+// once and re-opened for every left row with the left row's columns
+// installed as parameters. Inner index seeks pick the parameters up at
+// Open, which is exactly the paper's correlated index-lookup plan.
+func compileApply(ctx *Context, a *algebra.Apply) (*node, error) {
+	left, err := compile(ctx, a.Left)
+	if err != nil {
+		return nil, err
+	}
+	right, err := compile(ctx, a.Right)
+	if err != nil {
+		return nil, err
+	}
+	outCols := joinOutCols(a.Kind, left, right)
+	// An inner side that does not reference the outer row is invariant
+	// across re-opens; spool it (SQL Server's lazy spool does the same
+	// under correlated execution).
+	if !algebra.OuterRefs(a.Right).Intersects(algebra.OutputCols(a.Left)) {
+		right = newNode(&spoolIter{in: right.it}, right.cols)
+	}
+	it := &applyIter{ctx: ctx, a: a, left: left, right: right}
+	return newNode(it, outCols), nil
+}
+
+// spoolIter materializes its input on first Open and replays the
+// buffered rows on every later Open.
+type spoolIter struct {
+	in     iterator
+	filled bool
+	rows   []types.Row
+	pos    int
+}
+
+func (s *spoolIter) Open() error {
+	s.pos = 0
+	if s.filled {
+		return nil
+	}
+	if err := s.in.Open(); err != nil {
+		return err
+	}
+	for {
+		row, ok, err := s.in.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		s.rows = append(s.rows, row)
+	}
+	s.filled = true
+	return s.in.Close()
+}
+
+func (s *spoolIter) Next() (types.Row, bool, error) {
+	if s.pos >= len(s.rows) {
+		return nil, false, nil
+	}
+	row := s.rows[s.pos]
+	s.pos++
+	return row, true, nil
+}
+
+func (s *spoolIter) Close() error { return nil }
+
+type applyIter struct {
+	ctx         *Context
+	a           *algebra.Apply
+	left, right *node
+
+	cenv    combinedEnv
+	lrow    types.Row
+	haveL   bool
+	rOpen   bool
+	matched bool
+	// saved holds parameter values shadowed by bindLeft, so nested
+	// Apply scopes binding overlapping columns restore correctly.
+	saved []savedParam
+}
+
+type savedParam struct {
+	col algebra.ColID
+	val types.Datum
+	had bool
+}
+
+func (ap *applyIter) Open() error {
+	ap.cenv = combinedEnv{ctx: ap.ctx, lords: ap.left.ords, rords: ap.right.ords}
+	ap.haveL = false
+	ap.rOpen = false
+	return ap.left.it.Open()
+}
+
+func (ap *applyIter) bindLeft() {
+	ap.saved = ap.saved[:0]
+	for i, c := range ap.left.cols {
+		prev, had := ap.ctx.params[c]
+		ap.saved = append(ap.saved, savedParam{col: c, val: prev, had: had})
+		ap.ctx.params[c] = ap.lrow[i]
+	}
+}
+
+func (ap *applyIter) unbindLeft() {
+	for _, s := range ap.saved {
+		if s.had {
+			ap.ctx.params[s.col] = s.val
+		} else {
+			delete(ap.ctx.params, s.col)
+		}
+	}
+	ap.saved = ap.saved[:0]
+}
+
+func (ap *applyIter) Next() (types.Row, bool, error) {
+	for {
+		if !ap.haveL {
+			lrow, ok, err := ap.left.it.Next()
+			if err != nil || !ok {
+				return nil, false, err
+			}
+			if err := ap.ctx.charge(); err != nil {
+				return nil, false, err
+			}
+			ap.lrow = lrow
+			ap.haveL = true
+			ap.matched = false
+			ap.bindLeft()
+			if err := ap.right.it.Open(); err != nil {
+				return nil, false, err
+			}
+			ap.rOpen = true
+		}
+		for {
+			rrow, ok, err := ap.right.it.Next()
+			if err != nil {
+				return nil, false, err
+			}
+			if !ok {
+				break
+			}
+			pass := true
+			if ap.a.On != nil && !algebra.IsTrueConst(ap.a.On) {
+				ap.cenv.lrow, ap.cenv.rrow = ap.lrow, rrow
+				v, err := ap.ctx.ev.EvalBool(ap.a.On, &ap.cenv)
+				if err != nil {
+					return nil, false, err
+				}
+				pass = v == types.TriTrue
+			}
+			if !pass {
+				continue
+			}
+			ap.matched = true
+			switch ap.a.Kind {
+			case algebra.SemiJoin:
+				ap.endLeft()
+				return ap.lrow, true, nil
+			case algebra.AntiSemiJoin:
+				ap.endLeft()
+			default:
+				return concatRows(ap.lrow, rrow), true, nil
+			}
+			if ap.a.Kind == algebra.AntiSemiJoin {
+				break
+			}
+		}
+		wasMatched := ap.matched
+		if ap.haveL {
+			ap.endLeft()
+			switch ap.a.Kind {
+			case algebra.AntiSemiJoin:
+				if !wasMatched {
+					return ap.lrow, true, nil
+				}
+			case algebra.LeftOuterJoin:
+				if !wasMatched {
+					return concatRows(ap.lrow, nullRow(len(ap.right.cols))), true, nil
+				}
+			}
+		}
+	}
+}
+
+func (ap *applyIter) endLeft() {
+	if ap.rOpen {
+		ap.right.it.Close()
+		ap.rOpen = false
+	}
+	ap.unbindLeft()
+	ap.haveL = false
+}
+
+func (ap *applyIter) Close() error {
+	if ap.rOpen {
+		ap.right.it.Close()
+		ap.rOpen = false
+	}
+	return ap.left.it.Close()
+}

@@ -1,0 +1,83 @@
+package exec
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"orthoq/internal/algebra"
+	"orthoq/internal/sql/types"
+)
+
+// OpStats records run-time behavior of one plan operator.
+type OpStats struct {
+	// Opens counts Open calls (inner sides of Apply re-open per outer
+	// row — the count makes correlated execution costs visible).
+	Opens int64
+	// Rows counts rows produced across all opens.
+	Rows int64
+	// Busy is inclusive wall time spent inside this operator and its
+	// children.
+	Busy time.Duration
+}
+
+// EnableTrace turns on per-operator statistics collection for plans
+// compiled afterwards.
+func (c *Context) EnableTrace() {
+	c.trace = make(map[algebra.Rel]*OpStats)
+}
+
+// traceIter wraps an iterator and accumulates statistics.
+type traceIter struct {
+	in iterator
+	st *OpStats
+}
+
+func (t *traceIter) Open() error {
+	start := time.Now()
+	err := t.in.Open()
+	t.st.Busy += time.Since(start)
+	t.st.Opens++
+	return err
+}
+
+func (t *traceIter) Next() (row types.Row, ok bool, err error) {
+	start := time.Now()
+	row, ok, err = t.in.Next()
+	t.st.Busy += time.Since(start)
+	if ok {
+		t.st.Rows++
+	}
+	return row, ok, err
+}
+
+func (t *traceIter) Close() error { return t.in.Close() }
+
+// FormatTrace renders the plan with the collected statistics, in the
+// same shape as algebra.FormatRel.
+func (c *Context) FormatTrace(rel algebra.Rel) string {
+	if c.trace == nil {
+		return ""
+	}
+	var b strings.Builder
+	var walk func(n algebra.Rel, depth int)
+	walk = func(n algebra.Rel, depth int) {
+		line := algebra.FormatRel(c.Md, n)
+		if i := strings.IndexByte(line, '\n'); i >= 0 {
+			line = line[:i]
+		}
+		for i := 0; i < depth; i++ {
+			b.WriteString("  ")
+		}
+		b.WriteString(line)
+		if st, ok := c.trace[n]; ok {
+			fmt.Fprintf(&b, "  (rows=%d opens=%d time=%v)", st.Rows, st.Opens, st.Busy.Round(time.Microsecond))
+		}
+		b.WriteByte('\n')
+		for _, child := range n.Inputs() {
+			walk(child, depth+1)
+		}
+	}
+	walk(rel, 0)
+	return b.String()
+}

@@ -1,0 +1,429 @@
+// Package opt is the cost-based optimizer (paper §4): it explores the
+// plan space spanned by the paper's transformation rules — join
+// reordering, GroupBy reordering around join variants, LocalGroupBy
+// splitting, SegmentApply, and reintroduction of correlated execution
+// (index-lookup joins) — with best-first search over a cost model fed
+// by internal/stats, in the architecture of the Volcano/Cascades
+// optimizer generators.
+package opt
+
+import (
+	"math"
+
+	"orthoq/internal/algebra"
+	"orthoq/internal/exec"
+	"orthoq/internal/sql/catalog"
+	"orthoq/internal/sql/types"
+	"orthoq/internal/stats"
+)
+
+// Cost-model unit weights. Only ratios matter: they must rank plans
+// the way the execution engine's wall-clock does.
+const (
+	cScanRow   = 1.0  // producing a row from a scan
+	cHashRow   = 1.5  // hashing a row (grouping)
+	cHashBuild = 3.0  // inserting a row into a join hash table
+	cHashProbe = 1.2  // probing a join hash table
+	cPredEval  = 0.5  // evaluating a predicate on a row
+	cSeek      = 25.0 // one index lookup (binary search + allocations)
+	cOpenIter  = 60.0 // re-opening an iterator tree (Apply inner per outer row)
+	cSortRow   = 2.0  // per-row sort weight (times log n)
+)
+
+// estimate summarizes one subtree during costing.
+type estimate struct {
+	rows float64
+	cost float64
+}
+
+// coster computes plan cost and cardinality estimates.
+type coster struct {
+	md  *algebra.Metadata
+	cat *catalog.Catalog
+	st  *stats.Collection
+	// bound marks columns available as correlation parameters in the
+	// current (Apply inner / segment) scope.
+	bound algebra.ColSet
+	// segRows estimates rows per segment for SegmentRef leaves.
+	segRows []float64
+}
+
+// colStats fetches base-table column statistics for a column ID, if it
+// traces to a stored column.
+func (c *coster) colStats(id algebra.ColID) (*stats.ColumnStats, int64, bool) {
+	meta := c.md.Column(id)
+	if meta.Table == "" || c.st == nil {
+		return nil, 0, false
+	}
+	ts := c.st.Table(meta.Table)
+	if ts == nil || meta.Ord >= len(ts.Columns) {
+		return nil, 0, false
+	}
+	return &ts.Columns[meta.Ord], ts.RowCount, true
+}
+
+func (c *coster) distinct(id algebra.ColID, defRows float64) float64 {
+	if cs, _, ok := c.colStats(id); ok && cs.Distinct > 0 {
+		return float64(cs.Distinct)
+	}
+	return math.Max(1, defRows/10)
+}
+
+// cost estimates a subtree.
+func (c *coster) cost(r algebra.Rel) estimate {
+	switch t := r.(type) {
+	case *algebra.Get:
+		return c.costGet(t, nil)
+
+	case *algebra.Select:
+		if g, ok := t.Input.(*algebra.Get); ok {
+			return c.costGet(g, t.Filter)
+		}
+		in := c.cost(t.Input)
+		sel := c.selectivity(t.Filter, in.rows)
+		return estimate{rows: in.rows * sel, cost: in.cost + in.rows*cPredEval}
+
+	case *algebra.Project:
+		in := c.cost(t.Input)
+		return estimate{rows: in.rows, cost: in.cost + in.rows*cPredEval*float64(1+len(t.Items))}
+
+	case *algebra.Join:
+		return c.costJoin(t)
+
+	case *algebra.Apply:
+		return c.costApply(t)
+
+	case *algebra.GroupBy:
+		in := c.cost(t.Input)
+		groups := c.groupCount(t, in.rows)
+		return estimate{rows: groups, cost: in.cost + in.rows*cHashRow*float64(1+len(t.Aggs))}
+
+	case *algebra.SegmentApply:
+		return c.costSegmentApply(t)
+
+	case *algebra.SegmentRef:
+		rows := 1.0
+		if len(c.segRows) > 0 {
+			rows = c.segRows[len(c.segRows)-1]
+		}
+		return estimate{rows: rows, cost: rows * cScanRow}
+
+	case *algebra.Max1Row:
+		in := c.cost(t.Input)
+		return estimate{rows: math.Min(in.rows, 1), cost: in.cost}
+
+	case *algebra.UnionAll:
+		l, rr := c.cost(t.Left), c.cost(t.Right)
+		return estimate{rows: l.rows + rr.rows, cost: l.cost + rr.cost}
+
+	case *algebra.Difference:
+		l, rr := c.cost(t.Left), c.cost(t.Right)
+		return estimate{rows: math.Max(0, l.rows-rr.rows/2), cost: l.cost + rr.cost + (l.rows+rr.rows)*cHashRow}
+
+	case *algebra.Values:
+		return estimate{rows: float64(len(t.Rows)), cost: float64(len(t.Rows))}
+
+	case *algebra.Sort:
+		in := c.cost(t.Input)
+		n := math.Max(in.rows, 2)
+		return estimate{rows: in.rows, cost: in.cost + n*math.Log2(n)*cSortRow}
+
+	case *algebra.Top:
+		in := c.cost(t.Input)
+		return estimate{rows: math.Min(in.rows, float64(t.N)), cost: in.cost}
+
+	case *algebra.RowNumber:
+		in := c.cost(t.Input)
+		return estimate{rows: in.rows, cost: in.cost + in.rows*cPredEval}
+	}
+	return estimate{rows: 1000, cost: 1e12}
+}
+
+// costGet estimates a (filtered) base-table access, recognizing index
+// seeks on equality conjuncts whose comparands are constants or bound
+// parameters — matching the execution engine's compileGet.
+func (c *coster) costGet(g *algebra.Get, filter algebra.Scalar) estimate {
+	var rows float64 = 1000
+	if ts := c.st.Table(g.Table); ts != nil {
+		rows = float64(ts.RowCount)
+	}
+	if filter == nil {
+		return estimate{rows: rows, cost: rows * cScanRow}
+	}
+	selfCols := algebra.NewColSet(g.Cols...)
+	seekSel := 1.0
+	seekable := false
+	tbl, _ := c.cat.Table(g.Table)
+	for _, conj := range algebra.Conjuncts(filter) {
+		cmp, ok := conj.(*algebra.Cmp)
+		if !ok || cmp.Op != algebra.CmpEq {
+			continue
+		}
+		col, okc := cmp.L.(*algebra.ColRef)
+		other := cmp.R
+		if !okc || !selfCols.Contains(col.Col) {
+			if rc, okr := cmp.R.(*algebra.ColRef); okr && selfCols.Contains(rc.Col) {
+				col, other = rc, cmp.L
+				okc = true
+			} else {
+				okc = false
+			}
+		}
+		if !okc {
+			continue
+		}
+		// The comparand must be evaluable at open: constants or bound
+		// (correlation) parameters only.
+		oc := algebra.ScalarCols(other)
+		if oc.Intersects(selfCols) || !oc.SubsetOf(c.bound) {
+			continue
+		}
+		// Is there an index whose leading column is this one?
+		if tbl != nil {
+			ord := c.md.Column(col.Col).Ord
+			if idx := tbl.IndexOn([]int{ord}); idx != nil {
+				seekable = true
+				seekSel *= 1 / c.distinct(col.Col, rows)
+			}
+		}
+	}
+	sel := c.selectivity(filter, rows)
+	outRows := math.Max(rows*sel, 0)
+	if seekable {
+		matched := math.Max(rows*seekSel, 1)
+		return estimate{rows: outRows, cost: cSeek + matched*cScanRow}
+	}
+	return estimate{rows: outRows, cost: rows * (cScanRow + cPredEval)}
+}
+
+func (c *coster) costJoin(j *algebra.Join) estimate {
+	l := c.cost(j.Left)
+	r := c.cost(j.Right)
+	lk, rk, _ := exec.SplitJoinKeys(j.On,
+		algebra.OutputCols(j.Left), algebra.OutputCols(j.Right))
+
+	var outRows float64
+	sel := c.selectivity(j.On, l.rows*r.rows)
+	if len(lk) > 0 {
+		// equi-join: |L⋈R| ≈ L*R / max(d(lk), d(rk))
+		d := 1.0
+		for i := range lk {
+			d = math.Max(d, math.Max(c.distinct(lk[i], l.rows), c.distinct(rk[i], r.rows)))
+		}
+		outRows = l.rows * r.rows / d
+	} else {
+		outRows = l.rows * r.rows * sel
+	}
+
+	var cost float64
+	if len(lk) > 0 {
+		// The engine builds the hash table on the right input and
+		// probes with the left; building is costlier than probing, so
+		// commuting to put the smaller input on the right pays off.
+		cost = l.cost + r.cost + r.rows*cHashBuild + l.rows*cHashProbe
+	} else {
+		cost = l.cost + r.cost + l.rows*r.rows*cPredEval
+	}
+	switch j.Kind {
+	case algebra.SemiJoin:
+		outRows = l.rows * math.Min(1, outRows/math.Max(l.rows, 1))
+	case algebra.AntiSemiJoin:
+		match := math.Min(1, outRows/math.Max(l.rows, 1))
+		outRows = l.rows * (1 - match)
+	case algebra.LeftOuterJoin:
+		outRows = math.Max(outRows, l.rows)
+	}
+	return estimate{rows: math.Max(outRows, 0), cost: cost}
+}
+
+// costApply charges the inner cost once per outer row, with the outer
+// columns bound (enabling seek costing inside).
+func (c *coster) costApply(a *algebra.Apply) estimate {
+	l := c.cost(a.Left)
+	saved := c.bound
+	c.bound = c.bound.Union(algebra.OutputCols(a.Left))
+	r := c.cost(a.Right)
+	c.bound = saved
+
+	perRow := r.cost + cOpenIter
+	cost := l.cost + l.rows*perRow
+	var outRows float64
+	switch a.Kind {
+	case algebra.SemiJoin:
+		outRows = l.rows * 0.5
+	case algebra.AntiSemiJoin:
+		outRows = l.rows * 0.5
+	case algebra.LeftOuterJoin:
+		outRows = l.rows * math.Max(1, r.rows)
+	default:
+		outRows = l.rows * math.Max(r.rows, 0.001)
+		if a.On != nil {
+			outRows *= c.selectivity(a.On, outRows)
+		}
+	}
+	return estimate{rows: math.Max(outRows, 0), cost: cost}
+}
+
+func (c *coster) costSegmentApply(sa *algebra.SegmentApply) estimate {
+	in := c.cost(sa.Input)
+	segments := 1.0
+	for _, col := range sa.SegmentCols.Ordered() {
+		segments = math.Max(segments, c.distinct(col, in.rows))
+	}
+	segments = math.Min(segments, math.Max(in.rows, 1))
+	rowsPerSeg := in.rows / segments
+	c.segRows = append(c.segRows, rowsPerSeg)
+	inner := c.cost(sa.Inner)
+	c.segRows = c.segRows[:len(c.segRows)-1]
+	return estimate{
+		rows: inner.rows * segments,
+		cost: in.cost + in.rows*cHashRow + segments*(inner.cost+cOpenIter),
+	}
+}
+
+func (c *coster) groupCount(gb *algebra.GroupBy, inRows float64) float64 {
+	if gb.Kind == algebra.ScalarGroupBy {
+		return 1
+	}
+	groups := 1.0
+	for _, col := range gb.GroupCols.Ordered() {
+		groups = math.Max(groups, c.distinct(col, inRows))
+	}
+	return math.Min(groups, math.Max(inRows, 1))
+}
+
+// selectivity estimates the fraction of rows passing a predicate.
+// Lower/upper bound pairs on the same column are combined into a range
+// estimate (LT(hi) − LT(lo)) instead of multiplying under the
+// independence assumption, which would wildly overestimate ranges.
+func (c *coster) selectivity(pred algebra.Scalar, rows float64) float64 {
+	if pred == nil || algebra.IsTrueConst(pred) {
+		return 1
+	}
+	type bounds struct {
+		lo, hi types.Datum
+		hasLo  bool
+		hasHi  bool
+	}
+	ranges := map[algebra.ColID]*bounds{}
+	sel := 1.0
+	for _, conj := range algebra.Conjuncts(pred) {
+		if cmp, ok := conj.(*algebra.Cmp); ok {
+			if col, cst, op := c.colConstCmp(cmp); col != 0 {
+				if _, _, hasStats := c.colStats(col); hasStats {
+					switch op {
+					case algebra.CmpGt, algebra.CmpGe:
+						b := ranges[col]
+						if b == nil {
+							b = &bounds{}
+							ranges[col] = b
+						}
+						b.lo, b.hasLo = cst, true
+						continue
+					case algebra.CmpLt, algebra.CmpLe:
+						b := ranges[col]
+						if b == nil {
+							b = &bounds{}
+							ranges[col] = b
+						}
+						b.hi, b.hasHi = cst, true
+						continue
+					}
+				}
+			}
+		}
+		sel *= c.conjSelectivity(conj, rows)
+	}
+	for col, b := range ranges {
+		cs, total, _ := c.colStats(col)
+		lo, hi := 0.0, 1.0
+		if b.hasLo {
+			lo = cs.SelectivityLT(b.lo, total)
+		}
+		if b.hasHi {
+			hi = cs.SelectivityLT(b.hi, total)
+		}
+		s := hi - lo
+		if s < 1/math.Max(float64(total), 1) {
+			s = 1 / math.Max(float64(total), 1)
+		}
+		sel *= s
+	}
+	return sel
+}
+
+func (c *coster) conjSelectivity(conj algebra.Scalar, rows float64) float64 {
+	switch t := conj.(type) {
+	case *algebra.Cmp:
+		col, cst, op := c.colConstCmp(t)
+		if col == 0 {
+			if t.Op == algebra.CmpEq {
+				// Column-vs-expression equality (e.g. a correlation
+				// parameter): estimate 1/distinct over the widest
+				// referenced column — the classic equijoin selectivity.
+				d := 1.0
+				algebra.ScalarCols(conj).ForEach(func(cc algebra.ColID) {
+					if cs, _, ok := c.colStats(cc); ok && float64(cs.Distinct) > d {
+						d = float64(cs.Distinct)
+					}
+				})
+				if d > 1 {
+					return 1 / d
+				}
+				return 0.1
+			}
+			return 0.3
+		}
+		cs, total, ok := c.colStats(col)
+		if !ok {
+			if op == algebra.CmpEq {
+				return 0.1
+			}
+			return 0.3
+		}
+		switch op {
+		case algebra.CmpEq:
+			return cs.SelectivityEq(total)
+		case algebra.CmpLt, algebra.CmpLe:
+			return cs.SelectivityLT(cst, total)
+		case algebra.CmpGt, algebra.CmpGe:
+			return 1 - cs.SelectivityLT(cst, total)
+		case algebra.CmpNe:
+			return 1 - cs.SelectivityEq(total)
+		}
+		return 0.3
+	case *algebra.Like:
+		return 0.05
+	case *algebra.InList:
+		return math.Min(1, 0.05*float64(len(t.List)))
+	case *algebra.Or:
+		s := 0.0
+		for _, a := range t.Args {
+			s += c.conjSelectivity(a, rows)
+		}
+		return math.Min(1, s)
+	case *algebra.Not:
+		return 1 - c.conjSelectivity(t.Arg, rows)
+	case *algebra.IsNull:
+		if t.Negate {
+			return 0.95
+		}
+		return 0.05
+	}
+	return 0.3
+}
+
+// colConstCmp matches "col op const" (either orientation, op adjusted).
+func (c *coster) colConstCmp(t *algebra.Cmp) (algebra.ColID, types.Datum, algebra.CmpOp) {
+	if l, ok := t.L.(*algebra.ColRef); ok {
+		if r, ok := t.R.(*algebra.Const); ok {
+			return l.Col, r.Val, t.Op
+		}
+	}
+	if r, ok := t.R.(*algebra.ColRef); ok {
+		if l, ok := t.L.(*algebra.Const); ok {
+			return r.Col, l.Val, t.Op.Commute()
+		}
+	}
+	return 0, types.NullUnknown, t.Op
+}

@@ -1,0 +1,60 @@
+package opt
+
+import (
+	"fmt"
+	"strings"
+
+	"orthoq/internal/algebra"
+	"orthoq/internal/sql/catalog"
+	"orthoq/internal/stats"
+)
+
+// FormatWithEstimates renders a plan with per-node cardinality and
+// cost estimates, for EXPLAIN output and cost-model debugging.
+func FormatWithEstimates(md *algebra.Metadata, cat *catalog.Catalog, st *stats.Collection, r algebra.Rel) string {
+	c := &coster{md: md, cat: cat, st: st}
+	var b strings.Builder
+	var walk func(algebra.Rel, int)
+	walk = func(n algebra.Rel, depth int) {
+		est := c.cost(n)
+		line := algebra.FormatRel(md, n)
+		if i := strings.IndexByte(line, '\n'); i >= 0 {
+			line = line[:i]
+		}
+		for i := 0; i < depth; i++ {
+			b.WriteString("  ")
+		}
+		fmt.Fprintf(&b, "%s  [rows≈%.0f cost≈%.0f]\n", line, est.rows, est.cost)
+		// Costing an Apply/SegmentApply inner requires scope bindings;
+		// replicate the scopes while walking.
+		switch t := n.(type) {
+		case *algebra.Apply:
+			walk(t.Left, depth+1)
+			saved := c.bound
+			c.bound = c.bound.Union(algebra.OutputCols(t.Left))
+			walk(t.Right, depth+1)
+			c.bound = saved
+		case *algebra.SegmentApply:
+			walk(t.Input, depth+1)
+			in := c.cost(t.Input)
+			segs := 1.0
+			for _, col := range t.SegmentCols.Ordered() {
+				if d := c.distinct(col, in.rows); d > segs {
+					segs = d
+				}
+			}
+			if m := in.rows; segs > m && m >= 1 {
+				segs = m
+			}
+			c.segRows = append(c.segRows, in.rows/segs)
+			walk(t.Inner, depth+1)
+			c.segRows = c.segRows[:len(c.segRows)-1]
+		default:
+			for _, child := range n.Inputs() {
+				walk(child, depth+1)
+			}
+		}
+	}
+	walk(r, 0)
+	return b.String()
+}

@@ -1,0 +1,196 @@
+package opt
+
+import (
+	"container/heap"
+
+	"orthoq/internal/algebra"
+	"orthoq/internal/core"
+	"orthoq/internal/sql/catalog"
+	"orthoq/internal/stats"
+)
+
+// Config selects which transformation rules the optimizer may use;
+// disabling individual primitives implements the paper's ablations
+// ("systems" axis of the benchmark harness).
+type Config struct {
+	// Norm is forwarded to normalization (decorrelation flags).
+	Norm core.Options
+	// DisableGroupByReorder turns off §3.1/3.2 GroupBy reordering.
+	DisableGroupByReorder bool
+	// DisableLocalAgg turns off §3.3 LocalGroupBy splitting/pushdown.
+	DisableLocalAgg bool
+	// DisableSegmentApply turns off §3.4 segmented execution.
+	DisableSegmentApply bool
+	// DisableJoinReorder turns off join commutativity/associativity.
+	DisableJoinReorder bool
+	// DisableCorrelatedReintro turns off rewriting joins back into
+	// index-lookup Apply plans.
+	DisableCorrelatedReintro bool
+	// MaxSteps caps best-first expansions (0 = default).
+	MaxSteps int
+}
+
+// Optimizer explores the rule-generated plan space and returns the
+// cheapest plan under the cost model.
+type Optimizer struct {
+	Md     *algebra.Metadata
+	Cat    *catalog.Catalog
+	Stats  *stats.Collection
+	Config Config
+}
+
+// Result reports the chosen plan and search telemetry.
+type Result struct {
+	Plan     algebra.Rel
+	Cost     float64
+	Explored int
+}
+
+type frontierItem struct {
+	rel  algebra.Rel
+	cost float64
+}
+
+type frontier []frontierItem
+
+func (f frontier) Len() int           { return len(f) }
+func (f frontier) Less(i, j int) bool { return f[i].cost < f[j].cost }
+func (f frontier) Swap(i, j int)      { f[i], f[j] = f[j], f[i] }
+func (f *frontier) Push(x any)        { *f = append(*f, x.(frontierItem)) }
+func (f *frontier) Pop() any {
+	old := *f
+	n := len(old)
+	it := old[n-1]
+	*f = old[:n-1]
+	return it
+}
+
+// Optimize runs best-first search from the normalized plan. Extra
+// seeds (equivalent formulations, e.g. the correlated Apply form — the
+// paper's §4 "introduction of correlated execution") join the frontier
+// so the search considers every strategy family.
+func (o *Optimizer) Optimize(rel algebra.Rel, seeds ...algebra.Rel) *Result {
+	maxSteps := o.Config.MaxSteps
+	if maxSteps == 0 {
+		maxSteps = 1200
+	}
+	cost := func(r algebra.Rel) float64 {
+		c := &coster{md: o.Md, cat: o.Cat, st: o.Stats}
+		return c.cost(r).cost
+	}
+
+	seen := map[string]bool{}
+	var fr frontier
+	push := func(r algebra.Rel) {
+		key := algebra.FormatRel(o.Md, r)
+		if seen[key] {
+			return
+		}
+		seen[key] = true
+		heap.Push(&fr, frontierItem{rel: r, cost: cost(r)})
+	}
+	push(rel)
+	for _, s := range seeds {
+		push(s)
+	}
+
+	best := Result{Plan: rel, Cost: cost(rel)}
+	steps := 0
+	for fr.Len() > 0 && steps < maxSteps {
+		item := heap.Pop(&fr).(frontierItem)
+		steps++
+		if item.cost < best.Cost {
+			best.Plan, best.Cost = item.rel, item.cost
+		}
+		// Prune hopeless regions: anything an order of magnitude worse
+		// than the incumbent rarely leads anywhere better.
+		if item.cost > best.Cost*12 {
+			continue
+		}
+		for _, n := range o.neighbors(item.rel) {
+			push(n)
+		}
+	}
+	best.Explored = steps
+	return &best
+}
+
+// neighbors generates all single-rule rewrites anywhere in the tree.
+func (o *Optimizer) neighbors(rel algebra.Rel) []algebra.Rel {
+	var out []algebra.Rel
+	for _, alt := range o.rulesAt(rel) {
+		out = append(out, alt)
+	}
+	ins := rel.Inputs()
+	for i, child := range ins {
+		for _, nc := range o.neighbors(child) {
+			kids := make([]algebra.Rel, len(ins))
+			copy(kids, ins)
+			kids[i] = nc
+			out = append(out, rel.WithInputs(kids))
+		}
+	}
+	return out
+}
+
+// rulesAt applies every enabled rule at the root of r.
+func (o *Optimizer) rulesAt(r algebra.Rel) []algebra.Rel {
+	var out []algebra.Rel
+	add := func(nr algebra.Rel, ok bool) {
+		if ok && nr != nil {
+			out = append(out, nr)
+		}
+	}
+	switch t := r.(type) {
+	case *algebra.GroupBy:
+		if !o.Config.DisableGroupByReorder {
+			add(core.TryPushGroupByBelowJoin(o.Md, t))
+		}
+		if !o.Config.DisableLocalAgg {
+			if t.Kind == algebra.VectorGroupBy {
+				add(core.TrySplitGroupBy(o.Md, t))
+			}
+			if t.Kind == algebra.LocalGroupBy {
+				add(core.TryPushLocalGroupByBelowJoin(o.Md, t))
+			}
+		}
+	case *algebra.Join:
+		if !o.Config.DisableGroupByReorder {
+			add(core.TryPullGroupByAboveJoin(o.Md, t))
+			add(core.TryPushSemiJoinBelowGroupBy(o.Md, t))
+			add(core.TrySemiJoinToJoinDistinct(o.Md, t))
+		}
+		if !o.Config.DisableSegmentApply {
+			add(core.TryIntroduceSegmentApply(o.Md, t))
+			add(core.TryPushJoinBelowSegmentApply(o.Md, t))
+			// Composite Figure-6→Figure-7 step: introduce SegmentApply
+			// at a child join and immediately push this join below it.
+			// Without the composition, the intermediate whole-table
+			// segmentation costs enough to be pruned before its good
+			// successor is generated.
+			for i, child := range t.Inputs() {
+				cj, ok := child.(*algebra.Join)
+				if !ok {
+					continue
+				}
+				sa, ok := core.TryIntroduceSegmentApply(o.Md, cj)
+				if !ok {
+					continue
+				}
+				kids := []algebra.Rel{t.Left, t.Right}
+				kids[i] = sa
+				wrapped := t.WithInputs(kids).(*algebra.Join)
+				add(core.TryPushJoinBelowSegmentApply(o.Md, wrapped))
+			}
+		}
+		if !o.Config.DisableJoinReorder {
+			add(commuteJoin(t))
+			add(rotateJoinRight(t))
+			add(rotateJoinLeft(t))
+		}
+		if !o.Config.DisableCorrelatedReintro {
+			add(joinToApply(o.Md, o.Cat, t))
+		}
+	}
+	return out
+}

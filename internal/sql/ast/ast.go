@@ -1,0 +1,250 @@
+// Package ast defines the abstract syntax tree produced by the SQL
+// parser and consumed by the algebrizer.
+package ast
+
+// Query is a table-valued statement: a select block or a UNION ALL of
+// blocks.
+type Query interface {
+	queryNode()
+}
+
+// SelectStmt is one SELECT block.
+type SelectStmt struct {
+	Distinct bool
+	Items    []SelectItem
+	From     []TableExpr // comma-separated items; cross-product semantics
+	Where    Expr
+	GroupBy  []Expr
+	Having   Expr
+	OrderBy  []OrderItem
+	Limit    *int64
+}
+
+// UnionStmt is Left UNION ALL Right. (Only UNION ALL is supported; the
+// engine is bag-oriented and DISTINCT is normalized as GroupBy.)
+type UnionStmt struct {
+	Left, Right Query
+}
+
+// ExceptStmt is Left EXCEPT ALL Right (bag difference; the engine's
+// Difference operator, needed for the paper's identity (6)).
+type ExceptStmt struct {
+	Left, Right Query
+}
+
+// CTE is one WITH-clause entry.
+type CTE struct {
+	Name       string
+	ColAliases []string
+	Query      Query
+}
+
+// WithStmt is "WITH ctes... body". CTEs are inlined at each reference
+// (no recursion).
+type WithStmt struct {
+	CTEs []CTE
+	Body Query
+}
+
+func (*SelectStmt) queryNode() {}
+func (*UnionStmt) queryNode()  {}
+func (*ExceptStmt) queryNode() {}
+func (*WithStmt) queryNode()   {}
+
+// SelectItem is one output expression; Star is "*" or "t.*" when
+// Table is set.
+type SelectItem struct {
+	Star  bool
+	Table string // qualifier for t.*
+	Expr  Expr
+	Alias string
+}
+
+// OrderItem is one ORDER BY key.
+type OrderItem struct {
+	Expr Expr
+	Desc bool
+}
+
+// TableExpr is a FROM-clause item.
+type TableExpr interface {
+	tableNode()
+}
+
+// TableName references a base table, optionally aliased.
+type TableName struct {
+	Name  string
+	Alias string
+}
+
+// DerivedTable is a parenthesized subquery in FROM.
+type DerivedTable struct {
+	Query Query
+	Alias string
+	// ColAliases optionally renames the derived table's columns.
+	ColAliases []string
+}
+
+// JoinKind mirrors SQL join syntax.
+type JoinKind uint8
+
+// Join kinds in FROM syntax.
+const (
+	JoinInner JoinKind = iota
+	JoinCross
+	JoinLeftOuter
+)
+
+// JoinExpr is an explicit JOIN.
+type JoinExpr struct {
+	Kind        JoinKind
+	Left, Right TableExpr
+	On          Expr
+}
+
+func (*TableName) tableNode()    {}
+func (*DerivedTable) tableNode() {}
+func (*JoinExpr) tableNode()     {}
+
+// Expr is a scalar expression.
+type Expr interface {
+	exprNode()
+}
+
+// Ident is a possibly-qualified column reference (col or table.col).
+type Ident struct {
+	Table string
+	Name  string
+}
+
+// NumberLit is an integer or decimal literal.
+type NumberLit struct {
+	IsInt bool
+	Int   int64
+	Float float64
+	Text  string
+}
+
+// StringLit is a character literal.
+type StringLit struct {
+	Val string
+}
+
+// DateLit is a DATE 'YYYY-MM-DD' literal.
+type DateLit struct {
+	Val string
+}
+
+// IntervalLit is "INTERVAL 'n' day|month|year"; only valid combined
+// with a date via + or -.
+type IntervalLit struct {
+	N    int64
+	Unit string
+}
+
+// NullLit is NULL.
+type NullLit struct{}
+
+// BoolLit is TRUE or FALSE.
+type BoolLit struct {
+	Val bool
+}
+
+// BinaryExpr covers comparisons, arithmetic, AND and OR. Op is the SQL
+// token: "=", "<>", "<", "<=", ">", ">=", "+", "-", "*", "/", "%",
+// "and", "or".
+type BinaryExpr struct {
+	Op   string
+	L, R Expr
+}
+
+// UnaryExpr covers NOT and unary minus.
+type UnaryExpr struct {
+	Op  string // "not" or "-"
+	Arg Expr
+}
+
+// IsNullExpr is "arg IS [NOT] NULL".
+type IsNullExpr struct {
+	Arg Expr
+	Not bool
+}
+
+// BetweenExpr is "arg [NOT] BETWEEN lo AND hi".
+type BetweenExpr struct {
+	Arg, Lo, Hi Expr
+	Not         bool
+}
+
+// LikeExpr is "l [NOT] LIKE r".
+type LikeExpr struct {
+	L, R Expr
+	Not  bool
+}
+
+// InExpr is "arg [NOT] IN (list)" or "arg [NOT] IN (subquery)".
+type InExpr struct {
+	Arg   Expr
+	List  []Expr // non-nil for the list form
+	Query Query  // non-nil for the subquery form
+	Not   bool
+}
+
+// FuncCall is a function or aggregate application. Star marks
+// count(*).
+type FuncCall struct {
+	Name     string
+	Args     []Expr
+	Star     bool
+	Distinct bool
+}
+
+// WhenClause is one CASE arm.
+type WhenClause struct {
+	Cond Expr
+	Then Expr
+}
+
+// CaseExpr is a searched CASE.
+type CaseExpr struct {
+	Whens []WhenClause
+	Else  Expr
+}
+
+// SubqueryExpr is a scalar subquery in expression position.
+type SubqueryExpr struct {
+	Query Query
+}
+
+// ExistsExpr is [NOT] EXISTS (subquery).
+type ExistsExpr struct {
+	Query Query
+	Not   bool
+}
+
+// QuantExpr is "l op ANY/ALL (subquery)".
+type QuantExpr struct {
+	Op    string // comparison op token
+	All   bool
+	L     Expr
+	Query Query
+}
+
+func (*Ident) exprNode()        {}
+func (*NumberLit) exprNode()    {}
+func (*StringLit) exprNode()    {}
+func (*DateLit) exprNode()      {}
+func (*IntervalLit) exprNode()  {}
+func (*NullLit) exprNode()      {}
+func (*BoolLit) exprNode()      {}
+func (*BinaryExpr) exprNode()   {}
+func (*UnaryExpr) exprNode()    {}
+func (*IsNullExpr) exprNode()   {}
+func (*BetweenExpr) exprNode()  {}
+func (*LikeExpr) exprNode()     {}
+func (*InExpr) exprNode()       {}
+func (*FuncCall) exprNode()     {}
+func (*CaseExpr) exprNode()     {}
+func (*SubqueryExpr) exprNode() {}
+func (*ExistsExpr) exprNode()   {}
+func (*QuantExpr) exprNode()    {}

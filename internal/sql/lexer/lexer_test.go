@@ -1,0 +1,105 @@
+package lexer
+
+import (
+	"testing"
+)
+
+func kinds(t *testing.T, src string) []Token {
+	t.Helper()
+	toks, err := Tokenize(src)
+	if err != nil {
+		t.Fatalf("Tokenize(%q): %v", src, err)
+	}
+	return toks
+}
+
+func TestBasicTokens(t *testing.T) {
+	toks := kinds(t, "select a1, 'it''s' from t where x <= 10.5 and y <> z;")
+	var texts []string
+	for _, tok := range toks {
+		if tok.Kind == EOF {
+			break
+		}
+		texts = append(texts, tok.Text)
+	}
+	want := []string{"select", "a1", ",", "it's", "from", "t", "where",
+		"x", "<=", "10.5", "and", "y", "<>", "z", ";"}
+	if len(texts) != len(want) {
+		t.Fatalf("tokens = %q, want %q", texts, want)
+	}
+	for i := range want {
+		if texts[i] != want[i] {
+			t.Errorf("token %d = %q, want %q", i, texts[i], want[i])
+		}
+	}
+}
+
+func TestKeywordVsIdent(t *testing.T) {
+	toks := kinds(t, "SELECT Foo FROM bar")
+	if toks[0].Kind != Keyword || toks[0].Text != "select" {
+		t.Errorf("SELECT: %+v", toks[0])
+	}
+	if toks[1].Kind != Ident || toks[1].Text != "Foo" {
+		t.Errorf("identifiers must keep their spelling: %+v", toks[1])
+	}
+	if toks[2].Kind != Keyword {
+		t.Errorf("FROM: %+v", toks[2])
+	}
+}
+
+func TestNumbersAndDots(t *testing.T) {
+	toks := kinds(t, "1 2.5 t.c 0.2")
+	if toks[0].Kind != Number || toks[0].Text != "1" {
+		t.Errorf("int: %+v", toks[0])
+	}
+	if toks[1].Kind != Number || toks[1].Text != "2.5" {
+		t.Errorf("decimal: %+v", toks[1])
+	}
+	// t.c splits into ident dot ident.
+	if toks[2].Text != "t" || toks[3].Text != "." || toks[4].Text != "c" {
+		t.Errorf("qualified: %v %v %v", toks[2], toks[3], toks[4])
+	}
+	if toks[5].Text != "0.2" {
+		t.Errorf("leading zero decimal: %+v", toks[5])
+	}
+}
+
+func TestNotEqualsAlias(t *testing.T) {
+	toks := kinds(t, "a != b")
+	if toks[1].Kind != Symbol || toks[1].Text != "<>" {
+		t.Errorf("!= must normalize to <>: %+v", toks[1])
+	}
+}
+
+func TestComments(t *testing.T) {
+	toks := kinds(t, "select -- a comment\n x -- trailing")
+	if len(toks) != 3 { // select, x, EOF
+		t.Fatalf("tokens = %v", toks)
+	}
+	if toks[1].Text != "x" {
+		t.Errorf("after comment: %+v", toks[1])
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if _, err := Tokenize("select 'unterminated"); err == nil {
+		t.Error("unterminated string accepted")
+	}
+	if _, err := Tokenize("select #"); err == nil {
+		t.Error("bad character accepted")
+	}
+}
+
+func TestPositions(t *testing.T) {
+	toks := kinds(t, "ab cd")
+	if toks[0].Pos != 0 || toks[1].Pos != 3 {
+		t.Errorf("positions: %d %d", toks[0].Pos, toks[1].Pos)
+	}
+}
+
+func TestEOFTerminates(t *testing.T) {
+	toks := kinds(t, "")
+	if len(toks) != 1 || toks[0].Kind != EOF {
+		t.Errorf("empty input: %v", toks)
+	}
+}

@@ -1,0 +1,822 @@
+// Package parser turns SQL text into the AST of internal/sql/ast. It is
+// a hand-written recursive-descent parser for the SQL subset described
+// in DESIGN.md (S4).
+package parser
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"orthoq/internal/sql/ast"
+	"orthoq/internal/sql/lexer"
+)
+
+// Parse parses a single query (optionally ;-terminated).
+func Parse(src string) (ast.Query, error) {
+	toks, err := lexer.Tokenize(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, src: src}
+	q, err := p.parseQuery()
+	if err != nil {
+		return nil, err
+	}
+	if p.peek().Kind == lexer.Symbol && p.peek().Text == ";" {
+		p.next()
+	}
+	if p.peek().Kind != lexer.EOF {
+		return nil, p.errf("unexpected %q after end of query", p.peek().Text)
+	}
+	return q, nil
+}
+
+type parser struct {
+	toks []lexer.Token
+	pos  int
+	src  string
+}
+
+func (p *parser) peek() lexer.Token { return p.toks[p.pos] }
+func (p *parser) peek2() lexer.Token {
+	if p.pos+1 < len(p.toks) {
+		return p.toks[p.pos+1]
+	}
+	return p.toks[len(p.toks)-1]
+}
+func (p *parser) next() lexer.Token {
+	t := p.toks[p.pos]
+	if p.pos < len(p.toks)-1 {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	t := p.peek()
+	line, col := 1, 1
+	for i := 0; i < t.Pos && i < len(p.src); i++ {
+		if p.src[i] == '\n' {
+			line++
+			col = 1
+		} else {
+			col++
+		}
+	}
+	return fmt.Errorf("parse error at line %d col %d: %s", line, col, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) isKeyword(kw string) bool {
+	t := p.peek()
+	return t.Kind == lexer.Keyword && t.Text == kw
+}
+
+func (p *parser) acceptKeyword(kw string) bool {
+	if p.isKeyword(kw) {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.acceptKeyword(kw) {
+		return p.errf("expected %s, found %q", strings.ToUpper(kw), p.peek().Text)
+	}
+	return nil
+}
+
+func (p *parser) isSymbol(s string) bool {
+	t := p.peek()
+	return t.Kind == lexer.Symbol && t.Text == s
+}
+
+func (p *parser) acceptSymbol(s string) bool {
+	if p.isSymbol(s) {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectSymbol(s string) error {
+	if !p.acceptSymbol(s) {
+		return p.errf("expected %q, found %q", s, p.peek().Text)
+	}
+	return nil
+}
+
+// parseQuery handles WITH prefixes and UNION/EXCEPT ALL chains
+// (left-associative).
+func (p *parser) parseQuery() (ast.Query, error) {
+	if p.isKeyword("with") {
+		return p.parseWith()
+	}
+	left, err := p.parseSelect()
+	if err != nil {
+		return nil, err
+	}
+	var q ast.Query = left
+	for p.isKeyword("union") || p.isKeyword("except") {
+		op := p.next().Text
+		if err := p.expectKeyword("all"); err != nil {
+			return nil, fmt.Errorf("%w (only the ALL set operations are supported)", err)
+		}
+		right, err := p.parseSelect()
+		if err != nil {
+			return nil, err
+		}
+		if op == "union" {
+			q = &ast.UnionStmt{Left: q, Right: right}
+		} else {
+			q = &ast.ExceptStmt{Left: q, Right: right}
+		}
+	}
+	return q, nil
+}
+
+// parseWith parses "WITH name [(cols)] AS (query), ... body".
+func (p *parser) parseWith() (ast.Query, error) {
+	if err := p.expectKeyword("with"); err != nil {
+		return nil, err
+	}
+	w := &ast.WithStmt{}
+	for {
+		t := p.peek()
+		if t.Kind != lexer.Ident {
+			return nil, p.errf("expected CTE name, found %q", t.Text)
+		}
+		p.next()
+		cte := ast.CTE{Name: t.Text}
+		if p.acceptSymbol("(") {
+			for {
+				c := p.peek()
+				if c.Kind != lexer.Ident {
+					return nil, p.errf("expected column alias in CTE %s", cte.Name)
+				}
+				p.next()
+				cte.ColAliases = append(cte.ColAliases, c.Text)
+				if !p.acceptSymbol(",") {
+					break
+				}
+			}
+			if err := p.expectSymbol(")"); err != nil {
+				return nil, err
+			}
+		}
+		if err := p.expectKeyword("as"); err != nil {
+			return nil, err
+		}
+		if err := p.expectSymbol("("); err != nil {
+			return nil, err
+		}
+		q, err := p.parseQuery()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		cte.Query = q
+		w.CTEs = append(w.CTEs, cte)
+		if !p.acceptSymbol(",") {
+			break
+		}
+	}
+	body, err := p.parseQuery()
+	if err != nil {
+		return nil, err
+	}
+	w.Body = body
+	return w, nil
+}
+
+func (p *parser) parseSelect() (*ast.SelectStmt, error) {
+	if p.acceptSymbol("(") {
+		// Parenthesized select block: allow "(select ...)" as a branch.
+		inner, err := p.parseSelect()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		return inner, nil
+	}
+	if err := p.expectKeyword("select"); err != nil {
+		return nil, err
+	}
+	s := &ast.SelectStmt{}
+	if p.acceptKeyword("distinct") {
+		s.Distinct = true
+	} else {
+		p.acceptKeyword("all")
+	}
+	// select list
+	for {
+		item, err := p.parseSelectItem()
+		if err != nil {
+			return nil, err
+		}
+		s.Items = append(s.Items, item)
+		if !p.acceptSymbol(",") {
+			break
+		}
+	}
+	if p.acceptKeyword("from") {
+		for {
+			te, err := p.parseTableExpr()
+			if err != nil {
+				return nil, err
+			}
+			s.From = append(s.From, te)
+			if !p.acceptSymbol(",") {
+				break
+			}
+		}
+	}
+	if p.acceptKeyword("where") {
+		w, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		s.Where = w
+	}
+	if p.isKeyword("group") {
+		p.next()
+		if err := p.expectKeyword("by"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			s.GroupBy = append(s.GroupBy, e)
+			if !p.acceptSymbol(",") {
+				break
+			}
+		}
+	}
+	if p.acceptKeyword("having") {
+		h, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		s.Having = h
+	}
+	if p.isKeyword("order") {
+		p.next()
+		if err := p.expectKeyword("by"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			item := ast.OrderItem{Expr: e}
+			if p.acceptKeyword("desc") {
+				item.Desc = true
+			} else {
+				p.acceptKeyword("asc")
+			}
+			s.OrderBy = append(s.OrderBy, item)
+			if !p.acceptSymbol(",") {
+				break
+			}
+		}
+	}
+	if p.acceptKeyword("limit") {
+		t := p.peek()
+		if t.Kind != lexer.Number {
+			return nil, p.errf("expected number after LIMIT")
+		}
+		p.next()
+		n, err := strconv.ParseInt(t.Text, 10, 64)
+		if err != nil {
+			return nil, p.errf("bad LIMIT %q", t.Text)
+		}
+		s.Limit = &n
+	}
+	return s, nil
+}
+
+func (p *parser) parseSelectItem() (ast.SelectItem, error) {
+	// "*" or "ident.*"
+	if p.isSymbol("*") {
+		p.next()
+		return ast.SelectItem{Star: true}, nil
+	}
+	if p.peek().Kind == lexer.Ident && p.peek2().Kind == lexer.Symbol && p.peek2().Text == "." {
+		// lookahead for t.*
+		if p.pos+2 < len(p.toks) && p.toks[p.pos+2].Kind == lexer.Symbol && p.toks[p.pos+2].Text == "*" {
+			tbl := p.next().Text
+			p.next() // .
+			p.next() // *
+			return ast.SelectItem{Star: true, Table: tbl}, nil
+		}
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return ast.SelectItem{}, err
+	}
+	item := ast.SelectItem{Expr: e}
+	if p.acceptKeyword("as") {
+		t := p.peek()
+		if t.Kind != lexer.Ident {
+			return item, p.errf("expected alias after AS")
+		}
+		p.next()
+		item.Alias = t.Text
+	} else if p.peek().Kind == lexer.Ident {
+		item.Alias = p.next().Text
+	}
+	return item, nil
+}
+
+// parseTableExpr parses one FROM item including JOIN chains.
+func (p *parser) parseTableExpr() (ast.TableExpr, error) {
+	left, err := p.parseTablePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var kind ast.JoinKind
+		switch {
+		case p.isKeyword("join"):
+			p.next()
+			kind = ast.JoinInner
+		case p.isKeyword("inner"):
+			p.next()
+			if err := p.expectKeyword("join"); err != nil {
+				return nil, err
+			}
+			kind = ast.JoinInner
+		case p.isKeyword("left"):
+			p.next()
+			p.acceptKeyword("outer")
+			if err := p.expectKeyword("join"); err != nil {
+				return nil, err
+			}
+			kind = ast.JoinLeftOuter
+		case p.isKeyword("cross"):
+			p.next()
+			if err := p.expectKeyword("join"); err != nil {
+				return nil, err
+			}
+			kind = ast.JoinCross
+		default:
+			return left, nil
+		}
+		right, err := p.parseTablePrimary()
+		if err != nil {
+			return nil, err
+		}
+		j := &ast.JoinExpr{Kind: kind, Left: left, Right: right}
+		if kind != ast.JoinCross {
+			if err := p.expectKeyword("on"); err != nil {
+				return nil, err
+			}
+			on, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			j.On = on
+		}
+		left = j
+	}
+}
+
+func (p *parser) parseTablePrimary() (ast.TableExpr, error) {
+	if p.acceptSymbol("(") {
+		// derived table or parenthesized join
+		if p.isKeyword("select") {
+			q, err := p.parseQuery()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectSymbol(")"); err != nil {
+				return nil, err
+			}
+			dt := &ast.DerivedTable{Query: q}
+			p.acceptKeyword("as")
+			if p.peek().Kind != lexer.Ident {
+				return nil, p.errf("derived table requires an alias")
+			}
+			dt.Alias = p.next().Text
+			if p.acceptSymbol("(") {
+				for {
+					if p.peek().Kind != lexer.Ident {
+						return nil, p.errf("expected column alias")
+					}
+					dt.ColAliases = append(dt.ColAliases, p.next().Text)
+					if !p.acceptSymbol(",") {
+						break
+					}
+				}
+				if err := p.expectSymbol(")"); err != nil {
+					return nil, err
+				}
+			}
+			return dt, nil
+		}
+		te, err := p.parseTableExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		return te, nil
+	}
+	t := p.peek()
+	if t.Kind != lexer.Ident {
+		return nil, p.errf("expected table name, found %q", t.Text)
+	}
+	p.next()
+	tn := &ast.TableName{Name: t.Text}
+	if p.acceptKeyword("as") {
+		if p.peek().Kind != lexer.Ident {
+			return nil, p.errf("expected alias after AS")
+		}
+		tn.Alias = p.next().Text
+	} else if p.peek().Kind == lexer.Ident {
+		tn.Alias = p.next().Text
+	}
+	return tn, nil
+}
+
+// Expression grammar, loosest to tightest:
+//
+//	expr    := orExpr
+//	orExpr  := andExpr (OR andExpr)*
+//	andExpr := notExpr (AND notExpr)*
+//	notExpr := NOT notExpr | predicate
+//	predicate := addExpr [cmpOp (addExpr | ANY/ALL subquery)
+//	             | [NOT] BETWEEN | [NOT] IN | [NOT] LIKE | IS [NOT] NULL]
+//	addExpr := mulExpr (('+'|'-') mulExpr)*
+//	mulExpr := unary (('*'|'/'|'%') unary)*
+//	unary   := '-' unary | primary
+func (p *parser) parseExpr() (ast.Expr, error) { return p.parseOr() }
+
+func (p *parser) parseOr() (ast.Expr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKeyword("or") {
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = &ast.BinaryExpr{Op: "or", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAnd() (ast.Expr, error) {
+	l, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.isKeyword("and") {
+		p.next()
+		r, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		l = &ast.BinaryExpr{Op: "and", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseNot() (ast.Expr, error) {
+	if p.acceptKeyword("not") {
+		a, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &ast.UnaryExpr{Op: "not", Arg: a}, nil
+	}
+	return p.parsePredicate()
+}
+
+var cmpOps = map[string]bool{"=": true, "<>": true, "<": true, "<=": true, ">": true, ">=": true}
+
+func (p *parser) parsePredicate() (ast.Expr, error) {
+	l, err := p.parseAdd()
+	if err != nil {
+		return nil, err
+	}
+	// comparison with optional quantifier
+	if t := p.peek(); t.Kind == lexer.Symbol && cmpOps[t.Text] {
+		op := p.next().Text
+		if p.isKeyword("any") || p.isKeyword("some") || p.isKeyword("all") {
+			all := p.next().Text == "all"
+			if err := p.expectSymbol("("); err != nil {
+				return nil, err
+			}
+			q, err := p.parseQuery()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectSymbol(")"); err != nil {
+				return nil, err
+			}
+			return &ast.QuantExpr{Op: op, All: all, L: l, Query: q}, nil
+		}
+		r, err := p.parseAdd()
+		if err != nil {
+			return nil, err
+		}
+		return &ast.BinaryExpr{Op: op, L: l, R: r}, nil
+	}
+	neg := false
+	if p.isKeyword("not") &&
+		(p.peek2().Kind == lexer.Keyword &&
+			(p.peek2().Text == "between" || p.peek2().Text == "in" || p.peek2().Text == "like")) {
+		p.next()
+		neg = true
+	}
+	switch {
+	case p.acceptKeyword("between"):
+		lo, err := p.parseAdd()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("and"); err != nil {
+			return nil, err
+		}
+		hi, err := p.parseAdd()
+		if err != nil {
+			return nil, err
+		}
+		return &ast.BetweenExpr{Arg: l, Lo: lo, Hi: hi, Not: neg}, nil
+	case p.acceptKeyword("in"):
+		if err := p.expectSymbol("("); err != nil {
+			return nil, err
+		}
+		if p.isKeyword("select") {
+			q, err := p.parseQuery()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectSymbol(")"); err != nil {
+				return nil, err
+			}
+			return &ast.InExpr{Arg: l, Query: q, Not: neg}, nil
+		}
+		var list []ast.Expr
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			list = append(list, e)
+			if !p.acceptSymbol(",") {
+				break
+			}
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		return &ast.InExpr{Arg: l, List: list, Not: neg}, nil
+	case p.acceptKeyword("like"):
+		r, err := p.parseAdd()
+		if err != nil {
+			return nil, err
+		}
+		return &ast.LikeExpr{L: l, R: r, Not: neg}, nil
+	case p.isKeyword("is"):
+		p.next()
+		not := p.acceptKeyword("not")
+		if err := p.expectKeyword("null"); err != nil {
+			return nil, err
+		}
+		return &ast.IsNullExpr{Arg: l, Not: not}, nil
+	}
+	return l, nil
+}
+
+func (p *parser) parseAdd() (ast.Expr, error) {
+	l, err := p.parseMul()
+	if err != nil {
+		return nil, err
+	}
+	for p.isSymbol("+") || p.isSymbol("-") {
+		op := p.next().Text
+		r, err := p.parseMul()
+		if err != nil {
+			return nil, err
+		}
+		l = &ast.BinaryExpr{Op: op, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseMul() (ast.Expr, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for p.isSymbol("*") || p.isSymbol("/") || p.isSymbol("%") {
+		op := p.next().Text
+		r, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		l = &ast.BinaryExpr{Op: op, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseUnary() (ast.Expr, error) {
+	if p.isSymbol("-") {
+		p.next()
+		a, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &ast.UnaryExpr{Op: "-", Arg: a}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (ast.Expr, error) {
+	t := p.peek()
+	switch t.Kind {
+	case lexer.Number:
+		p.next()
+		if strings.Contains(t.Text, ".") {
+			f, err := strconv.ParseFloat(t.Text, 64)
+			if err != nil {
+				return nil, p.errf("bad number %q", t.Text)
+			}
+			return &ast.NumberLit{Float: f, Text: t.Text}, nil
+		}
+		i, err := strconv.ParseInt(t.Text, 10, 64)
+		if err != nil {
+			return nil, p.errf("bad number %q", t.Text)
+		}
+		return &ast.NumberLit{IsInt: true, Int: i, Text: t.Text}, nil
+	case lexer.String:
+		p.next()
+		return &ast.StringLit{Val: t.Text}, nil
+	case lexer.Keyword:
+		switch t.Text {
+		case "null":
+			p.next()
+			return &ast.NullLit{}, nil
+		case "true", "false":
+			p.next()
+			return &ast.BoolLit{Val: t.Text == "true"}, nil
+		case "date":
+			p.next()
+			s := p.peek()
+			if s.Kind != lexer.String {
+				return nil, p.errf("expected string after DATE")
+			}
+			p.next()
+			return &ast.DateLit{Val: s.Text}, nil
+		case "interval":
+			p.next()
+			s := p.peek()
+			if s.Kind != lexer.String {
+				return nil, p.errf("expected quoted count after INTERVAL")
+			}
+			p.next()
+			n, err := strconv.ParseInt(s.Text, 10, 64)
+			if err != nil {
+				return nil, p.errf("bad interval count %q", s.Text)
+			}
+			u := p.peek()
+			unit := strings.ToLower(u.Text)
+			if u.Kind != lexer.Ident || (unit != "day" && unit != "month" && unit != "year") {
+				return nil, p.errf("expected DAY, MONTH or YEAR after interval count")
+			}
+			p.next()
+			return &ast.IntervalLit{N: n, Unit: unit}, nil
+		case "case":
+			return p.parseCase()
+		case "exists":
+			p.next()
+			if err := p.expectSymbol("("); err != nil {
+				return nil, err
+			}
+			q, err := p.parseQuery()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectSymbol(")"); err != nil {
+				return nil, err
+			}
+			return &ast.ExistsExpr{Query: q}, nil
+		}
+		return nil, p.errf("unexpected keyword %q in expression", t.Text)
+	case lexer.Ident:
+		// function call?
+		if p.peek2().Kind == lexer.Symbol && p.peek2().Text == "(" {
+			name := strings.ToLower(p.next().Text)
+			p.next() // (
+			fc := &ast.FuncCall{Name: name}
+			if p.acceptSymbol("*") {
+				fc.Star = true
+				if err := p.expectSymbol(")"); err != nil {
+					return nil, err
+				}
+				return fc, nil
+			}
+			if p.acceptKeyword("distinct") {
+				fc.Distinct = true
+			}
+			if !p.isSymbol(")") {
+				for {
+					a, err := p.parseExpr()
+					if err != nil {
+						return nil, err
+					}
+					fc.Args = append(fc.Args, a)
+					if !p.acceptSymbol(",") {
+						break
+					}
+				}
+			}
+			if err := p.expectSymbol(")"); err != nil {
+				return nil, err
+			}
+			return fc, nil
+		}
+		p.next()
+		id := &ast.Ident{Name: t.Text}
+		if p.acceptSymbol(".") {
+			c := p.peek()
+			if c.Kind != lexer.Ident {
+				return nil, p.errf("expected column after %q.", t.Text)
+			}
+			p.next()
+			id.Table = t.Text
+			id.Name = c.Text
+		}
+		return id, nil
+	case lexer.Symbol:
+		if t.Text == "(" {
+			p.next()
+			if p.isKeyword("select") {
+				q, err := p.parseQuery()
+				if err != nil {
+					return nil, err
+				}
+				if err := p.expectSymbol(")"); err != nil {
+					return nil, err
+				}
+				return &ast.SubqueryExpr{Query: q}, nil
+			}
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectSymbol(")"); err != nil {
+				return nil, err
+			}
+			return e, nil
+		}
+	}
+	return nil, p.errf("unexpected %q in expression", t.Text)
+}
+
+func (p *parser) parseCase() (ast.Expr, error) {
+	if err := p.expectKeyword("case"); err != nil {
+		return nil, err
+	}
+	c := &ast.CaseExpr{}
+	for p.acceptKeyword("when") {
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("then"); err != nil {
+			return nil, err
+		}
+		then, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		c.Whens = append(c.Whens, ast.WhenClause{Cond: cond, Then: then})
+	}
+	if len(c.Whens) == 0 {
+		return nil, p.errf("CASE requires at least one WHEN")
+	}
+	if p.acceptKeyword("else") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		c.Else = e
+	}
+	if err := p.expectKeyword("end"); err != nil {
+		return nil, err
+	}
+	return c, nil
+}

@@ -1,0 +1,415 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+
+	"orthoq/internal/sql/ast"
+)
+
+func mustParse(t *testing.T, sql string) ast.Query {
+	t.Helper()
+	q, err := Parse(sql)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", sql, err)
+	}
+	return q
+}
+
+func sel(t *testing.T, sql string) *ast.SelectStmt {
+	t.Helper()
+	q := mustParse(t, sql)
+	s, ok := q.(*ast.SelectStmt)
+	if !ok {
+		t.Fatalf("want SelectStmt, got %T", q)
+	}
+	return s
+}
+
+func TestBasicSelect(t *testing.T) {
+	s := sel(t, "select a, b as bee, t.c from t where a < 10")
+	if len(s.Items) != 3 {
+		t.Fatalf("items = %d", len(s.Items))
+	}
+	if s.Items[1].Alias != "bee" {
+		t.Errorf("alias = %q", s.Items[1].Alias)
+	}
+	if id, ok := s.Items[2].Expr.(*ast.Ident); !ok || id.Table != "t" || id.Name != "c" {
+		t.Errorf("qualified ident = %#v", s.Items[2].Expr)
+	}
+	if _, ok := s.Where.(*ast.BinaryExpr); !ok {
+		t.Errorf("where = %#v", s.Where)
+	}
+}
+
+func TestStarForms(t *testing.T) {
+	s := sel(t, "select * from t")
+	if !s.Items[0].Star || s.Items[0].Table != "" {
+		t.Errorf("star item = %#v", s.Items[0])
+	}
+	s = sel(t, "select t.*, a from t")
+	if !s.Items[0].Star || s.Items[0].Table != "t" {
+		t.Errorf("t.* item = %#v", s.Items[0])
+	}
+	if s.Items[1].Star {
+		t.Error("second item is not star")
+	}
+}
+
+func TestImplicitAliasWithoutAS(t *testing.T) {
+	s := sel(t, "select sum(x) total from t u")
+	if s.Items[0].Alias != "total" {
+		t.Errorf("alias = %q", s.Items[0].Alias)
+	}
+	tn := s.From[0].(*ast.TableName)
+	if tn.Name != "t" || tn.Alias != "u" {
+		t.Errorf("from = %#v", tn)
+	}
+}
+
+func TestJoinForms(t *testing.T) {
+	s := sel(t, `select * from a join b on a.x = b.x
+		left outer join c on b.y = c.y cross join d`)
+	top, ok := s.From[0].(*ast.JoinExpr)
+	if !ok || top.Kind != ast.JoinCross {
+		t.Fatalf("top join = %#v", s.From[0])
+	}
+	mid := top.Left.(*ast.JoinExpr)
+	if mid.Kind != ast.JoinLeftOuter || mid.On == nil {
+		t.Errorf("mid join = %#v", mid)
+	}
+	inner := mid.Left.(*ast.JoinExpr)
+	if inner.Kind != ast.JoinInner {
+		t.Errorf("inner join = %#v", inner)
+	}
+}
+
+func TestCommaFrom(t *testing.T) {
+	s := sel(t, "select * from a, b, c where a.x = b.x")
+	if len(s.From) != 3 {
+		t.Errorf("from = %d items", len(s.From))
+	}
+}
+
+func TestDerivedTable(t *testing.T) {
+	s := sel(t, `select v from (select x as v from t group by x) as d where v > 0`)
+	dt, ok := s.From[0].(*ast.DerivedTable)
+	if !ok || dt.Alias != "d" {
+		t.Fatalf("derived = %#v", s.From[0])
+	}
+	inner := dt.Query.(*ast.SelectStmt)
+	if len(inner.GroupBy) != 1 {
+		t.Errorf("inner group by = %d", len(inner.GroupBy))
+	}
+	// Alias required.
+	if _, err := Parse("select * from (select 1 as one)"); err == nil {
+		t.Error("derived table without alias accepted")
+	}
+}
+
+func TestDerivedTableColumnAliases(t *testing.T) {
+	s := sel(t, "select a from (select 1 as one, 2 as two) as d(a, b)")
+	dt := s.From[0].(*ast.DerivedTable)
+	if len(dt.ColAliases) != 2 || dt.ColAliases[0] != "a" {
+		t.Errorf("col aliases = %v", dt.ColAliases)
+	}
+}
+
+func TestScalarSubqueryAndExists(t *testing.T) {
+	s := sel(t, `select c_custkey from customer
+		where 1000000 < (select sum(o_totalprice) from orders where o_custkey = c_custkey)`)
+	cmp := s.Where.(*ast.BinaryExpr)
+	if cmp.Op != "<" {
+		t.Fatalf("op = %q", cmp.Op)
+	}
+	if _, ok := cmp.R.(*ast.SubqueryExpr); !ok {
+		t.Errorf("rhs = %#v", cmp.R)
+	}
+	s = sel(t, `select 1 as one from t where exists (select 1 as one from u) and not exists (select 2 as two from v)`)
+	and := s.Where.(*ast.BinaryExpr)
+	if _, ok := and.L.(*ast.ExistsExpr); !ok {
+		t.Errorf("lhs = %#v", and.L)
+	}
+	not := and.R.(*ast.UnaryExpr)
+	if _, ok := not.Arg.(*ast.ExistsExpr); !ok || not.Op != "not" {
+		t.Errorf("rhs = %#v", and.R)
+	}
+}
+
+func TestInForms(t *testing.T) {
+	s := sel(t, "select 1 as one from t where x in (1, 2, 3) and y not in (select z from u)")
+	and := s.Where.(*ast.BinaryExpr)
+	inl := and.L.(*ast.InExpr)
+	if len(inl.List) != 3 || inl.Not {
+		t.Errorf("in list = %#v", inl)
+	}
+	inq := and.R.(*ast.InExpr)
+	if inq.Query == nil || !inq.Not {
+		t.Errorf("in subquery = %#v", inq)
+	}
+}
+
+func TestQuantified(t *testing.T) {
+	s := sel(t, "select 1 as one from t where x > all (select y from u) and x = any (select y from u)")
+	and := s.Where.(*ast.BinaryExpr)
+	qa := and.L.(*ast.QuantExpr)
+	if !qa.All || qa.Op != ">" {
+		t.Errorf("all = %#v", qa)
+	}
+	qs := and.R.(*ast.QuantExpr)
+	if qs.All || qs.Op != "=" {
+		t.Errorf("any = %#v", qs)
+	}
+}
+
+func TestPrecedence(t *testing.T) {
+	s := sel(t, "select 1 as one from t where a or b and not c")
+	or := s.Where.(*ast.BinaryExpr)
+	if or.Op != "or" {
+		t.Fatalf("top = %q", or.Op)
+	}
+	and := or.R.(*ast.BinaryExpr)
+	if and.Op != "and" {
+		t.Fatalf("right of or = %q", and.Op)
+	}
+	if _, ok := and.R.(*ast.UnaryExpr); !ok {
+		t.Errorf("not = %#v", and.R)
+	}
+	// arithmetic precedence
+	s = sel(t, "select a + b * c - d as v from t")
+	top := s.Items[0].Expr.(*ast.BinaryExpr)
+	if top.Op != "-" {
+		t.Fatalf("top arith = %q", top.Op)
+	}
+	add := top.L.(*ast.BinaryExpr)
+	if add.Op != "+" {
+		t.Fatalf("left = %q", add.Op)
+	}
+	if mul := add.R.(*ast.BinaryExpr); mul.Op != "*" {
+		t.Errorf("b*c = %q", mul.Op)
+	}
+}
+
+func TestBetweenLikeIsNull(t *testing.T) {
+	s := sel(t, `select 1 as one from t where a between 1 and 10
+		and b not like 'x%' and c is not null and d is null`)
+	conj := flattenAnd(s.Where)
+	if len(conj) != 4 {
+		t.Fatalf("conjuncts = %d", len(conj))
+	}
+	if b := conj[0].(*ast.BetweenExpr); b.Not {
+		t.Error("between negated")
+	}
+	if l := conj[1].(*ast.LikeExpr); !l.Not {
+		t.Error("not like lost")
+	}
+	if n := conj[2].(*ast.IsNullExpr); !n.Not {
+		t.Error("is not null lost")
+	}
+	if n := conj[3].(*ast.IsNullExpr); n.Not {
+		t.Error("is null wrong")
+	}
+}
+
+func flattenAnd(e ast.Expr) []ast.Expr {
+	if b, ok := e.(*ast.BinaryExpr); ok && b.Op == "and" {
+		return append(flattenAnd(b.L), flattenAnd(b.R)...)
+	}
+	return []ast.Expr{e}
+}
+
+func TestAggregates(t *testing.T) {
+	s := sel(t, "select count(*) as c, count(distinct x) as d, sum(y + 1) as s from t group by z having count(*) > 5")
+	if fc := s.Items[0].Expr.(*ast.FuncCall); !fc.Star || fc.Name != "count" {
+		t.Errorf("count(*) = %#v", fc)
+	}
+	if fc := s.Items[1].Expr.(*ast.FuncCall); !fc.Distinct {
+		t.Errorf("count(distinct) = %#v", fc)
+	}
+	if s.Having == nil {
+		t.Error("having lost")
+	}
+}
+
+func TestCase(t *testing.T) {
+	s := sel(t, "select case when a > 0 then 1 when a < 0 then -1 else 0 end as sign from t")
+	c := s.Items[0].Expr.(*ast.CaseExpr)
+	if len(c.Whens) != 2 || c.Else == nil {
+		t.Errorf("case = %#v", c)
+	}
+	if _, err := Parse("select case else 0 end as x from t"); err == nil {
+		t.Error("CASE without WHEN accepted")
+	}
+}
+
+func TestUnionAll(t *testing.T) {
+	q := mustParse(t, "select a from t union all select b from u union all select c from v")
+	u, ok := q.(*ast.UnionStmt)
+	if !ok {
+		t.Fatalf("got %T", q)
+	}
+	if _, ok := u.Left.(*ast.UnionStmt); !ok {
+		t.Error("union should be left-associative")
+	}
+	if _, err := Parse("select a from t union select b from u"); err == nil {
+		t.Error("bare UNION (distinct) should be rejected")
+	}
+}
+
+func TestOrderLimitDateLiterals(t *testing.T) {
+	s := sel(t, "select a from t where d >= date '1994-01-01' order by a desc, b limit 10")
+	if len(s.OrderBy) != 2 || !s.OrderBy[0].Desc || s.OrderBy[1].Desc {
+		t.Errorf("order = %#v", s.OrderBy)
+	}
+	if s.Limit == nil || *s.Limit != 10 {
+		t.Errorf("limit = %v", s.Limit)
+	}
+	cmp := s.Where.(*ast.BinaryExpr)
+	if d, ok := cmp.R.(*ast.DateLit); !ok || d.Val != "1994-01-01" {
+		t.Errorf("date = %#v", cmp.R)
+	}
+}
+
+func TestStringEscapes(t *testing.T) {
+	s := sel(t, "select 'it''s' as v")
+	if lit := s.Items[0].Expr.(*ast.StringLit); lit.Val != "it's" {
+		t.Errorf("escaped string = %q", lit.Val)
+	}
+}
+
+func TestComments(t *testing.T) {
+	sel(t, `select a -- trailing comment
+		from t -- another
+		where a > 0`)
+}
+
+func TestErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"select",
+		"select a from",
+		"select a from t where",
+		"select a from t group",
+		"select a from t join u",      // missing ON
+		"select a from (select b)",    // derived needs alias
+		"select a from t limit x",     // non-numeric limit
+		"select a from t; select b",   // trailing garbage
+		"select 'unterminated from t", // bad string
+		"select a from t where x in ()",
+		"select a betwixt 1 and 2 from t",
+	}
+	for _, sql := range bad {
+		if _, err := Parse(sql); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", sql)
+		}
+	}
+}
+
+func TestErrorHasPosition(t *testing.T) {
+	_, err := Parse("select a\nfrom t whre x")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if !strings.Contains(err.Error(), "line 2") {
+		t.Errorf("error lacks line info: %v", err)
+	}
+}
+
+func TestPaperQ1(t *testing.T) {
+	// The paper's running example must parse.
+	mustParse(t, `
+		select c_custkey
+		from customer
+		where 1000000 <
+			(select sum(o_totalprice)
+			 from orders
+			 where o_custkey = c_custkey)`)
+}
+
+func TestPaperClass2Query(t *testing.T) {
+	// The §2.5 class-2 example (UNION ALL inside a correlated subquery).
+	mustParse(t, `
+		select ps_partkey
+		from partsupp
+		where 100 >
+			(select sum(s_acctbal) from
+				(select s_acctbal
+				 from supplier
+				 where s_suppkey = ps_suppkey
+				 union all
+				 select p_retailprice
+				 from part
+				 where p_partkey = ps_partkey) as unionresult)`)
+}
+
+func TestTPCHQ17(t *testing.T) {
+	mustParse(t, `
+		select sum(l_extendedprice) / 7.0 as avg_yearly
+		from lineitem, part
+		where p_partkey = l_partkey
+		  and p_brand = 'Brand#23'
+		  and p_container = 'MED BOX'
+		  and l_quantity < (
+			select 0.2 * avg(l_quantity)
+			from lineitem
+			where l_partkey = p_partkey)`)
+}
+
+func TestExceptAll(t *testing.T) {
+	q := mustParse(t, "select a from t except all select b from u")
+	e, ok := q.(*ast.ExceptStmt)
+	if !ok {
+		t.Fatalf("got %T", q)
+	}
+	if _, ok := e.Left.(*ast.SelectStmt); !ok {
+		t.Error("left branch")
+	}
+	if _, err := Parse("select a from t except select b from u"); err == nil {
+		t.Error("bare EXCEPT (distinct) should be rejected")
+	}
+	// Mixed chains associate left.
+	q2 := mustParse(t, "select a from t union all select b from u except all select c from v")
+	if _, ok := q2.(*ast.ExceptStmt); !ok {
+		t.Fatalf("mixed chain root = %T", q2)
+	}
+}
+
+func TestWithClause(t *testing.T) {
+	q := mustParse(t, `
+		with rev (sk, total) as (
+			select l_suppkey, sum(l_extendedprice) from lineitem group by l_suppkey),
+		top as (select max(total) as m from rev)
+		select sk from rev, top where total = m`)
+	w, ok := q.(*ast.WithStmt)
+	if !ok {
+		t.Fatalf("got %T", q)
+	}
+	if len(w.CTEs) != 2 || w.CTEs[0].Name != "rev" || len(w.CTEs[0].ColAliases) != 2 {
+		t.Errorf("ctes = %+v", w.CTEs)
+	}
+	if _, ok := w.Body.(*ast.SelectStmt); !ok {
+		t.Errorf("body = %T", w.Body)
+	}
+	if _, err := Parse("with as (select 1 as x) select 1 as y"); err == nil {
+		t.Error("nameless CTE accepted")
+	}
+}
+
+func TestIntervalLiteral(t *testing.T) {
+	s := sel(t, "select a from t where d < date '1993-10-01' + interval '3' month")
+	cmp := s.Where.(*ast.BinaryExpr)
+	add := cmp.R.(*ast.BinaryExpr)
+	iv, ok := add.R.(*ast.IntervalLit)
+	if !ok || iv.N != 3 || iv.Unit != "month" {
+		t.Fatalf("interval = %#v", add.R)
+	}
+	for _, bad := range []string{
+		"select a from t where d < interval month",
+		"select a from t where d < interval '3' fortnight",
+		"select a from t where d < interval 'x' day",
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("accepted %q", bad)
+		}
+	}
+}

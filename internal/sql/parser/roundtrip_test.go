@@ -1,0 +1,49 @@
+package parser
+
+import (
+	"testing"
+
+	"orthoq/internal/sql/ast"
+	"orthoq/internal/tpch"
+)
+
+// TestFormatParseFixpoint: for every benchmark query (and a battery of
+// feature-covering statements), Format(Parse(sql)) must re-parse, and
+// formatting must reach a fixpoint after one round (print∘parse∘print
+// = print).
+func TestFormatParseFixpoint(t *testing.T) {
+	inputs := []string{
+		"select 1 as one",
+		"select distinct a, b as bee, t.c from t as u where a < 10 and b like 'x%'",
+		"select * from a join b on a.x = b.x left outer join c on b.y = c.y",
+		"select a from t where x in (1, 2, 3) and y not in (select z from u)",
+		"select a from t where exists (select 1 as one from u) or not a between 1 and 2",
+		"select count(*) as n, sum(distinct v) as s from t group by g having count(*) > 2",
+		"select case when a > 0 then 'p' else 'n' end as sign from t order by sign desc limit 3",
+		"select a from t union all select b from u except all select c from v",
+		"with w (x) as (select a from t) select x from w",
+		"select a from t where d >= date '1994-01-01' + interval '3' month",
+		"select a from t where v > all (select w from u)",
+		"select x.* , -a as neg from t as x",
+	}
+	for _, q := range tpch.Queries {
+		inputs = append(inputs, q)
+	}
+	for i, sql := range inputs {
+		q1, err := Parse(sql)
+		if err != nil {
+			t.Fatalf("input %d does not parse: %v\n%s", i, err, sql)
+		}
+		printed := ast.Format(q1)
+		q2, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("input %d: formatted SQL does not re-parse: %v\nsql: %s\nprinted: %s",
+				i, err, sql, printed)
+		}
+		printed2 := ast.Format(q2)
+		if printed != printed2 {
+			t.Errorf("input %d: formatting is not a fixpoint\nfirst:  %s\nsecond: %s",
+				i, printed, printed2)
+		}
+	}
+}

@@ -1,0 +1,395 @@
+// Package types implements the SQL value domain used throughout the
+// engine: nullable datums over a small set of primitive types, SQL
+// comparison and arithmetic semantics (including three-valued logic),
+// and hashing support for join and aggregation operators.
+//
+// The representation is a single flat struct so that rows ([]Datum) are
+// contiguous and comparison does not allocate.
+package types
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"time"
+)
+
+// Kind enumerates the primitive SQL types supported by the engine.
+type Kind uint8
+
+// The supported kinds. Unknown is the kind of an untyped NULL.
+const (
+	Unknown Kind = iota
+	Bool
+	Int    // 64-bit signed integer
+	Float  // 64-bit IEEE float; also used for SQL DECIMAL in this engine
+	String // variable-length character data
+	Date   // days since 1970-01-01
+)
+
+// String returns the SQL-ish name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case Unknown:
+		return "unknown"
+	case Bool:
+		return "bool"
+	case Int:
+		return "int"
+	case Float:
+		return "float"
+	case String:
+		return "string"
+	case Date:
+		return "date"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Numeric reports whether the kind supports arithmetic.
+func (k Kind) Numeric() bool { return k == Int || k == Float }
+
+// Datum is a single nullable SQL value. The zero value is the untyped
+// NULL. Datums are immutable by convention: operators copy rather than
+// mutate them.
+type Datum struct {
+	kind Kind
+	null bool
+	i    int64 // Int, Date and Bool (0/1) payload
+	f    float64
+	s    string
+}
+
+// Null constructs a typed NULL of the given kind.
+func Null(k Kind) Datum { return Datum{kind: k, null: true} }
+
+// NullUnknown is the untyped NULL.
+var NullUnknown = Datum{kind: Unknown, null: true}
+
+// NewInt returns an Int datum.
+func NewInt(v int64) Datum { return Datum{kind: Int, i: v} }
+
+// NewFloat returns a Float datum.
+func NewFloat(v float64) Datum { return Datum{kind: Float, f: v} }
+
+// NewString returns a String datum.
+func NewString(v string) Datum { return Datum{kind: String, s: v} }
+
+// NewBool returns a Bool datum.
+func NewBool(v bool) Datum {
+	d := Datum{kind: Bool}
+	if v {
+		d.i = 1
+	}
+	return d
+}
+
+// NewDate returns a Date datum holding days since the Unix epoch.
+func NewDate(days int64) Datum { return Datum{kind: Date, i: days} }
+
+// DateFromString parses "YYYY-MM-DD" into a Date datum.
+func DateFromString(s string) (Datum, error) {
+	t, err := time.Parse("2006-01-02", s)
+	if err != nil {
+		return NullUnknown, fmt.Errorf("invalid date %q: %w", s, err)
+	}
+	return NewDate(t.Unix() / 86400), nil
+}
+
+// MustDate is DateFromString that panics on malformed input. It is
+// intended for compile-time-constant dates in tests and generators.
+func MustDate(s string) Datum {
+	d, err := DateFromString(s)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// Kind returns the datum's type.
+func (d Datum) Kind() Kind { return d.kind }
+
+// IsNull reports whether the datum is SQL NULL.
+func (d Datum) IsNull() bool { return d.null }
+
+// Int returns the integer payload. It is valid only for Int kind.
+func (d Datum) Int() int64 { return d.i }
+
+// Float returns the float payload. It is valid only for Float kind.
+func (d Datum) Float() float64 { return d.f }
+
+// Str returns the string payload. It is valid only for String kind.
+func (d Datum) Str() string { return d.s }
+
+// Bool returns the boolean payload. It is valid only for Bool kind.
+func (d Datum) Bool() bool { return d.i != 0 }
+
+// Days returns the date payload (days since epoch), valid for Date kind.
+func (d Datum) Days() int64 { return d.i }
+
+// AsFloat converts a numeric datum to float64. NULL converts to 0 with
+// ok=false.
+func (d Datum) AsFloat() (v float64, ok bool) {
+	if d.null {
+		return 0, false
+	}
+	switch d.kind {
+	case Int:
+		return float64(d.i), true
+	case Float:
+		return d.f, true
+	}
+	return 0, false
+}
+
+// String renders the datum for display and plan formatting.
+func (d Datum) String() string {
+	if d.null {
+		return "NULL"
+	}
+	switch d.kind {
+	case Bool:
+		if d.i != 0 {
+			return "true"
+		}
+		return "false"
+	case Int:
+		return strconv.FormatInt(d.i, 10)
+	case Float:
+		return strconv.FormatFloat(d.f, 'f', -1, 64)
+	case String:
+		return "'" + d.s + "'"
+	case Date:
+		return time.Unix(d.i*86400, 0).UTC().Format("2006-01-02")
+	default:
+		return "?"
+	}
+}
+
+// Compare orders two datums. NULLs sort before all non-NULL values
+// (this total order is used for sorting and ordered indexes; SQL
+// comparison semantics with NULL propagation live in CompareSQL).
+// Cross-kind numeric comparisons (Int vs Float) are supported; any other
+// kind mismatch panics, since the algebrizer assigns consistent types.
+func Compare(a, b Datum) int {
+	switch {
+	case a.null && b.null:
+		return 0
+	case a.null:
+		return -1
+	case b.null:
+		return 1
+	}
+	if a.kind != b.kind {
+		af, aok := a.AsFloat()
+		bf, bok := b.AsFloat()
+		if aok && bok {
+			return cmpFloat(af, bf)
+		}
+		panic(fmt.Sprintf("types: cannot compare %s with %s", a.kind, b.kind))
+	}
+	switch a.kind {
+	case Bool, Int, Date:
+		return cmpInt(a.i, b.i)
+	case Float:
+		return cmpFloat(a.f, b.f)
+	case String:
+		switch {
+		case a.s < b.s:
+			return -1
+		case a.s > b.s:
+			return 1
+		}
+		return 0
+	}
+	return 0
+}
+
+func cmpInt(a, b int64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	}
+	return 0
+}
+
+func cmpFloat(a, b float64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	}
+	return 0
+}
+
+// TriBool is SQL three-valued logic: True, False or Null.
+type TriBool uint8
+
+// Three-valued logic constants.
+const (
+	TriFalse TriBool = iota
+	TriTrue
+	TriNull
+)
+
+// String renders a TriBool.
+func (t TriBool) String() string {
+	switch t {
+	case TriTrue:
+		return "true"
+	case TriFalse:
+		return "false"
+	default:
+		return "null"
+	}
+}
+
+// TriOf lifts a Go bool into TriBool.
+func TriOf(b bool) TriBool {
+	if b {
+		return TriTrue
+	}
+	return TriFalse
+}
+
+// And is 3VL conjunction.
+func (t TriBool) And(o TriBool) TriBool {
+	if t == TriFalse || o == TriFalse {
+		return TriFalse
+	}
+	if t == TriNull || o == TriNull {
+		return TriNull
+	}
+	return TriTrue
+}
+
+// Or is 3VL disjunction.
+func (t TriBool) Or(o TriBool) TriBool {
+	if t == TriTrue || o == TriTrue {
+		return TriTrue
+	}
+	if t == TriNull || o == TriNull {
+		return TriNull
+	}
+	return TriFalse
+}
+
+// Not is 3VL negation.
+func (t TriBool) Not() TriBool {
+	switch t {
+	case TriTrue:
+		return TriFalse
+	case TriFalse:
+		return TriTrue
+	default:
+		return TriNull
+	}
+}
+
+// CompareSQL compares with SQL semantics: if either operand is NULL the
+// result of any comparison is unknown (TriNull); otherwise cmp receives
+// the ordering result.
+func CompareSQL(a, b Datum, test func(int) bool) TriBool {
+	if a.null || b.null {
+		return TriNull
+	}
+	return TriOf(test(Compare(a, b)))
+}
+
+// Equal reports strict equality used for grouping and duplicate
+// elimination: NULLs compare equal to each other (SQL GROUP BY
+// semantics), and values equal per Compare.
+func Equal(a, b Datum) bool {
+	if a.null || b.null {
+		return a.null == b.null
+	}
+	return Compare(a, b) == 0
+}
+
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+// Hash returns a hash of the datum consistent with Equal: datums that
+// are Equal hash identically (numeric kinds hash via their float value
+// so 1 and 1.0 collide, matching Compare). FNV-1a is used directly —
+// it is allocation-free and an order of magnitude faster than a
+// per-datum maphash, which matters in hash joins and aggregation.
+func (d Datum) Hash() uint64 {
+	if d.null {
+		return fnvByte(fnvOffset, 0)
+	}
+	switch d.kind {
+	case Bool:
+		return fnvUint64(fnvByte(fnvOffset, 1), uint64(d.i))
+	case Int, Float:
+		// Hash numerics through float64 so Int(1) and Float(1.0),
+		// which compare equal, hash equal too.
+		var f float64
+		if d.kind == Int {
+			f = float64(d.i)
+		} else {
+			f = d.f
+		}
+		return fnvUint64(fnvByte(fnvOffset, 2), math.Float64bits(f))
+	case Date:
+		return fnvUint64(fnvByte(fnvOffset, 3), uint64(d.i))
+	case String:
+		h := fnvByte(fnvOffset, 4)
+		for i := 0; i < len(d.s); i++ {
+			h = fnvByte(h, d.s[i])
+		}
+		return h
+	}
+	return fnvOffset
+}
+
+func fnvByte(h uint64, b byte) uint64 {
+	return (h ^ uint64(b)) * fnvPrime
+}
+
+func fnvUint64(h, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h = fnvByte(h, byte(v>>(8*i)))
+	}
+	return h
+}
+
+// Row is a tuple of datums. Rows are positional; the optimizer maps
+// column IDs to ordinals when building the physical plan.
+type Row []Datum
+
+// Clone returns a deep-enough copy of the row (datums are values).
+func (r Row) Clone() Row {
+	out := make(Row, len(r))
+	copy(out, r)
+	return out
+}
+
+// HashRow hashes the datums at the given ordinals, for hash joins and
+// hash aggregation.
+func HashRow(r Row, ords []int) uint64 {
+	var acc uint64 = 14695981039346656037
+	for _, o := range ords {
+		h := r[o].Hash()
+		acc ^= h
+		acc *= 1099511628211
+	}
+	return acc
+}
+
+// EqualRows reports whether rows agree (per Equal) on the given ordinal
+// pairs.
+func EqualRows(a Row, aOrds []int, b Row, bOrds []int) bool {
+	for i := range aOrds {
+		if !Equal(a[aOrds[i]], b[bOrds[i]]) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,307 @@
+package types
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestDatumConstructorsAndAccessors(t *testing.T) {
+	if d := NewInt(42); d.Kind() != Int || d.Int() != 42 || d.IsNull() {
+		t.Errorf("NewInt: got %v", d)
+	}
+	if d := NewFloat(2.5); d.Kind() != Float || d.Float() != 2.5 {
+		t.Errorf("NewFloat: got %v", d)
+	}
+	if d := NewString("xy"); d.Kind() != String || d.Str() != "xy" {
+		t.Errorf("NewString: got %v", d)
+	}
+	if d := NewBool(true); d.Kind() != Bool || !d.Bool() {
+		t.Errorf("NewBool: got %v", d)
+	}
+	if d := Null(Int); !d.IsNull() || d.Kind() != Int {
+		t.Errorf("Null: got %v", d)
+	}
+}
+
+func TestDateRoundTrip(t *testing.T) {
+	d, err := DateFromString("1994-01-01")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d.String(); got != "1994-01-01" {
+		t.Errorf("date round trip: got %s", got)
+	}
+	if _, err := DateFromString("not-a-date"); err == nil {
+		t.Error("expected error for malformed date")
+	}
+	// Epoch sanity.
+	if d := MustDate("1970-01-01"); d.Days() != 0 {
+		t.Errorf("epoch: got %d days", d.Days())
+	}
+	if d := MustDate("1970-01-02"); d.Days() != 1 {
+		t.Errorf("epoch+1: got %d days", d.Days())
+	}
+}
+
+func TestCompareTotalOrder(t *testing.T) {
+	cases := []struct {
+		a, b Datum
+		want int
+	}{
+		{NewInt(1), NewInt(2), -1},
+		{NewInt(2), NewInt(2), 0},
+		{NewInt(3), NewInt(2), 1},
+		{NewFloat(1.5), NewInt(2), -1},
+		{NewInt(2), NewFloat(1.5), 1},
+		{NewString("a"), NewString("b"), -1},
+		{NewString("b"), NewString("b"), 0},
+		{Null(Int), NewInt(-100), -1},
+		{NewInt(-100), Null(Int), 1},
+		{Null(Int), Null(String), 0},
+		{NewBool(false), NewBool(true), -1},
+		{MustDate("1994-01-01"), MustDate("1995-01-01"), -1},
+	}
+	for _, c := range cases {
+		if got := Compare(c.a, c.b); got != c.want {
+			t.Errorf("Compare(%v,%v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestCompareSQLNullPropagation(t *testing.T) {
+	lt := func(c int) bool { return c < 0 }
+	if got := CompareSQL(Null(Int), NewInt(1), lt); got != TriNull {
+		t.Errorf("NULL < 1 = %v, want null", got)
+	}
+	if got := CompareSQL(NewInt(0), NewInt(1), lt); got != TriTrue {
+		t.Errorf("0 < 1 = %v, want true", got)
+	}
+	if got := CompareSQL(NewInt(2), NewInt(1), lt); got != TriFalse {
+		t.Errorf("2 < 1 = %v, want false", got)
+	}
+}
+
+func TestTriBoolTables(t *testing.T) {
+	vals := []TriBool{TriTrue, TriFalse, TriNull}
+	// Kleene logic truth tables.
+	and := map[[2]TriBool]TriBool{
+		{TriTrue, TriTrue}: TriTrue, {TriTrue, TriFalse}: TriFalse, {TriTrue, TriNull}: TriNull,
+		{TriFalse, TriTrue}: TriFalse, {TriFalse, TriFalse}: TriFalse, {TriFalse, TriNull}: TriFalse,
+		{TriNull, TriTrue}: TriNull, {TriNull, TriFalse}: TriFalse, {TriNull, TriNull}: TriNull,
+	}
+	or := map[[2]TriBool]TriBool{
+		{TriTrue, TriTrue}: TriTrue, {TriTrue, TriFalse}: TriTrue, {TriTrue, TriNull}: TriTrue,
+		{TriFalse, TriTrue}: TriTrue, {TriFalse, TriFalse}: TriFalse, {TriFalse, TriNull}: TriNull,
+		{TriNull, TriTrue}: TriTrue, {TriNull, TriFalse}: TriNull, {TriNull, TriNull}: TriNull,
+	}
+	for _, a := range vals {
+		for _, b := range vals {
+			if got := a.And(b); got != and[[2]TriBool{a, b}] {
+				t.Errorf("%v AND %v = %v", a, b, got)
+			}
+			if got := a.Or(b); got != or[[2]TriBool{a, b}] {
+				t.Errorf("%v OR %v = %v", a, b, got)
+			}
+		}
+	}
+	if TriNull.Not() != TriNull || TriTrue.Not() != TriFalse || TriFalse.Not() != TriTrue {
+		t.Error("Not table wrong")
+	}
+}
+
+func TestEqualNullSemantics(t *testing.T) {
+	if !Equal(Null(Int), Null(String)) {
+		t.Error("grouping equality: NULL == NULL must hold")
+	}
+	if Equal(Null(Int), NewInt(0)) {
+		t.Error("NULL != 0")
+	}
+	if !Equal(NewInt(1), NewFloat(1.0)) {
+		t.Error("1 == 1.0 for grouping")
+	}
+}
+
+func TestHashConsistentWithEqual(t *testing.T) {
+	pairs := [][2]Datum{
+		{NewInt(1), NewFloat(1.0)},
+		{Null(Int), Null(Float)},
+		{NewString("abc"), NewString("abc")},
+		{MustDate("1994-06-01"), MustDate("1994-06-01")},
+	}
+	for _, p := range pairs {
+		if Equal(p[0], p[1]) && p[0].Hash() != p[1].Hash() {
+			t.Errorf("equal datums %v, %v hash differently", p[0], p[1])
+		}
+	}
+}
+
+// randDatum generates a random datum for property tests.
+func randDatum(r *rand.Rand) Datum {
+	switch r.Intn(6) {
+	case 0:
+		return Null(Kind(r.Intn(5)))
+	case 1:
+		return NewInt(int64(r.Intn(20) - 10))
+	case 2:
+		return NewFloat(float64(r.Intn(20)-10) / 2)
+	case 3:
+		return NewString(string(rune('a' + r.Intn(5))))
+	case 4:
+		return NewBool(r.Intn(2) == 0)
+	default:
+		return NewDate(int64(r.Intn(1000)))
+	}
+}
+
+// genDatum wraps randDatum for testing/quick.
+type genDatum struct{ D Datum }
+
+// Generate implements quick.Generator.
+func (genDatum) Generate(r *rand.Rand, _ int) reflect.Value {
+	return reflect.ValueOf(genDatum{randDatum(r)})
+}
+
+func comparable2(a, b Datum) bool {
+	if a.IsNull() || b.IsNull() {
+		return true
+	}
+	if a.Kind() == b.Kind() {
+		return true
+	}
+	return a.Kind().Numeric() && b.Kind().Numeric()
+}
+
+func TestCompareAntisymmetryProperty(t *testing.T) {
+	f := func(x, y genDatum) bool {
+		if !comparable2(x.D, y.D) {
+			return true
+		}
+		return Compare(x.D, y.D) == -Compare(y.D, x.D)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCompareTransitivityProperty(t *testing.T) {
+	f := func(x, y, z genDatum) bool {
+		if !comparable2(x.D, y.D) || !comparable2(y.D, z.D) || !comparable2(x.D, z.D) {
+			return true
+		}
+		if Compare(x.D, y.D) <= 0 && Compare(y.D, z.D) <= 0 {
+			return Compare(x.D, z.D) <= 0
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHashEqualConsistencyProperty(t *testing.T) {
+	f := func(x, y genDatum) bool {
+		if !comparable2(x.D, y.D) {
+			return true
+		}
+		if Equal(x.D, y.D) {
+			return x.D.Hash() == y.D.Hash()
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDeMorganProperty(t *testing.T) {
+	tri := func(n uint8) TriBool { return TriBool(n % 3) }
+	f := func(a, b uint8) bool {
+		x, y := tri(a), tri(b)
+		return x.And(y).Not() == x.Not().Or(y.Not()) &&
+			x.Or(y).Not() == x.Not().And(y.Not())
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestArithBasics(t *testing.T) {
+	mustArith := func(op BinOp, a, b Datum) Datum {
+		t.Helper()
+		d, err := Arith(op, a, b)
+		if err != nil {
+			t.Fatalf("Arith(%v,%v,%v): %v", op, a, b, err)
+		}
+		return d
+	}
+	if d := mustArith(OpAdd, NewInt(2), NewInt(3)); d.Int() != 5 {
+		t.Errorf("2+3 = %v", d)
+	}
+	if d := mustArith(OpMul, NewInt(2), NewFloat(1.5)); d.Float() != 3.0 {
+		t.Errorf("2*1.5 = %v", d)
+	}
+	if d := mustArith(OpDiv, NewFloat(7), NewFloat(2)); d.Float() != 3.5 {
+		t.Errorf("7/2 = %v", d)
+	}
+	if d := mustArith(OpSub, MustDate("1994-01-02"), NewInt(1)); d.String() != "1994-01-01" {
+		t.Errorf("date-1 = %v", d)
+	}
+	if d := mustArith(OpSub, MustDate("1994-01-03"), MustDate("1994-01-01")); d.Int() != 2 {
+		t.Errorf("date-date = %v", d)
+	}
+	if _, err := Arith(OpDiv, NewInt(1), NewInt(0)); err == nil {
+		t.Error("expected division by zero error")
+	}
+	if d := mustArith(OpAdd, Null(Int), NewInt(1)); !d.IsNull() {
+		t.Errorf("NULL+1 = %v, want NULL", d)
+	}
+	if d := mustArith(OpMod, NewInt(7), NewInt(3)); d.Int() != 1 {
+		t.Errorf("7%%3 = %v", d)
+	}
+}
+
+func TestLike(t *testing.T) {
+	cases := []struct {
+		s, p string
+		want bool
+	}{
+		{"MED BOX", "MED BOX", true},
+		{"MED BOX", "MED%", true},
+		{"MED BOX", "%BOX", true},
+		{"MED BOX", "%ED%", true},
+		{"MED BOX", "M_D BOX", true},
+		{"MED BOX", "LG%", false},
+		{"", "%", true},
+		{"", "_", false},
+		{"abc", "%%", true},
+		{"promo burnished", "promo%", true},
+		{"standard", "%promo%", false},
+	}
+	for _, c := range cases {
+		if got := Like(NewString(c.s), NewString(c.p)); got != TriOf(c.want) {
+			t.Errorf("Like(%q,%q) = %v, want %v", c.s, c.p, got, c.want)
+		}
+	}
+	if Like(Null(String), NewString("%")) != TriNull {
+		t.Error("NULL LIKE '%' must be null")
+	}
+}
+
+func TestRowHelpers(t *testing.T) {
+	r := Row{NewInt(1), NewString("a"), Null(Int)}
+	c := r.Clone()
+	c[0] = NewInt(9)
+	if r[0].Int() != 1 {
+		t.Error("Clone must not alias")
+	}
+	a := Row{NewInt(1), NewString("x")}
+	b := Row{NewString("x"), NewInt(1)}
+	if !EqualRows(a, []int{0, 1}, b, []int{1, 0}) {
+		t.Error("EqualRows with ordinal mapping failed")
+	}
+	if HashRow(a, []int{0, 1}) != HashRow(b, []int{1, 0}) {
+		t.Error("HashRow must agree under ordinal mapping")
+	}
+}

@@ -1,0 +1,242 @@
+// Package storage is the in-memory row store backing the engine. Each
+// table holds its rows as []types.Row plus optional hash and ordered
+// indexes declared in the catalog. The store is the engine's substrate:
+// the execution engine scans and seeks through it, and the statistics
+// module profiles it.
+package storage
+
+import (
+	"fmt"
+	"sort"
+
+	"orthoq/internal/sql/catalog"
+	"orthoq/internal/sql/types"
+)
+
+// Table is the stored form of one catalog table.
+type Table struct {
+	Schema *catalog.Table
+	Rows   []types.Row
+
+	hashIdx map[string]*hashIndex // index name -> hash index
+	ordIdx  map[string]*orderedIndex
+}
+
+type hashIndex struct {
+	cols    []int
+	buckets map[uint64][]int // hash -> row ordinals
+}
+
+type orderedIndex struct {
+	cols []int
+	perm []int // row ordinals sorted by cols
+	rows *[]types.Row
+}
+
+// Store is a database instance: catalog plus stored tables.
+type Store struct {
+	Catalog *catalog.Catalog
+	tables  map[string]*Table
+}
+
+// New creates an empty store over the catalog.
+func New(cat *catalog.Catalog) *Store {
+	return &Store{Catalog: cat, tables: make(map[string]*Table)}
+}
+
+// CreateTable registers schema in the catalog and allocates storage.
+func (s *Store) CreateTable(schema *catalog.Table) (*Table, error) {
+	if err := s.Catalog.Add(schema); err != nil {
+		return nil, err
+	}
+	t := &Table{Schema: schema}
+	s.tables[lower(schema.Name)] = t
+	return t, nil
+}
+
+func lower(s string) string {
+	b := []byte(s)
+	for i, c := range b {
+		if c >= 'A' && c <= 'Z' {
+			b[i] = c + 32
+		}
+	}
+	return string(b)
+}
+
+// Table returns the stored table by name.
+func (s *Store) Table(name string) (*Table, bool) {
+	t, ok := s.tables[lower(name)]
+	return t, ok
+}
+
+// Insert appends a row after validating arity and types. NULLs are
+// rejected in non-nullable columns.
+func (t *Table) Insert(row types.Row) error {
+	if len(row) != len(t.Schema.Columns) {
+		return fmt.Errorf("storage: table %s expects %d columns, got %d",
+			t.Schema.Name, len(t.Schema.Columns), len(row))
+	}
+	for i, d := range row {
+		col := t.Schema.Columns[i]
+		if d.IsNull() {
+			if !col.Nullable {
+				return fmt.Errorf("storage: NULL in non-nullable column %s.%s", t.Schema.Name, col.Name)
+			}
+			continue
+		}
+		if d.Kind() != col.Type && !(d.Kind().Numeric() && col.Type.Numeric()) {
+			return fmt.Errorf("storage: column %s.%s wants %s, got %s",
+				t.Schema.Name, col.Name, col.Type, d.Kind())
+		}
+	}
+	t.Rows = append(t.Rows, row)
+	return nil
+}
+
+// InsertAll bulk-inserts rows, stopping at the first error.
+func (t *Table) InsertAll(rows []types.Row) error {
+	for _, r := range rows {
+		if err := t.Insert(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// BuildIndexes (re)builds all indexes declared in the schema. Call after
+// bulk load; loading then indexing is how the TPC-H generator populates
+// the store.
+func (t *Table) BuildIndexes() {
+	t.hashIdx = make(map[string]*hashIndex)
+	t.ordIdx = make(map[string]*orderedIndex)
+	for _, decl := range t.Schema.Indexes {
+		if decl.Ordered {
+			oi := &orderedIndex{cols: decl.Cols, rows: &t.Rows}
+			oi.perm = make([]int, len(t.Rows))
+			for i := range oi.perm {
+				oi.perm[i] = i
+			}
+			cols := decl.Cols
+			sort.SliceStable(oi.perm, func(a, b int) bool {
+				ra, rb := t.Rows[oi.perm[a]], t.Rows[oi.perm[b]]
+				for _, c := range cols {
+					if cmp := types.Compare(ra[c], rb[c]); cmp != 0 {
+						return cmp < 0
+					}
+				}
+				return false
+			})
+			t.ordIdx[decl.Name] = oi
+		} else {
+			hi := &hashIndex{cols: decl.Cols, buckets: make(map[uint64][]int)}
+			for i, r := range t.Rows {
+				h := types.HashRow(r, decl.Cols)
+				hi.buckets[h] = append(hi.buckets[h], i)
+			}
+			t.hashIdx[decl.Name] = hi
+		}
+	}
+}
+
+// Lookup returns the ordinals of rows whose index columns equal the
+// given key datums, using the named index. The index must exist (the
+// optimizer only emits lookups against catalog indexes).
+func (t *Table) Lookup(indexName string, key []types.Datum) []int {
+	if hi, ok := t.hashIdx[indexName]; ok {
+		probe := types.Row(key)
+		kOrds := make([]int, len(key))
+		for i := range kOrds {
+			kOrds[i] = i
+		}
+		h := types.HashRow(probe, kOrds)
+		var out []int
+		for _, ord := range hi.buckets[h] {
+			if types.EqualRows(t.Rows[ord], hi.cols, probe, kOrds) {
+				out = append(out, ord)
+			}
+		}
+		return out
+	}
+	if oi, ok := t.ordIdx[indexName]; ok {
+		return oi.lookup(key)
+	}
+	return nil
+}
+
+func (oi *orderedIndex) lookup(key []types.Datum) []int {
+	rows := *oi.rows
+	cmpAt := func(i int) int {
+		r := rows[oi.perm[i]]
+		for j, kd := range key {
+			if c := types.Compare(r[oi.cols[j]], kd); c != 0 {
+				return c
+			}
+		}
+		return 0
+	}
+	lo := sort.Search(len(oi.perm), func(i int) bool { return cmpAt(i) >= 0 })
+	var out []int
+	for i := lo; i < len(oi.perm) && cmpAt(i) == 0; i++ {
+		out = append(out, oi.perm[i])
+	}
+	return out
+}
+
+// RangeScan returns row ordinals with lo <= indexCols < hi (nil bound =
+// unbounded), via the named ordered index.
+func (t *Table) RangeScan(indexName string, lo, hi []types.Datum) []int {
+	oi, ok := t.ordIdx[indexName]
+	if !ok {
+		return nil
+	}
+	rows := *oi.rows
+	cmpKey := func(i int, key []types.Datum) int {
+		r := rows[oi.perm[i]]
+		for j, kd := range key {
+			if c := types.Compare(r[oi.cols[j]], kd); c != 0 {
+				return c
+			}
+		}
+		return 0
+	}
+	start := 0
+	if lo != nil {
+		start = sort.Search(len(oi.perm), func(i int) bool { return cmpKey(i, lo) >= 0 })
+	}
+	end := len(oi.perm)
+	if hi != nil {
+		end = sort.Search(len(oi.perm), func(i int) bool { return cmpKey(i, hi) >= 0 })
+	}
+	out := make([]int, 0, end-start)
+	for i := start; i < end; i++ {
+		out = append(out, oi.perm[i])
+	}
+	return out
+}
+
+// HasIndex reports whether an index with the name has been built.
+func (t *Table) HasIndex(name string) bool {
+	_, h := t.hashIdx[name]
+	_, o := t.ordIdx[name]
+	return h || o
+}
+
+// AllRows exposes the stored rows (read-only by convention); it
+// satisfies the execution engine's table access interface.
+func (t *Table) AllRows() []types.Row { return t.Rows }
+
+// LookupOrds is Lookup under the execution engine's interface name.
+func (t *Table) LookupOrds(index string, key []types.Datum) []int {
+	return t.Lookup(index, key)
+}
+
+// NewFromCatalog creates a store with (empty) table storage allocated
+// for every table already registered in the catalog.
+func NewFromCatalog(cat *catalog.Catalog) *Store {
+	s := &Store{Catalog: cat, tables: make(map[string]*Table)}
+	for _, t := range cat.Tables() {
+		s.tables[lower(t.Name)] = &Table{Schema: t}
+	}
+	return s
+}

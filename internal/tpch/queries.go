@@ -1,0 +1,200 @@
+package tpch
+
+// Query texts for the benchmark. These are the TPC-H queries the
+// paper's techniques apply to, adapted to the engine's SQL subset
+// (interval arithmetic is pre-folded into date literals; Q2's ORDER BY
+// is kept). The paper's evaluation (§5) highlights Q2 and Q17.
+var Queries = map[string]string{
+	// Q1: pricing summary report (pure aggregation; exercises GroupBy
+	// and LocalGroupBy machinery, no subqueries).
+	"Q1": `
+select l_returnflag, l_linestatus,
+       sum(l_quantity) as sum_qty,
+       sum(l_extendedprice) as sum_base_price,
+       sum(l_extendedprice * (1 - l_discount)) as sum_disc_price,
+       sum(l_extendedprice * (1 - l_discount) * (1 + l_tax)) as sum_charge,
+       avg(l_quantity) as avg_qty,
+       avg(l_extendedprice) as avg_price,
+       avg(l_discount) as avg_disc,
+       count(*) as count_order
+from lineitem
+where l_shipdate <= date '1998-09-01'
+group by l_returnflag, l_linestatus
+order by l_returnflag, l_linestatus`,
+
+	// Q2: minimum cost supplier — the paper's first headline query: a
+	// correlated scalar min() subquery over a four-table join.
+	"Q2": `
+select s_acctbal, s_name, n_name, p_partkey, p_mfgr, s_address, s_phone
+from part, supplier, partsupp, nation, region
+where p_partkey = ps_partkey
+  and s_suppkey = ps_suppkey
+  and p_size = 15
+  and p_type like '%BRASS'
+  and s_nationkey = n_nationkey
+  and n_regionkey = r_regionkey
+  and r_name = 'EUROPE'
+  and ps_supplycost = (
+        select min(ps_supplycost)
+        from partsupp, supplier, nation, region
+        where p_partkey = ps_partkey
+          and s_suppkey = ps_suppkey
+          and s_nationkey = n_nationkey
+          and n_regionkey = r_regionkey
+          and r_name = 'EUROPE')
+order by s_acctbal desc, n_name, s_name, p_partkey
+limit 100`,
+
+	// Q4: order priority checking (EXISTS subquery -> semijoin).
+	"Q4": `
+select o_orderpriority, count(*) as order_count
+from orders
+where o_orderdate >= date '1993-07-01'
+  and o_orderdate < date '1993-07-01' + interval '3' month
+  and exists (
+        select l_orderkey from lineitem
+        where l_orderkey = o_orderkey and l_commitdate < l_receiptdate)
+group by o_orderpriority
+order by o_orderpriority`,
+
+	// Q11: important stock identification (HAVING compared against an
+	// uncorrelated scalar subquery over the same join — class 1,
+	// flattens into a cross join with a scalar aggregate).
+	"Q11": `
+select ps_partkey, sum(ps_supplycost * ps_availqty) as value
+from partsupp, supplier, nation
+where ps_suppkey = s_suppkey
+  and s_nationkey = n_nationkey
+  and n_name = 'GERMANY'
+group by ps_partkey
+having sum(ps_supplycost * ps_availqty) > (
+        select sum(ps_supplycost * ps_availqty) * 0.001
+        from partsupp, supplier, nation
+        where ps_suppkey = s_suppkey
+          and s_nationkey = n_nationkey
+          and n_name = 'GERMANY')
+order by value desc
+limit 100`,
+
+	// Q15: top supplier — a WITH view referenced twice, once under an
+	// uncorrelated scalar max() subquery (common-subexpression
+	// flattening).
+	"Q15": `
+with revenue (supplier_no, total_revenue) as (
+        select l_suppkey, sum(l_extendedprice * (1 - l_discount))
+        from lineitem
+        where l_shipdate >= date '1996-01-01'
+          and l_shipdate < date '1996-01-01' + interval '3' month
+        group by l_suppkey)
+select s_suppkey, s_name, s_address, s_phone, total_revenue
+from supplier, revenue
+where s_suppkey = supplier_no
+  and total_revenue = (
+        select max(total_revenue) from revenue)
+order by s_suppkey`,
+
+	// Q16: parts/supplier relationship (NOT IN subquery).
+	"Q16": `
+select p_brand, p_type, p_size, count(distinct ps_suppkey) as supplier_cnt
+from partsupp, part
+where p_partkey = ps_partkey
+  and p_brand <> 'Brand#45'
+  and p_type not like 'MEDIUM POLISHED%'
+  and p_size in (49, 14, 23, 45, 19, 3, 36, 9)
+  and ps_suppkey not in (
+        select s_suppkey from supplier
+        where s_comment like '%Customer%Complaints%')
+group by p_brand, p_type, p_size
+order by supplier_cnt desc, p_brand, p_type, p_size`,
+
+	// Q17: small-quantity-order revenue — the paper's second headline
+	// query: correlated avg() subquery against the same table
+	// (SegmentApply territory, §3.4).
+	"Q17": `
+select sum(l_extendedprice) / 7.0 as avg_yearly
+from lineitem, part
+where p_partkey = l_partkey
+  and p_brand = 'Brand#23'
+  and p_container = 'MED BOX'
+  and l_quantity < (
+        select 0.2 * avg(l_quantity)
+        from lineitem
+        where l_partkey = p_partkey)`,
+
+	// Q18: large volume customer (IN over an aggregated subquery).
+	"Q18": `
+select c_name, c_custkey, o_orderkey, o_orderdate, o_totalprice, sum(l_quantity) as total_qty
+from customer, orders, lineitem
+where o_orderkey in (
+        select l_orderkey
+        from (select l_orderkey, sum(l_quantity) as q
+              from lineitem group by l_orderkey) as big
+        where q > 250)
+  and c_custkey = o_custkey
+  and o_orderkey = l_orderkey
+group by c_name, c_custkey, o_orderkey, o_orderdate, o_totalprice
+order by o_totalprice desc, o_orderdate
+limit 100`,
+
+	// Q20: potential part promotion (nested IN + correlated scalar
+	// aggregate; two levels of subquery).
+	"Q20": `
+select s_name, s_address
+from supplier, nation
+where s_suppkey in (
+        select ps_suppkey
+        from partsupp
+        where ps_partkey in (
+                select p_partkey from part where p_name like 'a%')
+          and ps_availqty > (
+                select 0.5 * sum(l_quantity)
+                from lineitem
+                where l_partkey = ps_partkey
+                  and l_suppkey = ps_suppkey
+                  and l_shipdate >= date '1994-01-01'
+                  and l_shipdate < date '1994-01-01' + interval '1' year))
+  and s_nationkey = n_nationkey
+  and n_name = 'CANADA'
+order by s_name`,
+
+	// Q21: suppliers who kept orders waiting (EXISTS + NOT EXISTS over
+	// the same table — multiple correlated existential subqueries).
+	"Q21": `
+select s_name, count(*) as numwait
+from supplier, lineitem l1, orders, nation
+where s_suppkey = l1.l_suppkey
+  and o_orderkey = l1.l_orderkey
+  and o_orderstatus = 'F'
+  and l1.l_receiptdate > l1.l_commitdate
+  and exists (
+        select l2.l_orderkey from lineitem l2
+        where l2.l_orderkey = l1.l_orderkey
+          and l2.l_suppkey <> l1.l_suppkey)
+  and not exists (
+        select l3.l_orderkey from lineitem l3
+        where l3.l_orderkey = l1.l_orderkey
+          and l3.l_suppkey <> l1.l_suppkey
+          and l3.l_receiptdate > l3.l_commitdate)
+  and s_nationkey = n_nationkey
+  and n_name = 'SAUDI ARABIA'
+group by s_name
+order by numwait desc, s_name
+limit 100`,
+
+	// Q22: global sales opportunity (NOT EXISTS + uncorrelated scalar
+	// subquery over customers).
+	"Q22": `
+select cntrycode, count(*) as numcust, sum(c_acctbal) as totacctbal
+from (select c_nationkey % 10 as cntrycode, c_acctbal, c_custkey
+      from customer
+      where c_acctbal > (
+            select avg(c_acctbal) from customer
+            where c_acctbal > 0.00)) as cust
+where not exists (
+        select o_orderkey from orders where o_custkey = c_custkey)
+group by cntrycode
+order by cntrycode`,
+}
+
+// PaperQueries lists the queries the paper's §5 reports on.
+var PaperQueries = []string{"Q2", "Q17"}

@@ -1,0 +1,176 @@
+// Package tpch provides the TPC-H substrate used by the paper's
+// evaluation (§5): the eight-table schema, a deterministic scaled-down
+// data generator in the spirit of dbgen, and the benchmark query texts
+// relevant to the paper.
+package tpch
+
+import (
+	"orthoq/internal/sql/catalog"
+	"orthoq/internal/sql/types"
+)
+
+// Schema returns the TPC-H catalog. Columns keep their standard names;
+// every table declares its primary key, plus the secondary indexes
+// TPC-H implementations conventionally build on foreign keys (the
+// paper notes TPC-H "has strict rules on what indices are allowed" —
+// FK indexes are allowed and are what correlated index-lookup plans
+// need).
+func Schema() *catalog.Catalog {
+	c := catalog.New()
+	mustAdd := func(t *catalog.Table) {
+		if err := c.Add(t); err != nil {
+			panic(err)
+		}
+	}
+
+	mustAdd(&catalog.Table{
+		Name: "region",
+		Columns: []catalog.Column{
+			{Name: "r_regionkey", Type: types.Int},
+			{Name: "r_name", Type: types.String},
+			{Name: "r_comment", Type: types.String},
+		},
+		Key: []int{0},
+		Indexes: []catalog.Index{
+			{Name: "region_pk", Cols: []int{0}, Unique: true, Ordered: true},
+		},
+	})
+
+	mustAdd(&catalog.Table{
+		Name: "nation",
+		Columns: []catalog.Column{
+			{Name: "n_nationkey", Type: types.Int},
+			{Name: "n_name", Type: types.String},
+			{Name: "n_regionkey", Type: types.Int},
+			{Name: "n_comment", Type: types.String},
+		},
+		Key: []int{0},
+		Indexes: []catalog.Index{
+			{Name: "nation_pk", Cols: []int{0}, Unique: true, Ordered: true},
+			{Name: "nation_rk", Cols: []int{2}},
+		},
+	})
+
+	mustAdd(&catalog.Table{
+		Name: "supplier",
+		Columns: []catalog.Column{
+			{Name: "s_suppkey", Type: types.Int},
+			{Name: "s_name", Type: types.String},
+			{Name: "s_address", Type: types.String},
+			{Name: "s_nationkey", Type: types.Int},
+			{Name: "s_phone", Type: types.String},
+			{Name: "s_acctbal", Type: types.Float},
+			{Name: "s_comment", Type: types.String},
+		},
+		Key: []int{0},
+		Indexes: []catalog.Index{
+			{Name: "supplier_pk", Cols: []int{0}, Unique: true, Ordered: true},
+			{Name: "supplier_nk", Cols: []int{3}},
+		},
+	})
+
+	mustAdd(&catalog.Table{
+		Name: "customer",
+		Columns: []catalog.Column{
+			{Name: "c_custkey", Type: types.Int},
+			{Name: "c_name", Type: types.String},
+			{Name: "c_address", Type: types.String},
+			{Name: "c_nationkey", Type: types.Int},
+			{Name: "c_phone", Type: types.String},
+			{Name: "c_acctbal", Type: types.Float},
+			{Name: "c_mktsegment", Type: types.String},
+			{Name: "c_comment", Type: types.String},
+		},
+		Key: []int{0},
+		Indexes: []catalog.Index{
+			{Name: "customer_pk", Cols: []int{0}, Unique: true, Ordered: true},
+			{Name: "customer_nk", Cols: []int{3}},
+		},
+	})
+
+	mustAdd(&catalog.Table{
+		Name: "part",
+		Columns: []catalog.Column{
+			{Name: "p_partkey", Type: types.Int},
+			{Name: "p_name", Type: types.String},
+			{Name: "p_mfgr", Type: types.String},
+			{Name: "p_brand", Type: types.String},
+			{Name: "p_type", Type: types.String},
+			{Name: "p_size", Type: types.Int},
+			{Name: "p_container", Type: types.String},
+			{Name: "p_retailprice", Type: types.Float},
+			{Name: "p_comment", Type: types.String},
+		},
+		Key: []int{0},
+		Indexes: []catalog.Index{
+			{Name: "part_pk", Cols: []int{0}, Unique: true, Ordered: true},
+		},
+	})
+
+	mustAdd(&catalog.Table{
+		Name: "partsupp",
+		Columns: []catalog.Column{
+			{Name: "ps_partkey", Type: types.Int},
+			{Name: "ps_suppkey", Type: types.Int},
+			{Name: "ps_availqty", Type: types.Int},
+			{Name: "ps_supplycost", Type: types.Float},
+			{Name: "ps_comment", Type: types.String},
+		},
+		Key: []int{0, 1},
+		Indexes: []catalog.Index{
+			{Name: "partsupp_pk", Cols: []int{0, 1}, Unique: true, Ordered: true},
+			{Name: "partsupp_sk", Cols: []int{1}},
+		},
+	})
+
+	mustAdd(&catalog.Table{
+		Name: "orders",
+		Columns: []catalog.Column{
+			{Name: "o_orderkey", Type: types.Int},
+			{Name: "o_custkey", Type: types.Int},
+			{Name: "o_orderstatus", Type: types.String},
+			{Name: "o_totalprice", Type: types.Float},
+			{Name: "o_orderdate", Type: types.Date},
+			{Name: "o_orderpriority", Type: types.String},
+			{Name: "o_clerk", Type: types.String},
+			{Name: "o_shippriority", Type: types.Int},
+			{Name: "o_comment", Type: types.String},
+		},
+		Key: []int{0},
+		Indexes: []catalog.Index{
+			{Name: "orders_pk", Cols: []int{0}, Unique: true, Ordered: true},
+			{Name: "orders_ck", Cols: []int{1}},
+		},
+	})
+
+	mustAdd(&catalog.Table{
+		Name: "lineitem",
+		Columns: []catalog.Column{
+			{Name: "l_orderkey", Type: types.Int},
+			{Name: "l_partkey", Type: types.Int},
+			{Name: "l_suppkey", Type: types.Int},
+			{Name: "l_linenumber", Type: types.Int},
+			{Name: "l_quantity", Type: types.Float},
+			{Name: "l_extendedprice", Type: types.Float},
+			{Name: "l_discount", Type: types.Float},
+			{Name: "l_tax", Type: types.Float},
+			{Name: "l_returnflag", Type: types.String},
+			{Name: "l_linestatus", Type: types.String},
+			{Name: "l_shipdate", Type: types.Date},
+			{Name: "l_commitdate", Type: types.Date},
+			{Name: "l_receiptdate", Type: types.Date},
+			{Name: "l_shipinstruct", Type: types.String},
+			{Name: "l_shipmode", Type: types.String},
+			{Name: "l_comment", Type: types.String},
+		},
+		Key: []int{0, 3},
+		Indexes: []catalog.Index{
+			{Name: "lineitem_pk", Cols: []int{0, 3}, Unique: true, Ordered: true},
+			{Name: "lineitem_ok", Cols: []int{0}},
+			{Name: "lineitem_pk2", Cols: []int{1}},
+			{Name: "lineitem_sk", Cols: []int{2}},
+		},
+	})
+
+	return c
+}
