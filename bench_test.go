@@ -10,6 +10,7 @@ package orthoq
 // EXPERIMENTS.md.
 
 import (
+	"fmt"
 	"sync"
 	"testing"
 )
@@ -170,6 +171,39 @@ func BenchmarkAblationNoJoinReorderQ2(b *testing.B) {
 	cfg := DefaultConfig()
 	cfg.JoinReorder = false
 	benchQuery(b, q, cfg)
+}
+
+// Morsel-driven parallel execution (serial/par2/par4/par8 per
+// workload; speedup over serial requires GOMAXPROCS > 1).
+
+func benchParallel(b *testing.B, sql string) {
+	b.Helper()
+	for _, par := range []int{0, 2, 4, 8} {
+		name := "serial"
+		if par > 0 {
+			name = fmt.Sprintf("par%d", par)
+		}
+		b.Run(name, func(b *testing.B) {
+			cfg := DefaultConfig()
+			cfg.Parallelism = par
+			benchQuery(b, sql, cfg)
+		})
+	}
+}
+
+func BenchmarkParallelScan(b *testing.B) {
+	benchParallel(b, `select l_orderkey, l_extendedprice from lineitem
+		where l_quantity > 30 and l_discount > 0.02`)
+}
+
+func BenchmarkParallelAgg(b *testing.B) {
+	q, _ := TPCHQuery("Q1")
+	benchParallel(b, q)
+}
+
+func BenchmarkParallelJoin(b *testing.B) {
+	benchParallel(b, `select o_orderkey, c_name from orders, customer
+		where o_custkey = c_custkey and o_totalprice > 1000`)
 }
 
 // Compilation benchmarks: optimizer throughput.

@@ -21,17 +21,20 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: figure1|figure8|figure9|ablation|all")
-	sf := flag.Float64("sf", 0.01, "TPC-H scale factor for figure1/figure8/ablation")
+	exp := flag.String("exp", "all", "experiment: figure1|figure8|figure9|ablation|parallel|all")
+	sf := flag.Float64("sf", 0.01, "TPC-H scale factor for figure1/figure8/ablation/parallel")
 	sfList := flag.String("sfs", "0.002,0.005,0.01,0.02", "comma-separated scale factors for figure9")
 	seed := flag.Int64("seed", 1, "data generator seed")
 	reps := flag.Int("reps", 3, "repetitions per measurement (median reported)")
+	jsonOut := flag.Bool("json", false, "emit machine-readable JSON lines (parallel experiment)")
 	flag.Parse()
 
+	ran := false
 	run := func(name string, f func() error) {
 		if *exp != "all" && *exp != name {
 			return
 		}
+		ran = true
 		if err := f(); err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
 			os.Exit(1)
@@ -65,4 +68,10 @@ func main() {
 		return bench.RunFigure9(os.Stdout, sfs, *seed, *reps)
 	})
 	run("ablation", func() error { return bench.RunAblations(os.Stdout, openDB(), *reps) })
+	run("parallel", func() error { return bench.RunParallel(os.Stdout, openDB(), *reps, *jsonOut) })
+
+	if !ran {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q (want figure1|figure8|figure9|ablation|parallel|all)\n", *exp)
+		os.Exit(2)
+	}
 }

@@ -27,6 +27,7 @@ import (
 	"orthoq/internal/exec"
 	"orthoq/internal/opt"
 	"orthoq/internal/sql/parser"
+	"orthoq/internal/sql/types"
 	"orthoq/internal/stats"
 	"orthoq/internal/storage"
 	"orthoq/internal/tpch"
@@ -59,6 +60,7 @@ type Plan struct {
 // Execute runs the plan and reports row count and elapsed time.
 func (p *Plan) Execute(db *DB) (rows int, elapsed time.Duration, err error) {
 	ctx := exec.NewContext(db.Store, p.Md)
+	ctx.Stats = db.Stats
 	start := time.Now()
 	res, err := exec.Run(ctx, p.Rel, p.Out)
 	if err != nil {
@@ -71,12 +73,17 @@ func (p *Plan) Execute(db *DB) (rows int, elapsed time.Duration, err error) {
 // variants can be checked for agreement.
 func (p *Plan) fingerprint(db *DB) (string, error) {
 	ctx := exec.NewContext(db.Store, p.Md)
+	ctx.Stats = db.Stats
 	res, err := exec.Run(ctx, p.Rel, p.Out)
 	if err != nil {
 		return "", err
 	}
-	keys := make([]string, len(res.Rows))
-	for i, row := range res.Rows {
+	return fingerprintRows(res.Rows), nil
+}
+
+func fingerprintRows(rows []types.Row) string {
+	keys := make([]string, len(rows))
+	for i, row := range rows {
 		parts := make([]string, len(row))
 		for j, d := range row {
 			parts[j] = d.String()
@@ -84,7 +91,7 @@ func (p *Plan) fingerprint(db *DB) (string, error) {
 		keys[i] = strings.Join(parts, "|")
 	}
 	sort.Strings(keys)
-	return strings.Join(keys, "\n"), nil
+	return strings.Join(keys, "\n")
 }
 
 // compile parses/algebrizes/normalizes sql, then applies shape to the

@@ -23,6 +23,12 @@ func compile(ctx *Context, rel algebra.Rel) (*node, error) {
 }
 
 func compileNode(ctx *Context, rel algebra.Rel) (*node, error) {
+	if ctx.pplan != nil && rel == ctx.pplan.at {
+		// The parallel-eligible subtree compiles to an exchange
+		// operator; worker clones recompile it serially (pplan is unset
+		// on clones, so this fires exactly once).
+		return compileExchange(ctx, rel)
+	}
 	switch t := rel.(type) {
 	case *algebra.Get:
 		return compileGet(ctx, t, nil)
@@ -65,7 +71,8 @@ func compileNode(ctx *Context, rel algebra.Rel) (*node, error) {
 		for _, a := range t.Aggs {
 			cols = append(cols, a.Col)
 		}
-		return newNode(&hashAggIter{ctx: ctx, in: in, gb: t, cols: cols}, cols), nil
+		hint := estimateGroups(ctx, t, estimateRows(ctx, t.Input))
+		return newNode(&hashAggIter{ctx: ctx, in: in, gb: t, cols: cols, sizeHint: hint}, cols), nil
 
 	case *algebra.SegmentApply:
 		return compileSegmentApply(ctx, t)

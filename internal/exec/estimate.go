@@ -1,0 +1,73 @@
+package exec
+
+import "orthoq/internal/algebra"
+
+// Crude cardinality estimates from collected statistics, used only to
+// preallocate hash-join build tables and aggregation hash maps (cuts
+// rehash/regrow churn on hot paths). Returning 0 means "no hint"; the
+// real selectivity model lives in internal/opt's coster and is not
+// duplicated here — a rough over- or under-estimate only changes
+// allocation behavior, never results.
+
+// estimateRows guesses how many rows rel produces.
+func estimateRows(ctx *Context, rel algebra.Rel) int {
+	if ctx.Stats == nil {
+		return 0
+	}
+	switch t := rel.(type) {
+	case *algebra.Get:
+		if ts := ctx.Stats.Table(t.Table); ts != nil {
+			return int(ts.RowCount)
+		}
+	case *algebra.Select:
+		return estimateRows(ctx, t.Input) / 3
+	case *algebra.Project:
+		return estimateRows(ctx, t.Input)
+	case *algebra.Sort:
+		return estimateRows(ctx, t.Input)
+	case *algebra.GroupBy:
+		return estimateGroups(ctx, t, estimateRows(ctx, t.Input))
+	case *algebra.Join:
+		l, r := estimateRows(ctx, t.Left), estimateRows(ctx, t.Right)
+		switch t.Kind {
+		case algebra.SemiJoin, algebra.AntiSemiJoin:
+			return l
+		}
+		// Equijoins here are usually key/foreign-key: about the larger
+		// side survives.
+		if l > r {
+			return l
+		}
+		return r
+	}
+	return 0
+}
+
+// estimateGroups guesses the number of distinct groups from base-column
+// distinct counts, capped by the input cardinality.
+func estimateGroups(ctx *Context, gb *algebra.GroupBy, inRows int) int {
+	if gb.Kind == algebra.ScalarGroupBy {
+		return 1
+	}
+	if ctx.Stats == nil {
+		return 0
+	}
+	groups := 1
+	for _, col := range gb.GroupCols.Ordered() {
+		meta := ctx.Md.Column(col)
+		if meta.Table == "" {
+			continue
+		}
+		ts := ctx.Stats.Table(meta.Table)
+		if ts == nil || meta.Ord >= len(ts.Columns) {
+			continue
+		}
+		if d := int(ts.Columns[meta.Ord].Distinct); d > groups {
+			groups = d
+		}
+	}
+	if inRows > 0 && groups > inRows {
+		groups = inRows
+	}
+	return groups
+}

@@ -13,17 +13,41 @@ package exec
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"orthoq/internal/algebra"
 	"orthoq/internal/eval"
 	"orthoq/internal/sql/types"
+	"orthoq/internal/stats"
 	"orthoq/internal/storage"
 )
 
-// Context carries run-time state shared by the iterator tree.
+// Context carries the run-time state of one execution strand. Under
+// serial execution there is exactly one Context for the whole iterator
+// tree; under morsel-driven parallel execution each worker gets its
+// own clone (workerClone) holding private correlation parameters,
+// segment bindings, and evaluator, while query-wide state — the row
+// budget accounting and the hash-join build cache — lives in the
+// sharedState referenced by every clone.
 type Context struct {
 	Store *storage.Store
 	Md    *algebra.Metadata
+	// Stats, when set, supplies cardinality estimates used to
+	// preallocate hash-join and aggregation hash tables.
+	Stats *stats.Collection
+	// Parallelism is the worker count for morsel-driven parallel
+	// execution. 0 or 1 means serial; higher values let eligible
+	// scan/join/aggregation subtrees run on that many goroutines.
+	Parallelism int
+	// RowBudget, when positive, aborts execution after this many
+	// operator-row productions — a guard for runaway plans in tests.
+	// The counter itself is shared across workers (see sharedState) so
+	// the guard stays exact under concurrency.
+	RowBudget int64
+
+	// shared is the per-query state common to all worker clones.
+	shared *sharedState
 
 	// params holds correlation bindings installed by Apply iterators.
 	params eval.MapEnv
@@ -32,15 +56,22 @@ type Context struct {
 	// segStack tracks the enclosing SegmentApply scopes during
 	// compilation so SegmentRefs bind to their owner.
 	segStack []*algebra.SegmentApply
-	// evaluator shared across operators.
+	// evaluator shared across operators of this strand.
 	ev *eval.Evaluator
-	// RowBudget, when positive, aborts execution after this many
-	// operator-row productions — a guard for runaway plans in tests.
-	RowBudget int64
-	produced  int64
 	// trace, when non-nil, collects per-operator statistics keyed by
 	// the logical node (see EnableTrace / FormatTrace).
 	trace map[algebra.Rel]*OpStats
+
+	// pplan, when non-nil, marks the subtree compiled as a parallel
+	// exchange (set on the coordinating context only).
+	pplan *parallelPlan
+	// morsels + driverGet, when non-nil, make compileGet lower the
+	// driver base-table scan to a morsel-claiming scan (set on worker
+	// clones only).
+	morsels   *morselSource
+	driverGet *algebra.Get
+	// isWorker marks worker clones; it gates hash-join build sharing.
+	isWorker bool
 }
 
 type segmentBinding struct {
@@ -48,11 +79,39 @@ type segmentBinding struct {
 	rows []types.Row
 }
 
+// sharedState is per-query execution state shared by all workers.
+type sharedState struct {
+	// produced counts operator-row productions toward RowBudget.
+	produced atomic.Int64
+	// builds caches hash-join build tables keyed by the logical Join
+	// node so parallel workers build once and probe a shared read-only
+	// table.
+	mu     sync.Mutex
+	builds map[algebra.Rel]*sharedBuild
+}
+
+// buildFor returns the shared build slot for a join node, creating it
+// on first request.
+func (s *sharedState) buildFor(key algebra.Rel) *sharedBuild {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.builds == nil {
+		s.builds = make(map[algebra.Rel]*sharedBuild)
+	}
+	sb, ok := s.builds[key]
+	if !ok {
+		sb = &sharedBuild{}
+		s.builds[key] = sb
+	}
+	return sb
+}
+
 // NewContext creates an execution context.
 func NewContext(store *storage.Store, md *algebra.Metadata) *Context {
 	ctx := &Context{
 		Store:    store,
 		Md:       md,
+		shared:   &sharedState{},
 		params:   make(eval.MapEnv),
 		segments: make(map[*algebra.SegmentApply]*segmentBinding),
 	}
@@ -60,10 +119,28 @@ func NewContext(store *storage.Store, md *algebra.Metadata) *Context {
 	return ctx
 }
 
+// workerClone creates a per-worker context for parallel execution: it
+// shares the store, metadata, statistics, and query-wide sharedState
+// (budget accounting, build cache) but owns private parameter
+// bindings, segment state, and evaluator. Tracing stays on the
+// coordinator; the exchange operator reports worker and morsel counts.
+func (c *Context) workerClone() *Context {
+	return &Context{
+		Store:     c.Store,
+		Md:        c.Md,
+		Stats:     c.Stats,
+		RowBudget: c.RowBudget,
+		shared:    c.shared,
+		params:    make(eval.MapEnv),
+		segments:  make(map[*algebra.SegmentApply]*segmentBinding),
+		ev:        &eval.Evaluator{},
+		isWorker:  true,
+	}
+}
+
 func (c *Context) charge() error {
 	if c.RowBudget > 0 {
-		c.produced++
-		if c.produced > c.RowBudget {
+		if c.shared.produced.Add(1) > c.RowBudget {
 			return fmt.Errorf("exec: row budget exceeded (%d)", c.RowBudget)
 		}
 	}
@@ -140,7 +217,13 @@ type Result struct {
 
 // Run compiles and executes the plan, materializing all rows. outCols
 // selects and orders the result columns (nil = plan output order).
+// When ctx.Parallelism > 1 an eligible subtree is executed
+// morsel-parallel; row order of the result may then differ from the
+// serial order (the bag of rows is identical).
 func Run(ctx *Context, rel algebra.Rel, outCols []algebra.ColID) (*Result, error) {
+	if ctx.Parallelism > 1 && ctx.pplan == nil {
+		ctx.pplan = planParallel(ctx, rel)
+	}
 	n, err := compile(ctx, rel)
 	if err != nil {
 		return nil, err

@@ -66,6 +66,39 @@ func (s *aggState) add(item *algebra.AggItem, d types.Datum) {
 	}
 }
 
+// mergeFor folds another worker's partial state into s under the
+// semantics of item. The combination rules are exactly the global
+// combiners of the §3.3 LocalGroupBy split (core.TrySplitGroupBy):
+// sum of partial sums and counts, min of mins, max of maxes, avg
+// recombined from partial sum+count (both live in the same state),
+// any-of for ConstAny. DISTINCT aggregates are not mergeable and are
+// excluded from parallel plans.
+func (s *aggState) mergeFor(item *algebra.AggItem, o *aggState) {
+	switch item.Func {
+	case algebra.AggMin:
+		if o.anyRow && (!s.anyRow || types.Compare(o.minMax, s.minMax) < 0) {
+			s.minMax = o.minMax
+		}
+		s.anyRow = s.anyRow || o.anyRow
+	case algebra.AggMax:
+		if o.anyRow && (!s.anyRow || types.Compare(o.minMax, s.minMax) > 0) {
+			s.minMax = o.minMax
+		}
+		s.anyRow = s.anyRow || o.anyRow
+	case algebra.AggConstAny:
+		if !s.anyRow && o.anyRow {
+			s.minMax = o.minMax
+		}
+		s.anyRow = s.anyRow || o.anyRow
+	default: // count, count(*), sum, avg: additive partials
+		s.count += o.count
+		s.sumF += o.sumF
+		s.sumI += o.sumI
+		s.isFloat = s.isFloat || o.isFloat
+		s.anyRow = s.anyRow || o.anyRow
+	}
+}
+
 func (s *aggState) result(item *algebra.AggItem) types.Datum {
 	switch item.Func {
 	case algebra.AggCount, algebra.AggCountStar:
@@ -92,18 +125,14 @@ func (s *aggState) result(item *algebra.AggItem) types.Datum {
 	return types.NullUnknown
 }
 
-// hashAggIter implements vector, scalar and local GroupBy with hash
-// grouping. Local GroupBy executes identically to vector GroupBy (the
-// paper notes the execution engine need not distinguish them — the
-// separate operator only widens the optimizer's reorder freedom).
-type hashAggIter struct {
-	ctx  *Context
-	in   *node
-	gb   *algebra.GroupBy
-	cols []algebra.ColID
-
-	out []types.Row
-	pos int
+// aggTable accumulates hash groups for one GroupBy; it is used by the
+// serial hashAggIter and, one instance per worker, by the parallel
+// aggregation exchange (partials merged with aggTable.merge).
+type aggTable struct {
+	nAggs  int
+	keyIdx []int
+	groups map[uint64][]*aggGroup
+	order  []*aggGroup
 }
 
 type aggGroup struct {
@@ -111,57 +140,67 @@ type aggGroup struct {
 	states []aggState
 }
 
-func (h *hashAggIter) Open() error {
-	if err := h.in.it.Open(); err != nil {
-		return err
+// newAggTable allocates a table for nKeys grouping columns and nAggs
+// aggregates, preallocating the hash map for sizeHint groups.
+func newAggTable(nKeys, nAggs, sizeHint int) *aggTable {
+	keyIdx := make([]int, nKeys)
+	for i := range keyIdx {
+		keyIdx[i] = i
 	}
-	groupCols := h.gb.GroupCols.Ordered()
+	return &aggTable{
+		nAggs:  nAggs,
+		keyIdx: keyIdx,
+		groups: make(map[uint64][]*aggGroup, sizeHint),
+		order:  make([]*aggGroup, 0, sizeHint),
+	}
+}
+
+// find returns the group for key, creating it on first sight.
+func (t *aggTable) find(key types.Row) *aggGroup {
+	hk := types.HashRow(key, t.keyIdx)
+	for _, cand := range t.groups[hk] {
+		if types.EqualRows(cand.key, t.keyIdx, key, t.keyIdx) {
+			return cand
+		}
+	}
+	g := &aggGroup{key: key, states: make([]aggState, t.nAggs)}
+	t.groups[hk] = append(t.groups[hk], g)
+	t.order = append(t.order, g)
+	return g
+}
+
+// consume drains in into the table, evaluating aggregate arguments
+// against ctx's evaluator. This is the accumulation loop shared by
+// serial and per-worker partial aggregation.
+func (t *aggTable) consume(ctx *Context, in *node, gb *algebra.GroupBy) error {
+	groupCols := gb.GroupCols.Ordered()
 	keyOrds := make([]int, len(groupCols))
 	for i, c := range groupCols {
-		o, ok := h.in.ords[c]
+		o, ok := in.ords[c]
 		if !ok {
 			return fmt.Errorf("exec: grouping column %d missing from input", c)
 		}
 		keyOrds[i] = o
 	}
-	env := rowEnv{ctx: h.ctx, ords: h.in.ords}
-	groups := map[uint64][]*aggGroup{}
-	var order []*aggGroup
-	keyIdx := make([]int, len(groupCols))
-	for i := range keyIdx {
-		keyIdx[i] = i
-	}
+	env := rowEnv{ctx: ctx, ords: in.ords}
 	for {
-		row, ok, err := h.in.it.Next()
+		row, ok, err := in.it.Next()
 		if err != nil {
 			return err
 		}
 		if !ok {
-			break
+			return nil
 		}
-		if err := h.ctx.charge(); err != nil {
+		if err := ctx.charge(); err != nil {
 			return err
 		}
-		key := mapRow(row, keyOrds)
-		hk := types.HashRow(key, keyIdx)
-		var g *aggGroup
-		for _, cand := range groups[hk] {
-			if types.EqualRows(cand.key, keyIdx, key, keyIdx) {
-				g = cand
-				break
-			}
-		}
-		if g == nil {
-			g = &aggGroup{key: key, states: make([]aggState, len(h.gb.Aggs))}
-			groups[hk] = append(groups[hk], g)
-			order = append(order, g)
-		}
+		g := t.find(mapRow(row, keyOrds))
 		env.row = row
-		for i := range h.gb.Aggs {
-			item := &h.gb.Aggs[i]
+		for i := range gb.Aggs {
+			item := &gb.Aggs[i]
 			var d types.Datum
 			if item.Arg != nil {
-				v, err := h.ctx.ev.Eval(item.Arg, &env)
+				v, err := ctx.ev.Eval(item.Arg, &env)
 				if err != nil {
 					return err
 				}
@@ -170,30 +209,71 @@ func (h *hashAggIter) Open() error {
 			g.states[i].add(item, d)
 		}
 	}
+}
+
+// merge folds another table's partial groups into t using the §3.3
+// local/global combination rules (aggState.mergeFor).
+func (t *aggTable) merge(o *aggTable, gb *algebra.GroupBy) {
+	for _, og := range o.order {
+		g := t.find(og.key)
+		for i := range og.states {
+			g.states[i].mergeFor(&gb.Aggs[i], &og.states[i])
+		}
+	}
+}
+
+// render materializes the result rows: group key columns followed by
+// aggregate results, with the §1.1 scalar-aggregation empty-input row.
+func (t *aggTable) render(gb *algebra.GroupBy, out []types.Row) []types.Row {
+	out = out[:0]
+	if len(t.order) == 0 && gb.Kind == algebra.ScalarGroupBy {
+		// Scalar aggregation returns exactly one row on empty input
+		// (paper §1.1): agg(∅) per aggregate.
+		row := make(types.Row, 0, len(gb.Aggs))
+		for i := range gb.Aggs {
+			var empty aggState
+			row = append(row, empty.result(&gb.Aggs[i]))
+		}
+		return append(out, row)
+	}
+	for _, g := range t.order {
+		row := make(types.Row, 0, len(g.key)+len(g.states))
+		row = append(row, g.key...)
+		for i := range g.states {
+			row = append(row, g.states[i].result(&gb.Aggs[i]))
+		}
+		out = append(out, row)
+	}
+	return out
+}
+
+// hashAggIter implements vector, scalar and local GroupBy with hash
+// grouping. Local GroupBy executes identically to vector GroupBy (the
+// paper notes the execution engine need not distinguish them — the
+// separate operator only widens the optimizer's reorder freedom).
+type hashAggIter struct {
+	ctx      *Context
+	in       *node
+	gb       *algebra.GroupBy
+	cols     []algebra.ColID
+	sizeHint int
+
+	out []types.Row
+	pos int
+}
+
+func (h *hashAggIter) Open() error {
+	if err := h.in.it.Open(); err != nil {
+		return err
+	}
+	tbl := newAggTable(h.gb.GroupCols.Len(), len(h.gb.Aggs), h.sizeHint)
+	if err := tbl.consume(h.ctx, h.in, h.gb); err != nil {
+		return err
+	}
 	if err := h.in.it.Close(); err != nil {
 		return err
 	}
-
-	h.out = h.out[:0]
-	if len(order) == 0 && h.gb.Kind == algebra.ScalarGroupBy {
-		// Scalar aggregation returns exactly one row on empty input
-		// (paper §1.1): agg(∅) per aggregate.
-		row := make(types.Row, 0, len(h.gb.Aggs))
-		for i := range h.gb.Aggs {
-			var empty aggState
-			row = append(row, empty.result(&h.gb.Aggs[i]))
-		}
-		h.out = append(h.out, row)
-	} else {
-		for _, g := range order {
-			row := make(types.Row, 0, len(g.key)+len(g.states))
-			row = append(row, g.key...)
-			for i := range g.states {
-				row = append(row, g.states[i].result(&h.gb.Aggs[i]))
-			}
-			h.out = append(h.out, row)
-		}
-	}
+	h.out = tbl.render(h.gb, h.out)
 	h.pos = 0
 	return nil
 }

@@ -1,6 +1,8 @@
 package exec
 
 import (
+	"sync"
+
 	"orthoq/internal/algebra"
 	"orthoq/internal/sql/types"
 )
@@ -28,7 +30,13 @@ func compileJoin(ctx *Context, j *algebra.Join) (*node, error) {
 			rOrds[i] = right.ords[rKeys[i]]
 		}
 		it := &hashJoinIter{ctx: ctx, kind: j.Kind, left: left, right: right,
-			lOrds: lOrds, rOrds: rOrds, residual: algebra.ConjoinAll(residual...)}
+			lOrds: lOrds, rOrds: rOrds, residual: algebra.ConjoinAll(residual...),
+			sizeHint: estimateRows(ctx, j.Right)}
+		if ctx.isWorker && algebra.OuterRefs(j.Right).Empty() {
+			// Parallel workers probing the same join build the table once:
+			// the first worker to Open builds, the rest share it read-only.
+			it.shared = ctx.shared.buildFor(j)
+		}
 		return newNode(it, outCols), nil
 	}
 	it := &nlJoinIter{ctx: ctx, kind: j.Kind, left: left, right: right, on: j.On}
@@ -78,6 +86,11 @@ type hashJoinIter struct {
 	left, right  *node
 	lOrds, rOrds []int
 	residual     algebra.Scalar
+	// sizeHint preallocates the build map (cardinality estimate).
+	sizeHint int
+	// shared, when non-nil, is the cross-worker build slot: the first
+	// worker to Open builds the table, later workers reuse it read-only.
+	shared *sharedBuild
 
 	table   map[uint64][]types.Row
 	cenv    combinedEnv
@@ -89,16 +102,46 @@ type hashJoinIter struct {
 	rWidth  int
 }
 
+// sharedBuild is a once-built hash-join table shared across parallel
+// workers (read-only after the build).
+type sharedBuild struct {
+	once  sync.Once
+	table map[uint64][]types.Row
+	err   error
+}
+
 func (h *hashJoinIter) Open() error {
-	if err := h.right.it.Open(); err != nil {
-		return err
+	if h.shared != nil {
+		h.shared.once.Do(func() {
+			h.shared.table, h.shared.err = h.buildTable()
+		})
+		if h.shared.err != nil {
+			return h.shared.err
+		}
+		h.table = h.shared.table
+	} else {
+		tbl, err := h.buildTable()
+		if err != nil {
+			return err
+		}
+		h.table = tbl
 	}
-	h.table = make(map[uint64][]types.Row)
 	h.rWidth = len(h.right.cols)
+	h.cenv = combinedEnv{ctx: h.ctx, lords: h.left.ords, rords: h.right.ords}
+	h.haveL = false
+	return h.left.it.Open()
+}
+
+// buildTable drains the right input into the probe hash table.
+func (h *hashJoinIter) buildTable() (map[uint64][]types.Row, error) {
+	if err := h.right.it.Open(); err != nil {
+		return nil, err
+	}
+	table := make(map[uint64][]types.Row, h.sizeHint)
 	for {
 		row, ok, err := h.right.it.Next()
 		if err != nil {
-			return err
+			return nil, err
 		}
 		if !ok {
 			break
@@ -107,14 +150,12 @@ func (h *hashJoinIter) Open() error {
 			continue // NULL keys never join
 		}
 		k := types.HashRow(row, h.rOrds)
-		h.table[k] = append(h.table[k], row)
+		table[k] = append(table[k], row)
 	}
 	if err := h.right.it.Close(); err != nil {
-		return err
+		return nil, err
 	}
-	h.cenv = combinedEnv{ctx: h.ctx, lords: h.left.ords, rords: h.right.ords}
-	h.haveL = false
-	return h.left.it.Open()
+	return table, nil
 }
 
 func rowHasNullAt(row types.Row, ords []int) bool {

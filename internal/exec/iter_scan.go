@@ -7,18 +7,43 @@ import (
 	"orthoq/internal/algebra"
 	"orthoq/internal/eval"
 	"orthoq/internal/sql/types"
+	"orthoq/internal/storage"
 )
 
 // compileGet lowers a (possibly filtered) base-table access, choosing
 // an index seek when equality conjuncts bind the leading columns of an
 // index with values available at Open time (constants or correlation
 // parameters) — the correlated index-lookup execution the paper calls
-// "the simplest and most common" correlated strategy (§4).
+// "the simplest and most common" correlated strategy (§4). Under
+// parallel execution the plan's designated driver Get instead lowers
+// to a morsel-claiming scan so workers partition the table.
 func compileGet(ctx *Context, g *algebra.Get, filter algebra.Scalar) (*node, error) {
 	tbl, ok := ctx.Store.Table(g.Table)
 	if !ok {
 		return nil, fmt.Errorf("exec: table %q not stored", g.Table)
 	}
+	if ctx.morsels != nil && g == ctx.driverGet {
+		it := &morselScanIter{ctx: ctx, tbl: tbl, cols: g.Cols, pred: filter, src: ctx.morsels}
+		return newNode(it, g.Cols), nil
+	}
+	index, keyExprs, pred := planSeek(tbl, g, filter)
+	if index != "" {
+		it := &seekIter{ctx: ctx, tbl: tbl, index: index, keyExprs: keyExprs,
+			cols: g.Cols, pred: pred}
+		return newNode(it, g.Cols), nil
+	}
+	it := &scanIter{ctx: ctx, tbl: tbl, cols: g.Cols, pred: pred}
+	return newNode(it, g.Cols), nil
+}
+
+// planSeek chooses the access path for a filtered Get: the index with
+// the longest prefix fully bound by equality conjuncts whose
+// comparands are evaluable at Open. index == "" means full scan. The
+// returned pred is the predicate to re-check per row (bound conjuncts
+// are retained for NULL semantics). Pure — shared by compileGet and
+// the parallel-eligibility analysis, which must know whether a serial
+// compile would seek.
+func planSeek(tbl *storage.Table, g *algebra.Get, filter algebra.Scalar) (index string, keyExprs []algebra.Scalar, pred algebra.Scalar) {
 	selfCols := algebra.NewColSet(g.Cols...)
 	type seekKey struct {
 		ord  int // table column ordinal
@@ -80,18 +105,15 @@ func compileGet(ctx *Context, g *algebra.Get, filter algebra.Scalar) (*node, err
 		}
 	}
 
-	pred := algebra.ConjoinAll(residual...)
-	if bestName != "" && tbl.HasIndex(bestName) {
-		keyExprs := make([]algebra.Scalar, len(bestKeys))
-		for i, k := range bestKeys {
-			keyExprs[i] = k.expr
-		}
-		it := &seekIter{ctx: ctx, tbl: tbl, index: bestName, keyExprs: keyExprs,
-			cols: g.Cols, pred: pred}
-		return newNode(it, g.Cols), nil
+	pred = algebra.ConjoinAll(residual...)
+	if bestName == "" || !tbl.HasIndex(bestName) {
+		return "", nil, pred
 	}
-	it := &scanIter{ctx: ctx, tbl: tbl, cols: g.Cols, pred: pred}
-	return newNode(it, g.Cols), nil
+	keyExprs = make([]algebra.Scalar, len(bestKeys))
+	for i, k := range bestKeys {
+		keyExprs[i] = k.expr
+	}
+	return bestName, keyExprs, pred
 }
 
 // scanIter is a filtered full table scan.

@@ -1,0 +1,528 @@
+package exec
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"orthoq/internal/algebra"
+	"orthoq/internal/sql/types"
+)
+
+func fmtErrNoTable(name string) error {
+	return fmt.Errorf("exec: table %q not stored", name)
+}
+
+// Morsel-driven parallel execution. A plan's highest eligible subtree
+// is compiled into an exchange operator: the base-table scan at the
+// subtree's streaming leaf (the "driver") is split into fixed-size
+// row-ordinal morsels claimed from a shared dispenser, and
+// Parallelism workers each run a private copy of the subtree over the
+// morsels they claim. Two exchange shapes exist:
+//
+//   - scan/join exchange (exchangeIter): workers stream result rows
+//     to the consumer in batches. Hash joins inside the subtree build
+//     their table once — the first worker to arrive builds, the rest
+//     probe the shared read-only table.
+//   - aggregation exchange (parallelAggIter): each worker accumulates
+//     a partial hash-aggregate over its morsels and the coordinator
+//     merges the partials, exactly the local/global decomposition of
+//     the paper's §3.3 LocalGroupBy split (core.TrySplitGroupBy): the
+//     per-worker table is the LocalGroupBy, the merge is the global
+//     combiner.
+//
+// Operators whose semantics depend on run-time bindings or input
+// order — Apply, SegmentApply, SegmentRef, Max1Row, Top, RowNumber,
+// UnionAll, Difference, Values — stay on the serial path; Sort,
+// Project, Select, and serial GroupBy may sit above the exchange
+// (they are order-insensitive in bag semantics). Parallel plans
+// return the same bag of rows as serial plans; only row order may
+// differ.
+
+// morselSize is the number of driver-table rows per morsel. Fixed
+// size keeps the dispenser trivial while giving work-stealing-like
+// balance: fast workers simply claim more morsels.
+const morselSize = 1024
+
+// exchangeBatch is the number of rows a worker buffers before handing
+// them to the consumer (amortizes channel synchronization).
+const exchangeBatch = 256
+
+// morselSource hands out row-ordinal ranges [lo, hi) over the driver
+// table to competing workers.
+type morselSource struct {
+	total   int
+	next    atomic.Int64
+	claimed atomic.Int64
+}
+
+func newMorselSource(total int) *morselSource {
+	return &morselSource{total: total}
+}
+
+// claim returns the next unclaimed morsel; ok=false once the table is
+// exhausted.
+func (m *morselSource) claim() (lo, hi int, ok bool) {
+	end := m.next.Add(morselSize)
+	start := end - morselSize
+	if start >= int64(m.total) {
+		return 0, 0, false
+	}
+	if end > int64(m.total) {
+		end = int64(m.total)
+	}
+	m.claimed.Add(1)
+	return int(start), int(end), true
+}
+
+// parallelPlan marks the subtree compiled as a parallel exchange.
+type parallelPlan struct {
+	// at is the node lowered to an exchange operator.
+	at algebra.Rel
+	// driver is the base-table scan partitioned into morsels.
+	driver *algebra.Get
+	// agg, when non-nil, selects the aggregation exchange (at is this
+	// GroupBy).
+	agg *algebra.GroupBy
+}
+
+// planParallel finds the highest parallel-eligible subtree of rel,
+// descending through operators that can consume the exchange's merged
+// stream serially. Returns nil when the plan must stay serial.
+func planParallel(ctx *Context, rel algebra.Rel) *parallelPlan {
+	switch t := rel.(type) {
+	case *algebra.Sort:
+		return planParallel(ctx, t.Input)
+	case *algebra.GroupBy:
+		if aggMergeable(t) {
+			if driver, ok := streamDriver(ctx, t.Input); ok {
+				return &parallelPlan{at: rel, driver: driver, agg: t}
+			}
+		}
+		// Not mergeable (e.g. DISTINCT aggregates): aggregate serially
+		// over a parallel input stream.
+		return planParallel(ctx, t.Input)
+	case *algebra.Project:
+		if driver, ok := streamDriver(ctx, rel); ok {
+			return &parallelPlan{at: rel, driver: driver}
+		}
+		return planParallel(ctx, t.Input)
+	case *algebra.Select:
+		if driver, ok := streamDriver(ctx, rel); ok {
+			return &parallelPlan{at: rel, driver: driver}
+		}
+		if _, isGet := t.Input.(*algebra.Get); isGet {
+			// Select-over-Get compiles as one fused access path (seek);
+			// descending past the Select would split them.
+			return nil
+		}
+		return planParallel(ctx, t.Input)
+	case *algebra.Join:
+		if driver, ok := streamDriver(ctx, rel); ok {
+			return &parallelPlan{at: rel, driver: driver}
+		}
+		return planParallel(ctx, t.Left)
+	case *algebra.Get:
+		if driver, ok := streamDriver(ctx, rel); ok {
+			return &parallelPlan{at: rel, driver: driver}
+		}
+	}
+	return nil
+}
+
+// aggMergeable reports whether every aggregate of gb can be computed
+// as per-worker partials and recombined (§3.3 splittability plus avg,
+// which merges through its sum+count state). DISTINCT aggregates need
+// global duplicate elimination and stay serial.
+func aggMergeable(gb *algebra.GroupBy) bool {
+	for _, a := range gb.Aggs {
+		if a.Distinct {
+			return false
+		}
+		switch a.Func {
+		case algebra.AggSum, algebra.AggCount, algebra.AggCountStar,
+			algebra.AggMin, algebra.AggMax, algebra.AggAvg, algebra.AggConstAny:
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// streamDriver descends the streaming (probe) side of rel looking for
+// the base-table scan to morsel-partition. Every operator on the path
+// must be row-streaming, and off-path subtrees (join build sides)
+// must be self-contained so each worker can evaluate them without
+// outer bindings.
+func streamDriver(ctx *Context, rel algebra.Rel) (*algebra.Get, bool) {
+	switch t := rel.(type) {
+	case *algebra.Get:
+		if _, ok := ctx.Store.Table(t.Table); !ok {
+			return nil, false
+		}
+		return t, true
+	case *algebra.Select:
+		if algebra.HasSubquery(t.Filter) {
+			return nil, false
+		}
+		if g, ok := t.Input.(*algebra.Get); ok {
+			tbl, ok := ctx.Store.Table(g.Table)
+			if !ok {
+				return nil, false
+			}
+			if index, _, _ := planSeek(tbl, g, t.Filter); index != "" {
+				// A serial index seek beats a parallel full scan.
+				return nil, false
+			}
+			return g, true
+		}
+		return streamDriver(ctx, t.Input)
+	case *algebra.Project:
+		for _, it := range t.Items {
+			if algebra.HasSubquery(it.Expr) {
+				return nil, false
+			}
+		}
+		return streamDriver(ctx, t.Input)
+	case *algebra.Join:
+		// The right (build) side runs inside each worker; it must not
+		// reference columns bound outside itself.
+		if !algebra.OuterRefs(t.Right).Empty() {
+			return nil, false
+		}
+		if t.On != nil && algebra.HasSubquery(t.On) {
+			return nil, false
+		}
+		return streamDriver(ctx, t.Left)
+	}
+	return nil, false
+}
+
+// compileExchange lowers the marked subtree to its exchange operator.
+func compileExchange(ctx *Context, rel algebra.Rel) (*node, error) {
+	pp := ctx.pplan
+	var st *OpStats
+	if ctx.trace != nil {
+		st = &OpStats{}
+		ctx.trace[rel] = st
+	}
+	if pp.agg != nil {
+		cols := append([]algebra.ColID(nil), pp.agg.GroupCols.Ordered()...)
+		for _, a := range pp.agg.Aggs {
+			cols = append(cols, a.Col)
+		}
+		it := &parallelAggIter{ctx: ctx, gb: pp.agg, driver: pp.driver,
+			workers: ctx.Parallelism, st: st}
+		return newNode(it, cols), nil
+	}
+	// Compile a throwaway worker tree to learn the subtree's output
+	// layout (cheap: no execution). Worker trees are recompiled per
+	// goroutine at Open.
+	probe, err := compile(ctx.workerClone(), rel)
+	if err != nil {
+		return nil, err
+	}
+	it := &exchangeIter{ctx: ctx, rel: rel, driver: pp.driver,
+		cols: probe.cols, workers: ctx.Parallelism, st: st}
+	return newNode(it, probe.cols), nil
+}
+
+// driverTable resolves the driver Get's stored table.
+func driverTable(ctx *Context, g *algebra.Get) (storageTable, int, bool) {
+	tbl, ok := ctx.Store.Table(g.Table)
+	if !ok {
+		return nil, 0, false
+	}
+	return tbl, len(tbl.Rows), true
+}
+
+// spawnWorker compiles a private copy of rel for one worker over the
+// shared morsel source and returns the compiled tree.
+func spawnWorker(ctx *Context, rel algebra.Rel, driver *algebra.Get, src *morselSource) (*Context, *node, error) {
+	wctx := ctx.workerClone()
+	wctx.morsels = src
+	wctx.driverGet = driver
+	n, err := compile(wctx, rel)
+	return wctx, n, err
+}
+
+// exchangeIter runs a streaming subtree on N workers and merges their
+// row batches; the consumer pulls rows in arbitrary interleaving.
+type exchangeIter struct {
+	ctx     *Context
+	rel     algebra.Rel
+	driver  *algebra.Get
+	cols    []algebra.ColID
+	workers int
+	st      *OpStats
+
+	src      *morselSource
+	batches  chan []types.Row
+	cancel   chan struct{}
+	stopOnce *sync.Once
+	errMu    sync.Mutex
+	firstErr error
+
+	cur []types.Row
+	pos int
+}
+
+func (e *exchangeIter) fail(err error) {
+	e.errMu.Lock()
+	if e.firstErr == nil {
+		e.firstErr = err
+	}
+	e.errMu.Unlock()
+	e.stop()
+}
+
+func (e *exchangeIter) stop() {
+	e.stopOnce.Do(func() { close(e.cancel) })
+}
+
+func (e *exchangeIter) errSeen() error {
+	e.errMu.Lock()
+	defer e.errMu.Unlock()
+	return e.firstErr
+}
+
+func (e *exchangeIter) Open() error {
+	_, total, ok := driverTable(e.ctx, e.driver)
+	if !ok {
+		return fmtErrNoTable(e.driver.Table)
+	}
+	e.src = newMorselSource(total)
+	e.batches = make(chan []types.Row, e.workers*2)
+	e.cancel = make(chan struct{})
+	e.stopOnce = &sync.Once{}
+	e.firstErr = nil
+	e.cur, e.pos = nil, 0
+	if e.st != nil {
+		e.st.Workers = int64(e.workers)
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < e.workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			e.runWorker()
+		}()
+	}
+	go func() {
+		wg.Wait()
+		if e.st != nil {
+			e.st.Morsels = e.src.claimed.Load()
+		}
+		close(e.batches)
+	}()
+	return nil
+}
+
+func (e *exchangeIter) runWorker() {
+	wctx, n, err := spawnWorker(e.ctx, e.rel, e.driver, e.src)
+	_ = wctx
+	if err != nil {
+		e.fail(err)
+		return
+	}
+	if err := n.it.Open(); err != nil {
+		e.fail(err)
+		return
+	}
+	defer n.it.Close()
+	batch := make([]types.Row, 0, exchangeBatch)
+	flush := func() bool {
+		if len(batch) == 0 {
+			return true
+		}
+		select {
+		case e.batches <- batch:
+			batch = make([]types.Row, 0, exchangeBatch)
+			return true
+		case <-e.cancel:
+			return false
+		}
+	}
+	for {
+		row, ok, err := n.it.Next()
+		if err != nil {
+			e.fail(err)
+			return
+		}
+		if !ok {
+			flush()
+			return
+		}
+		batch = append(batch, row)
+		if len(batch) == exchangeBatch && !flush() {
+			return
+		}
+	}
+}
+
+func (e *exchangeIter) Next() (types.Row, bool, error) {
+	for {
+		if e.pos < len(e.cur) {
+			row := e.cur[e.pos]
+			e.pos++
+			return row, true, nil
+		}
+		batch, ok := <-e.batches
+		if !ok {
+			if err := e.errSeen(); err != nil {
+				return nil, false, err
+			}
+			return nil, false, nil
+		}
+		e.cur, e.pos = batch, 0
+	}
+}
+
+func (e *exchangeIter) Close() error {
+	if e.batches != nil {
+		e.stop()
+		// Drain so blocked workers exit; the closer goroutine closes
+		// the channel once all workers are done.
+		for range e.batches {
+		}
+		e.batches = nil
+	}
+	return nil
+}
+
+// parallelAggIter computes a GroupBy as per-worker partial hash
+// aggregates over morsels, merged by the coordinator — the §3.3
+// LocalGroupBy decomposition executed physically: worker tables are
+// the local aggregates, the merge applies the global combiners
+// (aggState.mergeFor).
+type parallelAggIter struct {
+	ctx     *Context
+	gb      *algebra.GroupBy
+	driver  *algebra.Get
+	workers int
+	st      *OpStats
+
+	out []types.Row
+	pos int
+}
+
+func (p *parallelAggIter) Open() error {
+	_, total, ok := driverTable(p.ctx, p.driver)
+	if !ok {
+		return fmtErrNoTable(p.driver.Table)
+	}
+	src := newMorselSource(total)
+	if p.st != nil {
+		p.st.Workers = int64(p.workers)
+	}
+	type aggResult struct {
+		tbl *aggTable
+		err error
+	}
+	results := make(chan aggResult, p.workers)
+	sizeHint := estimateGroups(p.ctx, p.gb, estimateRows(p.ctx, p.gb.Input))
+	for w := 0; w < p.workers; w++ {
+		go func() {
+			wctx, n, err := spawnWorker(p.ctx, p.gb.Input, p.driver, src)
+			if err != nil {
+				results <- aggResult{err: err}
+				return
+			}
+			if err := n.it.Open(); err != nil {
+				results <- aggResult{err: err}
+				return
+			}
+			tbl := newAggTable(p.gb.GroupCols.Len(), len(p.gb.Aggs), sizeHint)
+			err = tbl.consume(wctx, n, p.gb)
+			n.it.Close()
+			results <- aggResult{tbl: tbl, err: err}
+		}()
+	}
+	merged := newAggTable(p.gb.GroupCols.Len(), len(p.gb.Aggs), sizeHint)
+	var firstErr error
+	for w := 0; w < p.workers; w++ {
+		r := <-results
+		if r.err != nil {
+			if firstErr == nil {
+				firstErr = r.err
+			}
+			continue
+		}
+		merged.merge(r.tbl, p.gb)
+	}
+	if p.st != nil {
+		p.st.Morsels = src.claimed.Load()
+	}
+	if firstErr != nil {
+		return firstErr
+	}
+	p.out = merged.render(p.gb, p.out)
+	p.pos = 0
+	return nil
+}
+
+func (p *parallelAggIter) Next() (types.Row, bool, error) {
+	if p.pos >= len(p.out) {
+		return nil, false, nil
+	}
+	row := p.out[p.pos]
+	p.pos++
+	return row, true, nil
+}
+
+func (p *parallelAggIter) Close() error { return nil }
+
+// morselScanIter is the driver-table scan of one worker: it claims
+// morsels from the shared source and scans their row ranges with the
+// access predicate applied.
+type morselScanIter struct {
+	ctx  *Context
+	tbl  storageTable
+	cols []algebra.ColID
+	pred algebra.Scalar
+	src  *morselSource
+
+	lo, hi int
+	env    rowEnv
+	ords   map[algebra.ColID]int
+}
+
+func (s *morselScanIter) Open() error {
+	if s.ords == nil {
+		s.ords = make(map[algebra.ColID]int, len(s.cols))
+		for i, c := range s.cols {
+			s.ords[c] = i
+		}
+	}
+	s.env = rowEnv{ctx: s.ctx, ords: s.ords}
+	s.lo, s.hi = 0, 0
+	return nil
+}
+
+func (s *morselScanIter) Next() (types.Row, bool, error) {
+	rows := s.tbl.AllRows()
+	for {
+		for s.lo < s.hi {
+			row := rows[s.lo]
+			s.lo++
+			if err := s.ctx.charge(); err != nil {
+				return nil, false, err
+			}
+			ok, err := predTrue(s.ctx, s.pred, &s.env, row)
+			if err != nil {
+				return nil, false, err
+			}
+			if ok {
+				return row, true, nil
+			}
+		}
+		lo, hi, ok := s.src.claim()
+		if !ok {
+			return nil, false, nil
+		}
+		s.lo, s.hi = lo, hi
+	}
+}
+
+func (s *morselScanIter) Close() error { return nil }

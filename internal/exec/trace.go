@@ -19,6 +19,11 @@ type OpStats struct {
 	// Busy is inclusive wall time spent inside this operator and its
 	// children.
 	Busy time.Duration
+	// Workers and Morsels are set by a parallel exchange operator
+	// compiled at this node: the goroutines spawned and the driver-scan
+	// morsels dispatched across them.
+	Workers int64
+	Morsels int64
 }
 
 // EnableTrace turns on per-operator statistics collection for plans
@@ -71,7 +76,12 @@ func (c *Context) FormatTrace(rel algebra.Rel) string {
 		}
 		b.WriteString(line)
 		if st, ok := c.trace[n]; ok {
-			fmt.Fprintf(&b, "  (rows=%d opens=%d time=%v)", st.Rows, st.Opens, st.Busy.Round(time.Microsecond))
+			if st.Workers > 0 {
+				fmt.Fprintf(&b, "  (rows=%d opens=%d workers=%d morsels=%d time=%v)",
+					st.Rows, st.Opens, st.Workers, st.Morsels, st.Busy.Round(time.Microsecond))
+			} else {
+				fmt.Fprintf(&b, "  (rows=%d opens=%d time=%v)", st.Rows, st.Opens, st.Busy.Round(time.Microsecond))
+			}
 		}
 		b.WriteByte('\n')
 		for _, child := range n.Inputs() {

@@ -84,6 +84,12 @@ type Config struct {
 	CorrelatedReintro bool
 	// MaxSteps caps optimizer search expansions (0 = default).
 	MaxSteps int
+	// Parallelism is the worker count for morsel-driven parallel
+	// execution of eligible scan/join/aggregation subtrees. 0 or 1
+	// executes serially (the default, preserving deterministic row
+	// order); higher values may return rows in a different order than
+	// serial execution (the bag of rows is identical).
+	Parallelism int
 }
 
 // DefaultConfig enables the paper's full technique set.
@@ -286,6 +292,7 @@ type prepared struct {
 	outNames []string
 	steps    int
 	cost     float64
+	par      int
 }
 
 func (db *DB) prepare(sql string, cfg Config) (*prepared, error) {
@@ -302,7 +309,8 @@ func (db *DB) prepare(sql string, cfg Config) (*prepared, error) {
 	if err != nil {
 		return nil, err
 	}
-	p := &prepared{md: md, plan: rel, outCols: res.OutCols, outNames: res.OutNames}
+	p := &prepared{md: md, plan: rel, outCols: res.OutCols, outNames: res.OutNames,
+		par: cfg.Parallelism}
 	if cfg.CostBased {
 		o := &opt.Optimizer{Md: md, Cat: db.store.Catalog, Stats: db.stats, Config: cfg.optConfig()}
 		r := o.Optimize(rel, correlatedSeed(md, res.Rel, cfg)...)
@@ -334,6 +342,8 @@ func (p *prepared) run(db *DB) (*Rows, error) {
 
 func (p *prepared) runTraced(db *DB, trace bool) (*Rows, error) {
 	ctx := exec.NewContext(db.store, p.md)
+	ctx.Stats = db.stats
+	ctx.Parallelism = p.par
 	if trace {
 		ctx.EnableTrace()
 	}

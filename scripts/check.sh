@@ -1,0 +1,11 @@
+#!/bin/sh
+# Repo-wide static checks and race-detector test run. This is the
+# gate for PRs touching the parallel executor: the property tests in
+# parallel_test.go execute every TPC-H benchmark query and the fuzz
+# corpus at Parallelism 2/4/8 under -race.
+set -eu
+cd "$(dirname "$0")/.."
+
+go vet ./...
+go build ./...
+go test -race ./...
