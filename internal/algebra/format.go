@@ -171,6 +171,11 @@ func FormatScalar(md *Metadata, s Scalar) string {
 		return md.QualifiedAlias(t.Col)
 	case *Const:
 		return t.Val.String()
+	case *Param:
+		// Value-free on purpose: FormatRel keys the optimizer memo and
+		// the Simplify fixpoint, so two plans differing only in sniffed
+		// parameter values must format identically.
+		return fmt.Sprintf("$%d", t.Idx+1)
 	case *Cmp:
 		return fmt.Sprintf("%s %s %s", FormatScalar(md, t.L), t.Op, FormatScalar(md, t.R))
 	case *And:

@@ -71,6 +71,10 @@ func scalarFreeCols(s Scalar) ColSet {
 	return free
 }
 
+// RelScalars returns the scalar expressions attached to the node
+// itself (not its children).
+func RelScalars(r Rel) []Scalar { return relScalars(r) }
+
 // relScalars returns the scalar expressions attached to the node
 // itself (not its children).
 func relScalars(r Rel) []Scalar {

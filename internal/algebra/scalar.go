@@ -109,6 +109,18 @@ type Const struct {
 	Val types.Datum
 }
 
+// Param is a query parameter slot produced by forced parameterization
+// (plan caching). Val is the literal value "sniffed" from the query
+// that created the plan: the coster may read it to estimate
+// selectivities, but normalization and folding treat Param as opaque so
+// the plan's structure never depends on it. At execution time the slot
+// resolves through the parameter vector bound into the evaluator, not
+// through Val.
+type Param struct {
+	Idx int
+	Val types.Datum
+}
+
 // Cmp is a binary comparison L op R.
 type Cmp struct {
 	Op   CmpOp
@@ -195,6 +207,7 @@ type Quantified struct {
 
 func (*ColRef) scalarNode()     {}
 func (*Const) scalarNode()      {}
+func (*Param) scalarNode()      {}
 func (*Cmp) scalarNode()        {}
 func (*And) scalarNode()        {}
 func (*Or) scalarNode()         {}
@@ -363,6 +376,8 @@ func MapScalarCols(s Scalar, sub map[ColID]ColID, rel func(Rel) Rel) Scalar {
 		}
 		return t
 	case *Const:
+		return t
+	case *Param:
 		return t
 	case *Cmp:
 		return &Cmp{Op: t.Op, L: MapScalarCols(t.L, sub, rel), R: MapScalarCols(t.R, sub, rel)}

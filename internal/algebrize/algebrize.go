@@ -21,7 +21,14 @@ type Result struct {
 // Build algebrizes a parsed query against the catalog, allocating
 // column IDs in md.
 func Build(cat *catalog.Catalog, md *algebra.Metadata, q ast.Query) (*Result, error) {
-	b := &builder{cat: cat, md: md}
+	return BuildWithParams(cat, md, q, nil)
+}
+
+// BuildWithParams algebrizes a parameterized query: ast.Param nodes in
+// q resolve to algebra.Param slots carrying the sniffed values from
+// params (used only for costing, never folded into the plan).
+func BuildWithParams(cat *catalog.Catalog, md *algebra.Metadata, q ast.Query, params []types.Datum) (*Result, error) {
+	b := &builder{cat: cat, md: md, params: params}
 	bt, err := b.buildQuery(q, nil)
 	if err != nil {
 		return nil, err
@@ -32,6 +39,8 @@ func Build(cat *catalog.Catalog, md *algebra.Metadata, q ast.Query) (*Result, er
 type builder struct {
 	cat *catalog.Catalog
 	md  *algebra.Metadata
+	// params holds sniffed literal values for ast.Param slots.
+	params []types.Datum
 	// anon counts anonymous output columns for naming.
 	anon int
 	// ctes maps visible WITH-clause names to their definitions; each

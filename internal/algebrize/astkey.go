@@ -29,6 +29,8 @@ func writeKey(b *strings.Builder, e ast.Expr) {
 		fmt.Fprintf(b, "str(%q)", t.Val)
 	case *ast.DateLit:
 		fmt.Fprintf(b, "date(%s)", t.Val)
+	case *ast.Param:
+		fmt.Fprintf(b, "param(%d)", t.Idx)
 	case *ast.NullLit:
 		b.WriteString("null")
 	case *ast.BoolLit:

@@ -52,6 +52,12 @@ func (b *builder) buildScalar(e ast.Expr, sc *scope, ctx *exprCtx) (algebra.Scal
 	case *ast.IntervalLit:
 		return nil, fmt.Errorf("algebrize: INTERVAL is only valid in date + interval arithmetic")
 
+	case *ast.Param:
+		if t.Idx < 0 || t.Idx >= len(b.params) {
+			return nil, fmt.Errorf("algebrize: parameter $%d has no bound value", t.Idx+1)
+		}
+		return &algebra.Param{Idx: t.Idx, Val: b.params[t.Idx]}, nil
+
 	case *ast.NullLit:
 		return &algebra.Const{Val: types.NullUnknown}, nil
 
@@ -303,6 +309,8 @@ func (b *builder) typeOf(s algebra.Scalar) types.Kind {
 	case *algebra.ColRef:
 		return b.md.Type(t.Col)
 	case *algebra.Const:
+		return t.Val.Kind()
+	case *algebra.Param:
 		return t.Val.Kind()
 	case *algebra.Cmp, *algebra.And, *algebra.Or, *algebra.Not,
 		*algebra.IsNull, *algebra.Like, *algebra.InList,

@@ -1,0 +1,174 @@
+// Plan-cache experiment: cold-vs-warm latency per TPC-H query, warm
+// latency under literal variation (the parameterized-reuse case), and
+// a zipfian repeated-query workload reporting the achieved hit ratio.
+// The headline number is the warm/cold speedup — a warm hit skips
+// parse, normalization and cost-based optimization entirely.
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"time"
+
+	"orthoq"
+)
+
+// CacheResult is one machine-readable cache measurement (JSONL row).
+type CacheResult struct {
+	Experiment string  `json:"experiment"`
+	Phase      string  `json:"phase"` // cold | warm | zipf
+	Query      string  `json:"query"`
+	SF         float64 `json:"sf"`
+	NsPerOp    int64   `json:"ns_per_op"`
+	Rows       int     `json:"rows"`
+	Cache      string  `json:"cache,omitempty"`
+	Speedup    float64 `json:"speedup,omitempty"`
+	HitRatio   float64 `json:"hit_ratio,omitempty"`
+	Queries    int     `json:"queries,omitempty"`
+}
+
+// cacheTemplate is a query shape whose literals vary per instance —
+// every instance after the first should reuse the cached plan.
+type cacheTemplate struct {
+	name string
+	gen  func(r *rand.Rand) string
+}
+
+func cacheTemplates() []cacheTemplate {
+	return []cacheTemplate{
+		{"lineitem-agg", func(r *rand.Rand) string {
+			// Narrow literal range: instances share a selectivity bucket.
+			return fmt.Sprintf(`select l_returnflag, count(*) as n, sum(l_extendedprice) as s
+				from lineitem where l_quantity < %d group by l_returnflag`, 30+r.Intn(3))
+		}},
+		{"orders-topk", func(r *rand.Rand) string {
+			return fmt.Sprintf(`select o_orderkey, o_totalprice from orders
+				where o_totalprice > %d order by o_totalprice limit 10`, 1000+r.Intn(50))
+		}},
+		{"cust-exists", func(r *rand.Rand) string {
+			return fmt.Sprintf(`select count(*) from customer
+				where c_acctbal > %d
+				  and exists (select 1 from orders where o_custkey = c_custkey)`,
+				r.Intn(100))
+		}},
+	}
+}
+
+// timeQuery runs sql once and reports total wall time (compilation or
+// cache lookup included — that is the quantity the cache improves).
+func timeQuery(db *orthoq.DB, sql string) (*orthoq.Rows, time.Duration, error) {
+	start := time.Now()
+	rows, err := db.Query(sql)
+	return rows, time.Since(start), err
+}
+
+// RunCache measures the plan cache: per-query cold (compile) vs warm
+// (cached) latency for the TPC-H set and the literal-varying templates,
+// then a zipfian workload's hit ratio. With jsonOut set, each
+// measurement is one JSON line; otherwise a summary table is printed.
+func RunCache(w io.Writer, sf float64, seed int64, reps int, jsonOut bool) error {
+	db, err := orthoq.OpenTPCH(sf, seed)
+	if err != nil {
+		return err
+	}
+	if !jsonOut {
+		fmt.Fprintf(w, "== plan cache: cold vs warm latency and zipfian hit ratio (SF %g) ==\n\n", sf)
+	}
+	enc := json.NewEncoder(w)
+	emit := func(res CacheResult) {
+		if jsonOut {
+			enc.Encode(res)
+		}
+	}
+	tab := &table{header: []string{"query", "rows", "cold", "warm", "speedup", "warm cache"}}
+
+	type workload struct {
+		name string
+		gen  func(r *rand.Rand) string
+	}
+	var workloads []workload
+	for _, name := range orthoq.TPCHQueryNames() {
+		q, ok := orthoq.TPCHQuery(name)
+		if !ok {
+			return fmt.Errorf("no query %s", name)
+		}
+		workloads = append(workloads, workload{name, func(*rand.Rand) string { return q }})
+	}
+	for _, tpl := range cacheTemplates() {
+		workloads = append(workloads, workload{tpl.name, tpl.gen})
+	}
+
+	r := rand.New(rand.NewSource(seed))
+	var speedups []float64
+	for _, wl := range workloads {
+		rows, cold, err := timeQuery(db, wl.gen(r))
+		if err != nil {
+			return fmt.Errorf("%s: %w", wl.name, err)
+		}
+		emit(CacheResult{Experiment: "cache", Phase: "cold", Query: wl.name, SF: sf,
+			NsPerOp: cold.Nanoseconds(), Rows: len(rows.Data), Cache: rows.Cache})
+
+		// Warm the selectivity buckets the generator can produce, then
+		// measure; instances differ in literals yet reuse the plan.
+		for i := 0; i < 3; i++ {
+			if _, _, err := timeQuery(db, wl.gen(r)); err != nil {
+				return err
+			}
+		}
+		var warmCache string
+		warm, err := medianTime(reps, func() (time.Duration, error) {
+			res, d, err := timeQuery(db, wl.gen(r))
+			if err == nil {
+				warmCache = res.Cache
+			}
+			return d, err
+		})
+		if err != nil {
+			return fmt.Errorf("%s: %w", wl.name, err)
+		}
+		speedup := float64(cold) / float64(warm)
+		speedups = append(speedups, speedup)
+		emit(CacheResult{Experiment: "cache", Phase: "warm", Query: wl.name, SF: sf,
+			NsPerOp: warm.Nanoseconds(), Rows: len(rows.Data), Cache: warmCache,
+			Speedup: speedup})
+		tab.add(wl.name, fmt.Sprint(len(rows.Data)), fmtDur(cold), fmtDur(warm),
+			fmt.Sprintf("%.1fx", speedup), warmCache)
+	}
+
+	// Zipfian repeated-query workload: shape popularity is skewed (a few
+	// hot shapes dominate), literals vary per instance — the serving
+	// pattern the cache is built for.
+	const zipfQueries = 300
+	zipf := rand.NewZipf(r, 1.4, 1.0, uint64(len(workloads)-1))
+	before := db.CacheStats()
+	start := time.Now()
+	for i := 0; i < zipfQueries; i++ {
+		wl := workloads[int(zipf.Uint64())]
+		if _, err := db.Query(wl.gen(r)); err != nil {
+			return fmt.Errorf("zipf %s: %w", wl.name, err)
+		}
+	}
+	elapsed := time.Since(start)
+	after := db.CacheStats()
+	served := float64(after.Hits + after.Misses + after.Bypasses -
+		before.Hits - before.Misses - before.Bypasses)
+	hitRatio := float64(after.Hits-before.Hits) / served
+	emit(CacheResult{Experiment: "cache", Phase: "zipf", Query: "zipf-mix", SF: sf,
+		NsPerOp: elapsed.Nanoseconds() / zipfQueries, Queries: zipfQueries,
+		HitRatio: hitRatio})
+
+	if !jsonOut {
+		tab.write(w)
+		sort.Float64s(speedups)
+		fmt.Fprintf(w, "\nmedian warm speedup: %.1fx\n", speedups[len(speedups)/2])
+		fmt.Fprintf(w, "zipfian workload: %d queries, %.1f%% hit ratio, %s/query\n",
+			zipfQueries, 100*hitRatio, fmtDur(elapsed/zipfQueries))
+		st := db.CacheStats()
+		fmt.Fprintf(w, "cache totals: %d hits, %d misses, %d bypasses, %d entries (~%d KiB)\n\n",
+			st.Hits, st.Misses, st.Bypasses, st.Entries, st.Bytes/1024)
+	}
+	return nil
+}

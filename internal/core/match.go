@@ -120,6 +120,9 @@ func scalarsMatch(a, b algebra.Scalar, remap map[algebra.ColID]algebra.ColID) bo
 			return ta.Val.IsNull() == tb.Val.IsNull()
 		}
 		return ta.Val.Kind() == tb.Val.Kind() && ta.Val.String() == tb.Val.String()
+	case *algebra.Param:
+		tb, ok := b.(*algebra.Param)
+		return ok && ta.Idx == tb.Idx
 	case *algebra.Cmp:
 		tb, ok := b.(*algebra.Cmp)
 		return ok && ta.Op == tb.Op && scalarsMatch(ta.L, tb.L, remap) && scalarsMatch(ta.R, tb.R, remap)

@@ -39,6 +39,12 @@ type Evaluator struct {
 	// OnSubquery handles nested relational nodes; nil means they are an
 	// error.
 	OnSubquery SubqueryHandler
+	// Params binds parameter slots (algebra.Param) by index. An
+	// out-of-range slot is an evaluation error; analysis-time
+	// evaluators (folding, null-rejection) deliberately leave Params
+	// nil so parameter-dependent decisions are skipped and plan
+	// structure stays value-independent.
+	Params []types.Datum
 }
 
 // Eval computes the value of s under env.
@@ -53,6 +59,12 @@ func (ev *Evaluator) Eval(s algebra.Scalar, env Env) (types.Datum, error) {
 
 	case *algebra.Const:
 		return t.Val, nil
+
+	case *algebra.Param:
+		if t.Idx < 0 || t.Idx >= len(ev.Params) {
+			return types.NullUnknown, fmt.Errorf("eval: unbound parameter $%d", t.Idx+1)
+		}
+		return ev.Params[t.Idx], nil
 
 	case *algebra.Cmp:
 		l, err := ev.Eval(t.L, env)

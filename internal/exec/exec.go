@@ -45,6 +45,10 @@ type Context struct {
 	// The counter itself is shared across workers (see sharedState) so
 	// the guard stays exact under concurrency.
 	RowBudget int64
+	// Params binds query parameter slots (algebra.Param) for this run.
+	// Cached plans are compiled once against parameter slots and
+	// re-bound here per execution.
+	Params []types.Datum
 
 	// shared is the per-query state common to all worker clones.
 	shared *sharedState
@@ -130,10 +134,11 @@ func (c *Context) workerClone() *Context {
 		Md:        c.Md,
 		Stats:     c.Stats,
 		RowBudget: c.RowBudget,
+		Params:    c.Params,
 		shared:    c.shared,
 		params:    make(eval.MapEnv),
 		segments:  make(map[*algebra.SegmentApply]*segmentBinding),
-		ev:        &eval.Evaluator{},
+		ev:        &eval.Evaluator{Params: c.Params},
 		isWorker:  true,
 	}
 }
@@ -221,6 +226,7 @@ type Result struct {
 // morsel-parallel; row order of the result may then differ from the
 // serial order (the bag of rows is identical).
 func Run(ctx *Context, rel algebra.Rel, outCols []algebra.ColID) (*Result, error) {
+	ctx.ev.Params = ctx.Params
 	if ctx.Parallelism > 1 && ctx.pplan == nil {
 		ctx.pplan = planParallel(ctx, rel)
 	}

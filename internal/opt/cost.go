@@ -414,16 +414,31 @@ func (c *coster) conjSelectivity(conj algebra.Scalar, rows float64) float64 {
 }
 
 // colConstCmp matches "col op const" (either orientation, op adjusted).
+// A Param slot counts as a constant via its sniffed value: the plan
+// cache keys range-comparison plans by selectivity bucket, so costing
+// with the sniffed literal is sound for every value in the bucket.
 func (c *coster) colConstCmp(t *algebra.Cmp) (algebra.ColID, types.Datum, algebra.CmpOp) {
 	if l, ok := t.L.(*algebra.ColRef); ok {
-		if r, ok := t.R.(*algebra.Const); ok {
-			return l.Col, r.Val, t.Op
+		if v, ok := constVal(t.R); ok {
+			return l.Col, v, t.Op
 		}
 	}
 	if r, ok := t.R.(*algebra.ColRef); ok {
-		if l, ok := t.L.(*algebra.Const); ok {
-			return r.Col, l.Val, t.Op.Commute()
+		if v, ok := constVal(t.L); ok {
+			return r.Col, v, t.Op.Commute()
 		}
 	}
 	return 0, types.NullUnknown, t.Op
+}
+
+// constVal extracts a comparable value from a literal or a sniffed
+// parameter.
+func constVal(s algebra.Scalar) (types.Datum, bool) {
+	switch t := s.(type) {
+	case *algebra.Const:
+		return t.Val, true
+	case *algebra.Param:
+		return t.Val, true
+	}
+	return types.NullUnknown, false
 }

@@ -1,0 +1,96 @@
+package plancache
+
+import (
+	"strconv"
+	"strings"
+
+	"orthoq/internal/sql/types"
+)
+
+// kindChar encodes a datum kind into the variant key. Parameter
+// binding is kind-exact: an integer literal and a float literal at the
+// same position produce different variants, because the baked plan's
+// inferred types (and the comparison semantics downstream) may differ.
+func kindChar(k types.Kind) byte {
+	switch k {
+	case types.Int:
+		return 'i'
+	case types.Float:
+		return 'f'
+	case types.String:
+		return 's'
+	case types.Date:
+		return 'd'
+	}
+	return '?'
+}
+
+// VariantKey builds the per-variant cache key from the baked literal
+// texts and the parameter kinds. Two queries of the same shape share a
+// variant exactly when their non-parameterized literals are textually
+// identical and their parameter slots carry the same kinds.
+func VariantKey(positions []PosInfo, texts []string, params []types.Datum) string {
+	var b strings.Builder
+	for i, pos := range positions {
+		if !pos.Param {
+			b.WriteString(texts[i])
+			b.WriteByte(0x1f)
+		}
+	}
+	b.WriteByte(0)
+	for _, d := range params {
+		b.WriteByte(kindChar(d.Kind()))
+	}
+	return b.String()
+}
+
+// Bind re-binds parameter values from the raw literal tokens of a new
+// query instance, using the position layout recorded when the shape was
+// first compiled. It returns the parameter vector and the variant key.
+// ok=false means a literal did not convert (overflowing integer,
+// malformed date): the caller falls back to a full compile, which
+// reports the canonical error.
+func Bind(positions []PosInfo, lits []Lit) (params []types.Datum, vkey string, ok bool) {
+	if len(positions) != len(lits) {
+		return nil, "", false
+	}
+	texts := make([]string, len(lits))
+	for i, l := range lits {
+		texts[i] = l.Text
+	}
+	for i, pos := range positions {
+		if !pos.Param {
+			continue
+		}
+		text := lits[i].Text
+		var d types.Datum
+		switch pos.Class {
+		case 'n':
+			if strings.ContainsRune(text, '.') {
+				f, err := strconv.ParseFloat(text, 64)
+				if err != nil {
+					return nil, "", false
+				}
+				d = types.NewFloat(f)
+			} else {
+				n, err := strconv.ParseInt(text, 10, 64)
+				if err != nil {
+					return nil, "", false
+				}
+				d = types.NewInt(n)
+			}
+		case 's':
+			d = types.NewString(text)
+		case 'd':
+			var err error
+			d, err = types.DateFromString(text)
+			if err != nil {
+				return nil, "", false
+			}
+		default:
+			return nil, "", false
+		}
+		params = append(params, d)
+	}
+	return params, VariantKey(positions, texts, params), true
+}

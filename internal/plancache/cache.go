@@ -1,0 +1,331 @@
+package plancache
+
+import (
+	"hash/maphash"
+	"sync"
+	"sync/atomic"
+)
+
+const (
+	// shardCount is a power of two; per-shard mutexes keep concurrent
+	// lookups from convoying on one lock.
+	shardCount = 16
+	// maxVariantsPerFamily bounds baked-literal blowup within one shape.
+	maxVariantsPerFamily = 16
+	// maxPlansPerVariant bounds selectivity-bucket blowup within one
+	// variant.
+	maxPlansPerVariant = 4
+)
+
+// Stats is a point-in-time snapshot of cache effectiveness counters.
+type Stats struct {
+	Hits          uint64
+	Misses        uint64
+	Evictions     uint64
+	Invalidations uint64
+	Bypasses      uint64
+	// Entries counts cached plans; Bytes approximates their footprint.
+	Entries int64
+	Bytes   int64
+}
+
+// Family is all cache state for one query shape under one Config: the
+// literal-position layout discovered at first compile, plus the
+// variants (distinct baked literals / parameter kinds) holding plans
+// per selectivity bucket.
+//
+// Positions, Uncacheable and epoch are immutable after publication;
+// the variant map is guarded by mu.
+type Family struct {
+	key   string
+	epoch uint64
+	// Uncacheable marks shapes where parameterization is unsafe or the
+	// literal walk failed alignment; lookups report bypass.
+	Uncacheable bool
+	// Positions is the literal-position layout (nil iff Uncacheable).
+	Positions []PosInfo
+
+	mu       sync.Mutex
+	variants map[string]*Variant
+	bytes    atomic.Int64
+	plans    atomic.Int64
+
+	prev, next *Family // shard LRU list
+}
+
+// Variant is one (baked literals, parameter kinds) combination of a
+// family. Descs is fixed by the first plan stored, so every plan in the
+// variant is keyed under one consistent descriptor set.
+type Variant struct {
+	Descs []Descriptor
+
+	mu    sync.Mutex
+	plans map[string]any
+}
+
+// Plan returns the cached plan for a selectivity-bucket key.
+func (v *Variant) Plan(bucketKey string) (any, bool) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	p, ok := v.plans[bucketKey]
+	return p, ok
+}
+
+// Variant returns the variant for vkey, or nil.
+func (f *Family) Variant(vkey string) *Variant {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.variants[vkey]
+}
+
+// Cache is the sharded LRU over plan families.
+type Cache struct {
+	maxEntries int64
+	maxBytes   int64
+	seed       maphash.Seed
+	shards     [shardCount]shard
+
+	hits          atomic.Uint64
+	misses        atomic.Uint64
+	evictions     atomic.Uint64
+	invalidations atomic.Uint64
+	bypasses      atomic.Uint64
+	entries       atomic.Int64
+	bytes         atomic.Int64
+}
+
+type shard struct {
+	mu       sync.Mutex
+	families map[string]*Family
+	// head is most recently used, tail least.
+	head, tail *Family
+}
+
+// New creates a cache capped at maxEntries plans and approximately
+// maxBytes of plan footprint (each cap disabled when <= 0 is replaced
+// by a default; use a huge value for effectively-unbounded).
+func New(maxEntries int64, maxBytes int64) *Cache {
+	if maxEntries <= 0 {
+		maxEntries = 256
+	}
+	if maxBytes <= 0 {
+		maxBytes = 64 << 20
+	}
+	c := &Cache{maxEntries: maxEntries, maxBytes: maxBytes, seed: maphash.MakeSeed()}
+	for i := range c.shards {
+		c.shards[i].families = make(map[string]*Family)
+	}
+	return c
+}
+
+func (c *Cache) shardOf(key string) *shard {
+	return &c.shards[maphash.String(c.seed, key)&(shardCount-1)]
+}
+
+// CountHit / CountMiss / CountBypass record lookup outcomes decided by
+// the caller (the caller sees the binding and bucketing steps the cache
+// itself does not perform).
+func (c *Cache) CountHit()    { c.hits.Add(1) }
+func (c *Cache) CountMiss()   { c.misses.Add(1) }
+func (c *Cache) CountBypass() { c.bypasses.Add(1) }
+
+// Family returns the cached family for key if present and fresh under
+// epoch, touching LRU recency. A stale family (compiled under an older
+// epoch) is dropped and counted as an invalidation; the caller then
+// recompiles as on a miss.
+func (c *Cache) Family(key string, epoch uint64) *Family {
+	s := c.shardOf(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f := s.families[key]
+	if f == nil {
+		return nil
+	}
+	if f.epoch != epoch {
+		c.invalidations.Add(1)
+		s.remove(f)
+		c.entries.Add(-f.plans.Load())
+		c.bytes.Add(-f.bytes.Load())
+		return nil
+	}
+	s.touch(f)
+	return f
+}
+
+// Peek reports the fresh family without touching recency or counters
+// (EXPLAIN support).
+func (c *Cache) Peek(key string, epoch uint64) *Family {
+	s := c.shardOf(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f := s.families[key]
+	if f == nil || f.epoch != epoch {
+		return nil
+	}
+	return f
+}
+
+// StoreUncacheable records that this shape must bypass the cache (the
+// parameterization walk found an unsafe construct or lost literal
+// alignment), so future queries of the shape skip the walk entirely.
+func (c *Cache) StoreUncacheable(key string, epoch uint64) {
+	s := c.shardOf(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.families[key] != nil {
+		return
+	}
+	f := &Family{key: key, epoch: epoch, Uncacheable: true}
+	s.insert(f)
+}
+
+// StorePlan inserts a compiled plan. The family and variant are created
+// as needed (the family adopting positions, the variant adopting
+// descs). bucketOf computes the bucket key under the variant's
+// authoritative descriptor set — which may be an earlier compile's, so
+// the caller must not precompute the key. Returns the bucket key used.
+func (c *Cache) StorePlan(key string, epoch uint64, positions []PosInfo,
+	vkey string, descs []Descriptor, plan any, planBytes int64,
+	bucketOf func([]Descriptor) string) {
+
+	s := c.shardOf(key)
+	s.mu.Lock()
+	f := s.families[key]
+	if f == nil {
+		f = &Family{key: key, epoch: epoch,
+			Positions: positions, variants: make(map[string]*Variant)}
+		s.insert(f)
+	}
+	if f.Uncacheable || f.epoch != epoch {
+		s.mu.Unlock()
+		return
+	}
+	s.touch(f)
+	s.mu.Unlock()
+
+	f.mu.Lock()
+	v := f.variants[vkey]
+	if v == nil {
+		if len(f.variants) >= maxVariantsPerFamily {
+			f.mu.Unlock()
+			return
+		}
+		v = &Variant{Descs: descs, plans: make(map[string]any)}
+		f.variants[vkey] = v
+	}
+	f.mu.Unlock()
+
+	bkey := bucketOf(v.Descs)
+	added := int64(0)
+	v.mu.Lock()
+	if _, exists := v.plans[bkey]; !exists {
+		if len(v.plans) >= maxPlansPerVariant {
+			// Drop an arbitrary bucket; the new plan reflects the
+			// current workload's value regime.
+			for k := range v.plans {
+				delete(v.plans, k)
+				break
+			}
+			added--
+		}
+		added++
+		v.plans[bkey] = plan
+	} else {
+		v.plans[bkey] = plan
+		planBytes = 0
+	}
+	v.mu.Unlock()
+
+	f.plans.Add(added)
+	f.bytes.Add(planBytes)
+	c.entries.Add(added)
+	c.bytes.Add(planBytes)
+	// If the family was evicted while we filled it in, its footprint
+	// was already subtracted from the cache totals without these last
+	// additions; take them back so the counters cannot drift upward.
+	s.mu.Lock()
+	if s.families[key] != f {
+		c.entries.Add(-added)
+		c.bytes.Add(-planBytes)
+	}
+	s.mu.Unlock()
+	c.evict(s)
+}
+
+// evict pops least-recently-used families from the shard until the
+// cache-wide caps hold. Working a single shard keeps the critical
+// section local; other shards converge as they take their own inserts.
+func (c *Cache) evict(s *shard) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for (c.entries.Load() > c.maxEntries || c.bytes.Load() > c.maxBytes) && s.tail != nil {
+		f := s.tail
+		s.remove(f)
+		c.entries.Add(-f.plans.Load())
+		c.bytes.Add(-f.bytes.Load())
+		c.evictions.Add(1)
+	}
+}
+
+// CacheStats snapshots the counters.
+func (c *Cache) CacheStats() Stats {
+	return Stats{
+		Hits:          c.hits.Load(),
+		Misses:        c.misses.Load(),
+		Evictions:     c.evictions.Load(),
+		Invalidations: c.invalidations.Load(),
+		Bypasses:      c.bypasses.Load(),
+		Entries:       c.entries.Load(),
+		Bytes:         c.bytes.Load(),
+	}
+}
+
+// shard list helpers; callers hold s.mu.
+
+func (s *shard) insert(f *Family) {
+	s.families[f.key] = f
+	f.prev, f.next = nil, s.head
+	if s.head != nil {
+		s.head.prev = f
+	}
+	s.head = f
+	if s.tail == nil {
+		s.tail = f
+	}
+}
+
+func (s *shard) remove(f *Family) {
+	delete(s.families, f.key)
+	if f.prev != nil {
+		f.prev.next = f.next
+	} else {
+		s.head = f.next
+	}
+	if f.next != nil {
+		f.next.prev = f.prev
+	} else {
+		s.tail = f.prev
+	}
+	f.prev, f.next = nil, nil
+}
+
+func (s *shard) touch(f *Family) {
+	if s.head == f {
+		return
+	}
+	// unlink
+	if f.prev != nil {
+		f.prev.next = f.next
+	}
+	if f.next != nil {
+		f.next.prev = f.prev
+	} else {
+		s.tail = f.prev
+	}
+	// push front
+	f.prev, f.next = nil, s.head
+	if s.head != nil {
+		s.head.prev = f
+	}
+	s.head = f
+}

@@ -1,0 +1,65 @@
+// Package plancache implements the parameterized plan cache: forced
+// parameterization of query literals, token-level fingerprinting of the
+// query shape, selectivity-sensitivity bucketing of cached plans, and a
+// sharded LRU keyed by (shape, config, variant, bucket) with epoch-based
+// invalidation.
+//
+// The pipeline mirrors "forced parameterization" in commercial systems:
+// an incoming query is fingerprinted at the lexer level (no parse on the
+// hit path); constant literals become typed parameter slots; the plan is
+// compiled once against the slots and re-bound per execution. Because
+// the optimized plan of a range predicate can legitimately depend on the
+// literal (seek-vs-scan crossover in the cost model), plans are cached
+// per selectivity bucket, with the bucket recomputed from current
+// statistics at lookup time.
+package plancache
+
+import (
+	"strings"
+
+	"orthoq/internal/sql/lexer"
+)
+
+// Lit is one literal token occurrence in the query text, in source
+// order.
+type Lit struct {
+	Text string
+	// Number is true for numeric tokens, false for string tokens.
+	Number bool
+}
+
+// Fingerprint tokenizes sql and returns the shape — the token stream
+// with every literal replaced by '?' — plus the literal occurrences in
+// source order. Two queries with equal shapes differ only in literal
+// values (and identifier case is preserved, so output column names
+// match too). The error mirrors the lexer's and means the query cannot
+// be fingerprinted; callers fall back to the uncached path, where the
+// parser reports the canonical error.
+func Fingerprint(sql string) (string, []Lit, error) {
+	toks, err := lexer.Tokenize(sql)
+	if err != nil {
+		return "", nil, err
+	}
+	var b strings.Builder
+	b.Grow(len(sql))
+	var lits []Lit
+	for _, t := range toks {
+		if t.Kind == lexer.EOF {
+			break
+		}
+		if b.Len() > 0 {
+			b.WriteByte(' ')
+		}
+		switch t.Kind {
+		case lexer.Number:
+			b.WriteByte('?')
+			lits = append(lits, Lit{Text: t.Text, Number: true})
+		case lexer.String:
+			b.WriteByte('?')
+			lits = append(lits, Lit{Text: t.Text})
+		default:
+			b.WriteString(t.Text)
+		}
+	}
+	return b.String(), lits, nil
+}

@@ -1,0 +1,96 @@
+package plancache
+
+import "testing"
+
+func TestFingerprintShapeInvariantToLiterals(t *testing.T) {
+	a, alits, err := Fingerprint("select c_name from customer where c_acctbal > 100 and c_name like 'a%'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, blits, err := Fingerprint("SELECT c_name FROM customer WHERE c_acctbal > 9999.5 AND c_name LIKE 'zz'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("shapes differ:\n%s\n%s", a, b)
+	}
+	if len(alits) != 2 || len(blits) != 2 {
+		t.Fatalf("want 2 literals each, got %d and %d", len(alits), len(blits))
+	}
+	if alits[0].Text != "100" || !alits[0].Number {
+		t.Fatalf("lit 0 = %+v", alits[0])
+	}
+	if blits[0].Text != "9999.5" || blits[1].Text != "zz" || blits[1].Number {
+		t.Fatalf("b lits = %+v", blits)
+	}
+}
+
+func TestFingerprintShapeSensitivity(t *testing.T) {
+	base := "select c_name from customer where c_acctbal > 10"
+	variants := []string{
+		"select c_name from customer where c_acctbal >= 10", // operator
+		"select c_name from customer where c_acctbal > 10 limit 5",
+		"select C_NAME from customer where c_acctbal > 10", // ident case → output name
+		"select c_name from customer where c_acctbal > 'x'",
+	}
+	a, _, err := Fingerprint(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range variants[:3] {
+		b, _, err := Fingerprint(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a == b {
+			t.Fatalf("shape collision: %q vs %q", base, v)
+		}
+	}
+	// A string literal in a number position still aliases the shape (both
+	// are '?'); the variant key's kind characters separate them instead.
+	b, _, err := Fingerprint(variants[3])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("number and string literal positions should share a shape")
+	}
+}
+
+func TestFingerprintIdentPreservedKeywordFolded(t *testing.T) {
+	s, lits, err := Fingerprint("SELECT Foo FROM t WHERE x = 1 -- trailing comment\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s != "select Foo from t where x = ?" {
+		t.Fatalf("shape = %q", s)
+	}
+	if len(lits) != 1 || lits[0].Text != "1" {
+		t.Fatalf("lits = %+v", lits)
+	}
+}
+
+func TestFingerprintDateAndInterval(t *testing.T) {
+	s, lits, err := Fingerprint(
+		"select 1 from orders where o_orderdate < date '1993-07-01' + interval '3' month")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lits) != 3 {
+		t.Fatalf("want 3 literal positions, got %d (%+v)", len(lits), lits)
+	}
+	if lits[1].Text != "1993-07-01" || lits[2].Text != "3" {
+		t.Fatalf("lits = %+v", lits)
+	}
+	// The date/interval keywords stay in the shape, so date positions
+	// cannot alias plain-string positions.
+	if want := "select ? from orders where o_orderdate < date ? + interval ? month"; s != want {
+		t.Fatalf("shape = %q, want %q", s, want)
+	}
+}
+
+func TestFingerprintErrorOnMalformedInput(t *testing.T) {
+	if _, _, err := Fingerprint("select 'unterminated"); err == nil {
+		t.Fatal("want error")
+	}
+}

@@ -1,0 +1,310 @@
+package plancache
+
+import (
+	"strconv"
+
+	"orthoq/internal/sql/ast"
+	"orthoq/internal/sql/types"
+)
+
+// PosInfo describes one literal token position of a query shape: whether
+// the position is a parameter slot or stays baked into the plan, and the
+// literal class needed to re-bind a value from raw token text on the hit
+// path.
+type PosInfo struct {
+	Param bool
+	// Class: 'n' number (int/float decided per instance by the token
+	// text), 's' string, 'd' date, 'v' interval count, 'l' LIMIT count.
+	Class byte
+}
+
+// Parameterized is the outcome of forced parameterization of one parsed
+// query.
+type Parameterized struct {
+	// Positions describes every literal token position in source order.
+	Positions []PosInfo
+	// Texts holds each position's literal text as the walker saw it,
+	// for alignment verification against the lexer's literal stream.
+	Texts []string
+	// Params holds the sniffed values of the parameterized positions,
+	// indexed by parameter slot.
+	Params []types.Datum
+	// OK is false when the query uses a construct that makes
+	// parameterization unsafe (literals inside GROUP BY expressions,
+	// whose structural matching against select-list expressions must
+	// not be perturbed); such shapes are cached as uncacheable.
+	OK bool
+}
+
+// Parameterize rewrites eligible literals of q into ast.Param slots,
+// in place, and reports every literal position in source order.
+//
+// Eligibility is deliberately narrow so that plan structure stays
+// value-independent: only bare literals in value position of a
+// comparison, BETWEEN bound, IN-list element, or LIKE pattern inside a
+// predicate clause (WHERE, JOIN ON, HAVING) are parameterized.
+// Literals in SELECT items, GROUP BY, ORDER BY, aggregate-arithmetic
+// positions, interval arithmetic, and LIMIT stay baked: those positions
+// either feed compile-time folding (date + interval), structural
+// matching (grouping expressions), or output naming, where substituting
+// a slot could change compilation.
+func Parameterize(q ast.Query) *Parameterized {
+	p := &Parameterized{OK: true}
+	p.walkQuery(q)
+	return p
+}
+
+// Aligned verifies that the walker enumerated exactly the literal
+// occurrences the lexer saw, position by position. A mismatch means the
+// parser consumed literals in an order the walker did not reproduce;
+// the shape is then marked uncacheable so misalignment degrades to a
+// cache bypass, never to a wrong binding.
+func Aligned(p *Parameterized, lits []Lit) bool {
+	if len(p.Texts) != len(lits) {
+		return false
+	}
+	for i, t := range p.Texts {
+		if t != lits[i].Text {
+			return false
+		}
+	}
+	return true
+}
+
+type walkMode uint8
+
+const (
+	modeBake  walkMode = iota // enumerate only
+	modePred                  // predicate clause: comparisons may parameterize
+	modeGroup                 // GROUP BY: any literal makes the shape uncacheable
+)
+
+func (p *Parameterized) walkQuery(q ast.Query) {
+	switch t := q.(type) {
+	case *ast.SelectStmt:
+		for i := range t.Items {
+			t.Items[i].Expr = p.walkExpr(t.Items[i].Expr, modeBake)
+		}
+		for _, te := range t.From {
+			p.walkTable(te)
+		}
+		t.Where = p.walkExpr(t.Where, modePred)
+		for i := range t.GroupBy {
+			t.GroupBy[i] = p.walkExpr(t.GroupBy[i], modeGroup)
+		}
+		t.Having = p.walkExpr(t.Having, modePred)
+		for i := range t.OrderBy {
+			t.OrderBy[i].Expr = p.walkExpr(t.OrderBy[i].Expr, modeBake)
+		}
+		if t.Limit != nil {
+			p.note(strconv.FormatInt(*t.Limit, 10), 'l')
+		}
+	case *ast.UnionStmt:
+		p.walkQuery(t.Left)
+		p.walkQuery(t.Right)
+	case *ast.ExceptStmt:
+		p.walkQuery(t.Left)
+		p.walkQuery(t.Right)
+	case *ast.WithStmt:
+		for i := range t.CTEs {
+			p.walkQuery(t.CTEs[i].Query)
+		}
+		p.walkQuery(t.Body)
+	}
+}
+
+func (p *Parameterized) walkTable(te ast.TableExpr) {
+	switch t := te.(type) {
+	case *ast.DerivedTable:
+		p.walkQuery(t.Query)
+	case *ast.JoinExpr:
+		p.walkTable(t.Left)
+		p.walkTable(t.Right)
+		t.On = p.walkExpr(t.On, modePred)
+	}
+}
+
+// comparisonOp reports whether a BinaryExpr op is a comparison whose
+// value operands are safe to parameterize.
+func comparisonOp(op string) bool {
+	switch op {
+	case "=", "<>", "<", "<=", ">", ">=":
+		return true
+	}
+	return false
+}
+
+// bareLiteral reports whether e is a literal node the cache can turn
+// into a parameter slot. Interval, boolean and NULL literals are
+// excluded: intervals must fold at compile time, and booleans/NULLs are
+// keywords with no token position.
+func bareLiteral(e ast.Expr) bool {
+	switch e.(type) {
+	case *ast.NumberLit, *ast.StringLit, *ast.DateLit:
+		return true
+	}
+	return false
+}
+
+// walkExpr descends e in source order, enumerating literal positions
+// and replacing eligible ones with Param slots. It returns the
+// (possibly rewritten) expression.
+func (p *Parameterized) walkExpr(e ast.Expr, mode walkMode) ast.Expr {
+	switch t := e.(type) {
+	case nil:
+		return nil
+	case *ast.Ident:
+		return t
+	case *ast.NumberLit:
+		return p.literal(t, mode, false)
+	case *ast.StringLit:
+		return p.literal(t, mode, false)
+	case *ast.DateLit:
+		return p.literal(t, mode, false)
+	case *ast.IntervalLit:
+		p.note(strconv.FormatInt(t.N, 10), 'v')
+		if mode == modeGroup {
+			p.OK = false
+		}
+		return t
+	case *ast.NullLit, *ast.BoolLit, *ast.Param:
+		return t
+	case *ast.BinaryExpr:
+		if mode == modePred && comparisonOp(t.Op) && (bareLiteral(t.L) != bareLiteral(t.R)) {
+			// Exactly one side is a literal: parameterize it. Both-literal
+			// comparisons stay baked so constant-predicate folding keeps
+			// working.
+			t.L = p.maybeParam(t.L, mode)
+			t.R = p.maybeParam(t.R, mode)
+			return t
+		}
+		t.L = p.walkExpr(t.L, mode)
+		t.R = p.walkExpr(t.R, mode)
+		return t
+	case *ast.UnaryExpr:
+		t.Arg = p.walkExpr(t.Arg, mode)
+		return t
+	case *ast.IsNullExpr:
+		t.Arg = p.walkExpr(t.Arg, mode)
+		return t
+	case *ast.BetweenExpr:
+		if mode == modePred && !bareLiteral(t.Arg) {
+			t.Arg = p.walkExpr(t.Arg, mode)
+			t.Lo = p.maybeParam(t.Lo, mode)
+			t.Hi = p.maybeParam(t.Hi, mode)
+			return t
+		}
+		t.Arg = p.walkExpr(t.Arg, mode)
+		t.Lo = p.walkExpr(t.Lo, mode)
+		t.Hi = p.walkExpr(t.Hi, mode)
+		return t
+	case *ast.LikeExpr:
+		t.L = p.walkExpr(t.L, mode)
+		if mode == modePred && !bareLiteral(t.L) {
+			t.R = p.maybeParam(t.R, mode)
+		} else {
+			t.R = p.walkExpr(t.R, mode)
+		}
+		return t
+	case *ast.InExpr:
+		argLit := bareLiteral(t.Arg)
+		t.Arg = p.walkExpr(t.Arg, mode)
+		for i := range t.List {
+			if mode == modePred && !argLit {
+				t.List[i] = p.maybeParam(t.List[i], mode)
+			} else {
+				t.List[i] = p.walkExpr(t.List[i], mode)
+			}
+		}
+		if t.Query != nil {
+			p.walkQuery(t.Query)
+		}
+		return t
+	case *ast.FuncCall:
+		for i := range t.Args {
+			t.Args[i] = p.walkExpr(t.Args[i], mode)
+		}
+		return t
+	case *ast.CaseExpr:
+		for i := range t.Whens {
+			t.Whens[i].Cond = p.walkExpr(t.Whens[i].Cond, mode)
+			t.Whens[i].Then = p.walkExpr(t.Whens[i].Then, mode)
+		}
+		t.Else = p.walkExpr(t.Else, mode)
+		return t
+	case *ast.SubqueryExpr:
+		p.walkQuery(t.Query)
+		return t
+	case *ast.ExistsExpr:
+		p.walkQuery(t.Query)
+		return t
+	case *ast.QuantExpr:
+		t.L = p.walkExpr(t.L, mode)
+		p.walkQuery(t.Query)
+		return t
+	}
+	return e
+}
+
+// maybeParam parameterizes e when it is a bare literal, and otherwise
+// descends normally.
+func (p *Parameterized) maybeParam(e ast.Expr, mode walkMode) ast.Expr {
+	if !bareLiteral(e) {
+		return p.walkExpr(e, mode)
+	}
+	return p.literal(e, mode, true)
+}
+
+// literal enumerates one literal occurrence and replaces it with a
+// Param slot when want is set and the value is representable.
+func (p *Parameterized) literal(e ast.Expr, mode walkMode, want bool) ast.Expr {
+	var text string
+	var class byte
+	var val types.Datum
+	bindable := want
+	switch t := e.(type) {
+	case *ast.NumberLit:
+		text, class = t.Text, 'n'
+		if t.IsInt {
+			val = types.NewInt(t.Int)
+		} else {
+			val = types.NewFloat(t.Float)
+		}
+	case *ast.StringLit:
+		text, class = t.Val, 's'
+		val = types.NewString(t.Val)
+	case *ast.DateLit:
+		text, class = t.Val, 'd'
+		d, err := types.DateFromString(t.Val)
+		if err != nil {
+			// Leave the malformed date baked; compilation reports the
+			// canonical error on both cached and uncached paths.
+			bindable = false
+		}
+		val = d
+	default:
+		panic("plancache: literal called on non-literal")
+	}
+	if mode == modeGroup {
+		// A literal inside a grouping expression participates in
+		// structural matching against select-list/HAVING expressions;
+		// perturbing either side risks changing compilation. Bail out.
+		p.OK = false
+		bindable = false
+	}
+	p.note(text, class)
+	if !bindable {
+		return e
+	}
+	idx := len(p.Params)
+	p.Params = append(p.Params, val)
+	p.Positions[len(p.Positions)-1].Param = true
+	return &ast.Param{Idx: idx}
+}
+
+// note records a literal position that stays baked (literal retains its
+// place in the variant key).
+func (p *Parameterized) note(text string, class byte) {
+	p.Positions = append(p.Positions, PosInfo{Class: class})
+	p.Texts = append(p.Texts, text)
+}

@@ -1,0 +1,154 @@
+package plancache
+
+import (
+	"testing"
+
+	"orthoq/internal/sql/ast"
+	"orthoq/internal/sql/parser"
+	"orthoq/internal/sql/types"
+)
+
+// paramize parses sql, runs the walker, and verifies token alignment —
+// the invariant every cacheable shape must satisfy.
+func paramize(t *testing.T, sql string) (*Parameterized, ast.Query) {
+	t.Helper()
+	q, err := parser.Parse(sql)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	p := Parameterize(q)
+	_, lits, err := Fingerprint(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Aligned(p, lits) {
+		t.Fatalf("walker literals %v misaligned with token literals %v", p.Texts, lits)
+	}
+	return p, q
+}
+
+func TestParameterizeWherePredicates(t *testing.T) {
+	p, _ := paramize(t, `select c_name from customer
+		where c_acctbal > 100 and c_nationkey = 3 and c_name like 'a%'
+		  and c_custkey in (1, 2, 3) and c_acctbal between 5 and 50.5`)
+	// 100, 3, 'a%', 1, 2, 3, 5, 50.5 all parameterize.
+	if len(p.Params) != 8 {
+		t.Fatalf("want 8 params, got %d (%v)", len(p.Params), p.Params)
+	}
+	wantKinds := []types.Kind{types.Int, types.Int, types.String,
+		types.Int, types.Int, types.Int, types.Int, types.Float}
+	for i, k := range wantKinds {
+		if p.Params[i].Kind() != k {
+			t.Fatalf("param %d kind = %v, want %v", i, p.Params[i].Kind(), k)
+		}
+	}
+	if !p.OK {
+		t.Fatal("should be cacheable")
+	}
+}
+
+func TestParameterizeSelectItemsStayBaked(t *testing.T) {
+	p, _ := paramize(t, "select 1, c_name, c_acctbal * 2 from customer where c_custkey = 7")
+	if len(p.Params) != 1 {
+		t.Fatalf("want only the WHERE literal parameterized, got %d", len(p.Params))
+	}
+	if v := p.Params[0].Int(); v != 7 {
+		t.Fatalf("sniffed value = %v", p.Params[0])
+	}
+	// 1, 2, 7 all enumerated.
+	if len(p.Positions) != 3 {
+		t.Fatalf("want 3 positions, got %d", len(p.Positions))
+	}
+	if p.Positions[0].Param || p.Positions[1].Param || !p.Positions[2].Param {
+		t.Fatalf("positions = %+v", p.Positions)
+	}
+}
+
+func TestParameterizeIntervalArithmeticStaysBaked(t *testing.T) {
+	p, _ := paramize(t, `select count(*) from orders
+		where o_orderdate >= date '1993-07-01'
+		  and o_orderdate < date '1993-07-01' + interval '3' month`)
+	// Only the first date is a bare comparison operand; the second feeds
+	// compile-time interval folding and must stay a constant.
+	if len(p.Params) != 1 {
+		t.Fatalf("want 1 param, got %d", len(p.Params))
+	}
+	if p.Params[0].Kind() != types.Date {
+		t.Fatalf("kind = %v", p.Params[0].Kind())
+	}
+	if !p.OK {
+		t.Fatal("should be cacheable")
+	}
+}
+
+func TestParameterizeGroupByLiteralUncacheable(t *testing.T) {
+	p, _ := paramize(t, "select count(*) from orders group by o_orderkey % 10")
+	if p.OK {
+		t.Fatal("grouping-expression literal must mark the shape uncacheable")
+	}
+}
+
+func TestParameterizeConstConstComparisonStaysBaked(t *testing.T) {
+	p, _ := paramize(t, "select c_name from customer where 1 = 1 and c_custkey = 5")
+	if len(p.Params) != 1 {
+		t.Fatalf("want 1 param (the 5), got %d", len(p.Params))
+	}
+}
+
+func TestParameterizeSubqueryAndOnClauses(t *testing.T) {
+	p, _ := paramize(t, `select o_orderkey
+		from orders join customer on o_custkey = c_custkey and c_acctbal > 500
+		where exists (select 1 from lineitem where l_orderkey = o_orderkey and l_quantity < 10)
+		order by o_orderkey limit 3`)
+	// 500 (ON) and 10 (inner WHERE) parameterize; the select-item 1 and
+	// LIMIT 3 stay baked.
+	if len(p.Params) != 2 {
+		t.Fatalf("want 2 params, got %d (%v)", len(p.Params), p.Params)
+	}
+	last := p.Positions[len(p.Positions)-1]
+	if last.Class != 'l' || last.Param {
+		t.Fatalf("limit position = %+v", last)
+	}
+}
+
+func TestParameterizeRewritesAST(t *testing.T) {
+	_, q := paramize(t, "select c_name from customer where c_acctbal > 100")
+	sel := q.(*ast.SelectStmt)
+	cmp := sel.Where.(*ast.BinaryExpr)
+	if _, ok := cmp.R.(*ast.Param); !ok {
+		t.Fatalf("WHERE literal not rewritten: %T", cmp.R)
+	}
+}
+
+func TestBindRoundTrip(t *testing.T) {
+	p, _ := paramize(t, "select c_name from customer where c_acctbal > 100 and c_name = 'bob'")
+	vkeyCompile := VariantKey(p.Positions, p.Texts, p.Params)
+
+	_, lits, err := Fingerprint("select c_name from customer where c_acctbal > 250 and c_name = 'eve'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	params, vkeyBind, ok := Bind(p.Positions, lits)
+	if !ok {
+		t.Fatal("bind failed")
+	}
+	if vkeyBind != vkeyCompile {
+		t.Fatalf("variant keys differ: %q vs %q", vkeyBind, vkeyCompile)
+	}
+	if v := params[0].Int(); v != 250 {
+		t.Fatalf("params[0] = %v", params[0])
+	}
+	if params[1].String() != "'eve'" && params[1].String() != "eve" {
+		t.Fatalf("params[1] = %v", params[1])
+	}
+
+	// A float in the int position lands in a different variant.
+	_, lits2, _ := Fingerprint("select c_name from customer where c_acctbal > 2.5 and c_name = 'eve'")
+	_, vkeyFloat, ok := Bind(p.Positions, lits2)
+	if !ok {
+		t.Fatal("bind failed")
+	}
+	if vkeyFloat == vkeyCompile {
+		t.Fatal("int and float bindings must not share a variant")
+	}
+}

@@ -1,0 +1,120 @@
+package plancache
+
+import (
+	"strconv"
+	"strings"
+
+	"orthoq/internal/algebra"
+	"orthoq/internal/sql/types"
+	"orthoq/internal/stats"
+)
+
+// Descriptor marks one plan-choice-sensitive parameter: a range
+// comparison between a base-table column and a parameter slot. The
+// fraction of the table selected by such a predicate moves with the
+// bound value, and the optimizer's seek-vs-scan (and join-vs-apply)
+// crossover moves with it; plans are therefore cached per selectivity
+// bucket of each sensitive parameter.
+type Descriptor struct {
+	ParamIdx int
+	Table    string
+	Ord      int
+	// Inverted is set for > / >= comparisons, where the selected
+	// fraction is 1 - P(col < v).
+	Inverted bool
+}
+
+// Descriptors scans an optimized plan for range comparisons of the form
+// "col op $n" (either orientation) on statistics-backed base-table
+// columns, deduplicated. Equality comparisons are excluded: the cost
+// model estimates them as 1/distinct regardless of the value, so the
+// chosen plan cannot depend on which value is bound.
+func Descriptors(md *algebra.Metadata, sc *stats.Collection, plan algebra.Rel) []Descriptor {
+	if sc == nil {
+		return nil
+	}
+	var out []Descriptor
+	seen := map[Descriptor]bool{}
+	add := func(col algebra.ColID, idx int, op algebra.CmpOp) {
+		switch op {
+		case algebra.CmpLt, algebra.CmpLe, algebra.CmpGt, algebra.CmpGe:
+		default:
+			return
+		}
+		meta := md.Column(col)
+		if meta.Table == "" {
+			return
+		}
+		ts := sc.Table(meta.Table)
+		if ts == nil || meta.Ord >= len(ts.Columns) {
+			return
+		}
+		d := Descriptor{ParamIdx: idx, Table: meta.Table, Ord: meta.Ord,
+			Inverted: op == algebra.CmpGt || op == algebra.CmpGe}
+		if !seen[d] {
+			seen[d] = true
+			out = append(out, d)
+		}
+	}
+	algebra.VisitRel(plan, func(r algebra.Rel) bool {
+		for _, s := range algebra.RelScalars(r) {
+			algebra.VisitScalar(s, func(n algebra.Scalar) {
+				cmp, ok := n.(*algebra.Cmp)
+				if !ok {
+					return
+				}
+				if cr, ok := cmp.L.(*algebra.ColRef); ok {
+					if pv, ok := cmp.R.(*algebra.Param); ok {
+						add(cr.Col, pv.Idx, cmp.Op)
+					}
+				}
+				if cr, ok := cmp.R.(*algebra.ColRef); ok {
+					if pv, ok := cmp.L.(*algebra.Param); ok {
+						add(cr.Col, pv.Idx, cmp.Op.Commute())
+					}
+				}
+			})
+		}
+		return true
+	})
+	return out
+}
+
+// BucketKey maps the bound parameter values through the descriptors to
+// a selectivity-bucket vector under current statistics. The estimated
+// selected fraction of each sensitive predicate is quantized to an
+// octile, so plans are shared across values that the cost model sees as
+// similar and recompiled when a value crosses into a different regime.
+func BucketKey(descs []Descriptor, sc *stats.Collection, params []types.Datum) string {
+	if len(descs) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for _, d := range descs {
+		b.WriteString(strconv.Itoa(bucketOf(d, sc, params)))
+		b.WriteByte(',')
+	}
+	return b.String()
+}
+
+func bucketOf(d Descriptor, sc *stats.Collection, params []types.Datum) int {
+	if sc == nil || d.ParamIdx >= len(params) {
+		return 0
+	}
+	ts := sc.Table(d.Table)
+	if ts == nil || d.Ord >= len(ts.Columns) {
+		return 0
+	}
+	f := ts.Columns[d.Ord].SelectivityLT(params[d.ParamIdx], ts.RowCount)
+	if d.Inverted {
+		f = 1 - f
+	}
+	bucket := int(f * 8)
+	if bucket < 0 {
+		bucket = 0
+	}
+	if bucket > 7 {
+		bucket = 7
+	}
+	return bucket
+}

@@ -142,6 +142,14 @@ type IntervalLit struct {
 	Unit string
 }
 
+// Param is a parameter slot standing in for a literal that forced
+// parameterization (plan caching) extracted from the query text. It is
+// never produced by the parser; internal/plancache rewrites literal
+// nodes into Params before algebrization.
+type Param struct {
+	Idx int
+}
+
 // NullLit is NULL.
 type NullLit struct{}
 
@@ -235,6 +243,7 @@ func (*NumberLit) exprNode()    {}
 func (*StringLit) exprNode()    {}
 func (*DateLit) exprNode()      {}
 func (*IntervalLit) exprNode()  {}
+func (*Param) exprNode()        {}
 func (*NullLit) exprNode()      {}
 func (*BoolLit) exprNode()      {}
 func (*BinaryExpr) exprNode()   {}

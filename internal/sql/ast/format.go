@@ -175,6 +175,8 @@ func FormatExpr(e Expr) string {
 		return "date '" + t.Val + "'"
 	case *IntervalLit:
 		return fmt.Sprintf("interval '%d' %s", t.N, t.Unit)
+	case *Param:
+		return fmt.Sprintf("$%d", t.Idx+1)
 	case *NullLit:
 		return "null"
 	case *BoolLit:

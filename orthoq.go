@@ -21,6 +21,8 @@ package orthoq
 import (
 	"fmt"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"orthoq/internal/algebra"
@@ -28,6 +30,8 @@ import (
 	"orthoq/internal/core"
 	"orthoq/internal/exec"
 	"orthoq/internal/opt"
+	"orthoq/internal/plancache"
+	"orthoq/internal/sql/ast"
 	"orthoq/internal/sql/catalog"
 	"orthoq/internal/sql/parser"
 	"orthoq/internal/sql/types"
@@ -90,6 +94,32 @@ type Config struct {
 	// order); higher values may return rows in a different order than
 	// serial execution (the bag of rows is identical).
 	Parallelism int
+	// PlanCache configures the parameterized plan cache consulted by
+	// Query/QueryCfg. The zero value enables it with defaults.
+	PlanCache PlanCacheConfig
+}
+
+// PlanCacheConfig sizes the per-DB plan cache. The cache is created on
+// first cached query; Size/Bytes from later Configs are ignored once it
+// exists.
+type PlanCacheConfig struct {
+	// Size caps cached plans (0 = default 256).
+	Size int
+	// Bytes caps the approximate plan footprint (0 = default 64 MiB).
+	Bytes int64
+	// Disabled bypasses the cache entirely for queries run under this
+	// Config.
+	Disabled bool
+}
+
+// planKey serializes the Config knobs that influence the compiled plan
+// (or its execution strategy) into the cache key, so plans compiled
+// under different configurations never alias.
+func (c Config) planKey() string {
+	return fmt.Sprintf("%t%t%t%t%t%t%t%t%t|%d|%d",
+		c.Decorrelate, c.RemoveClass2, c.SimplifyOuterJoins, c.CostBased,
+		c.GroupByReorder, c.LocalAgg, c.SegmentApply, c.JoinReorder,
+		c.CorrelatedReintro, c.MaxSteps, c.Parallelism)
 }
 
 // DefaultConfig enables the paper's full technique set.
@@ -126,15 +156,51 @@ func (c Config) optConfig() opt.Config {
 	}
 }
 
-// DB is a database handle: schema, stored data, and statistics.
+// DB is a database handle: schema, stored data, and statistics. All
+// methods are safe for concurrent use.
 type DB struct {
 	store *storage.Store
-	stats *stats.Collection
+	// statsv holds the current statistics collection; swapped
+	// atomically by Analyze so concurrent query compilation and
+	// execution never observe a torn update.
+	statsv atomic.Pointer[stats.Collection]
+	// epoch versions the catalog + statistics. Analyze, CreateTable
+	// and sufficient Insert-driven drift bump it; plans cached (or
+	// prepared) under an older epoch are stale.
+	epoch atomic.Uint64
+	// drift counts rows inserted since the last Analyze; analyzedRows
+	// is the total row count the last Analyze saw. When drift exceeds
+	// a fraction of analyzedRows the epoch is bumped so cached plans
+	// re-optimize against reality.
+	drift        atomic.Int64
+	analyzedRows atomic.Int64
+
+	cacheMu sync.Mutex
+	cache   *plancache.Cache
+	// disabledBypasses counts cache bypasses taken before/without a
+	// cache instance (PlanCache.Disabled configs).
+	disabledBypasses atomic.Uint64
 }
+
+// statsNow returns the current statistics collection.
+func (db *DB) statsNow() *stats.Collection { return db.statsv.Load() }
 
 // Open wraps an existing store.
 func Open(store *storage.Store) *DB {
-	return &DB{store: store, stats: stats.Collect(store)}
+	db := &DB{store: store}
+	db.statsv.Store(stats.Collect(store))
+	db.analyzedRows.Store(totalRows(db.statsNow(), store))
+	return db
+}
+
+func totalRows(sc *stats.Collection, store *storage.Store) int64 {
+	var n int64
+	for _, schema := range store.Catalog.Tables() {
+		if ts := sc.Table(schema.Name); ts != nil {
+			n += ts.RowCount
+		}
+	}
+	return n
 }
 
 // OpenTPCH generates a TPC-H database at the given scale factor with
@@ -151,33 +217,83 @@ func OpenTPCH(scaleFactor float64, seed int64) (*DB, error) {
 // NewMemory creates an empty database with a fresh catalog; create
 // tables with CreateTable and load rows with Insert.
 func NewMemory() *DB {
-	st := storage.New(catalog.New())
-	return &DB{store: st, stats: stats.Collect(st)}
+	return Open(storage.New(catalog.New()))
 }
 
-// CreateTable registers a table schema and allocates storage.
+// CreateTable registers a table schema and allocates storage. The DDL
+// bumps the epoch, invalidating cached plans (new tables change name
+// resolution and therefore potentially any shape).
 func (db *DB) CreateTable(t *Table) error {
 	_, err := db.store.CreateTable(t)
+	if err == nil {
+		db.epoch.Add(1)
+	}
 	return err
 }
 
-// Insert adds rows to a table. Call Analyze after bulk loads.
+// Insert adds rows to a table. Call Analyze after bulk loads. Inserts
+// accumulate a drift counter; once drift exceeds max(64, 12.5% of the
+// rows last analyzed) the epoch is bumped so cached plans re-optimize
+// rather than running against badly stale cardinalities.
 func (db *DB) Insert(table string, rows ...Row) error {
 	tbl, ok := db.store.Table(table)
 	if !ok {
 		return fmt.Errorf("orthoq: unknown table %q", table)
 	}
-	return tbl.InsertAll(rows)
+	if err := tbl.InsertAll(rows); err != nil {
+		return err
+	}
+	threshold := db.analyzedRows.Load() / 8
+	if threshold < 64 {
+		threshold = 64
+	}
+	if d := db.drift.Add(int64(len(rows))); d >= threshold {
+		db.drift.Add(-d)
+		db.epoch.Add(1)
+	}
+	return nil
 }
 
 // Analyze rebuilds indexes and statistics; run it after loading data.
+// It bumps the epoch: cached plans and prepared statements compiled
+// against the old statistics are stale afterwards (see Stmt).
 func (db *DB) Analyze() {
 	for _, schema := range db.store.Catalog.Tables() {
 		if tbl, ok := db.store.Table(schema.Name); ok {
 			tbl.BuildIndexes()
 		}
 	}
-	db.stats = stats.Collect(db.store)
+	sc := stats.Collect(db.store)
+	db.statsv.Store(sc)
+	db.analyzedRows.Store(totalRows(sc, db.store))
+	db.drift.Store(0)
+	db.epoch.Add(1)
+}
+
+// planCache returns the cache, creating it from cfg's sizing on first
+// use.
+func (db *DB) planCache(cfg Config) *plancache.Cache {
+	db.cacheMu.Lock()
+	defer db.cacheMu.Unlock()
+	if db.cache == nil {
+		db.cache = plancache.New(int64(cfg.PlanCache.Size), cfg.PlanCache.Bytes)
+	}
+	return db.cache
+}
+
+// CacheStats reports plan-cache effectiveness counters (hits, misses,
+// evictions, epoch invalidations, bypasses, cached plans and their
+// approximate bytes).
+func (db *DB) CacheStats() plancache.Stats {
+	db.cacheMu.Lock()
+	c := db.cache
+	db.cacheMu.Unlock()
+	var s plancache.Stats
+	if c != nil {
+		s = c.CacheStats()
+	}
+	s.Bypasses += db.disabledBypasses.Load()
+	return s
 }
 
 // Catalog exposes the schema catalog.
@@ -198,6 +314,10 @@ type Rows struct {
 	// Trace is the per-operator execution statistics rendering; only
 	// set by QueryAnalyze.
 	Trace string
+	// Cache reports how the plan cache served this query: "hit"
+	// (reused a cached plan, re-binding literals), "miss" (compiled and
+	// cached), or "bypass" (cache disabled or shape uncacheable).
+	Cache string
 }
 
 // Table renders the result as an aligned text table.
@@ -244,25 +364,45 @@ func (r *Rows) Table() string {
 }
 
 // Stmt is a compiled, reusable query plan.
+//
+// Staleness contract: the plan is compiled against the catalog and
+// statistics as of Prepare and is never recompiled implicitly. After
+// Analyze, CreateTable, or heavy Insert traffic bump the DB epoch, Run
+// still executes the old plan — results stay correct (data is read live
+// at execution), but the plan choice may no longer be cost-optimal, and
+// tables created after Prepare are invisible to it. Stale reports this
+// condition; re-Prepare (or use Query, whose cache re-optimizes on
+// epoch change) to pick up the new state.
 type Stmt struct {
-	db   *DB
-	prep *prepared
+	db    *DB
+	prep  *prepared
+	epoch uint64
 }
 
 // Prepare compiles SQL under cfg once; Run executes it repeatedly
-// without re-optimizing. Statistics and data changes after Prepare are
-// not reflected until re-preparing.
+// without re-optimizing. The returned Stmt is safe for concurrent use:
+// the prepared state is read-only at run time and every Run builds a
+// private execution context.
 func (db *DB) Prepare(sql string, cfg Config) (*Stmt, error) {
 	prep, err := db.prepare(sql, cfg)
 	if err != nil {
 		return nil, err
 	}
-	return &Stmt{db: db, prep: prep}, nil
+	return &Stmt{db: db, prep: prep, epoch: db.epoch.Load()}, nil
 }
 
 // Run executes the prepared plan.
 func (s *Stmt) Run() (*Rows, error) {
-	return s.prep.run(s.db)
+	return s.prep.run(s.db, nil, "")
+}
+
+// Stale reports whether the database epoch moved since Prepare
+// (statistics refresh, DDL, or significant insert drift), i.e. whether
+// the plan was chosen under assumptions that no longer hold. Running a
+// stale Stmt is permitted and returns correct results over current
+// data; only plan quality is affected.
+func (s *Stmt) Stale() bool {
+	return s.epoch != s.db.epoch.Load()
 }
 
 // Plan returns the compiled plan text.
@@ -275,13 +415,122 @@ func (db *DB) Query(sql string) (*Rows, error) {
 	return db.QueryCfg(sql, DefaultConfig())
 }
 
-// QueryCfg runs SQL under an explicit optimization configuration.
+// QueryCfg runs SQL under an explicit optimization configuration,
+// consulting the plan cache unless cfg.PlanCache.Disabled: repeated
+// queries differing only in literal values reuse the optimized plan,
+// skipping parse/normalize/optimize entirely on a hit.
 func (db *DB) QueryCfg(sql string, cfg Config) (*Rows, error) {
-	prep, err := db.prepare(sql, cfg)
+	if cfg.PlanCache.Disabled {
+		db.disabledBypasses.Add(1)
+		prep, err := db.prepare(sql, cfg)
+		if err != nil {
+			return nil, err
+		}
+		return prep.run(db, nil, "bypass")
+	}
+	c := db.planCache(cfg)
+	shape, lits, err := plancache.Fingerprint(sql)
+	if err != nil {
+		// Not tokenizable: run uncached so the parser reports the
+		// canonical error.
+		c.CountBypass()
+		prep, perr := db.prepare(sql, cfg)
+		if perr != nil {
+			return nil, perr
+		}
+		return prep.run(db, nil, "bypass")
+	}
+	key := shape + "\x00" + cfg.planKey()
+	epoch := db.epoch.Load()
+	if fam := c.Family(key, epoch); fam != nil {
+		if fam.Uncacheable {
+			c.CountBypass()
+			prep, perr := db.prepare(sql, cfg)
+			if perr != nil {
+				return nil, perr
+			}
+			return prep.run(db, nil, "bypass")
+		}
+		if params, vkey, ok := plancache.Bind(fam.Positions, lits); ok {
+			if v := fam.Variant(vkey); v != nil {
+				bkey := plancache.BucketKey(v.Descs, db.statsNow(), params)
+				if p, found := v.Plan(bkey); found {
+					c.CountHit()
+					return p.(*prepared).run(db, params, "hit")
+				}
+			}
+			// Known shape, new variant or bucket: compile with the new
+			// values and add the plan to the family.
+		} else {
+			// A literal failed to convert under the recorded layout
+			// (overflow, malformed date): compile from scratch for the
+			// canonical error or result.
+			c.CountBypass()
+			prep, perr := db.prepare(sql, cfg)
+			if perr != nil {
+				return nil, perr
+			}
+			return prep.run(db, nil, "bypass")
+		}
+	}
+	c.CountMiss()
+	return db.compileStoreRun(sql, cfg, c, key, epoch, lits)
+}
+
+// compileStoreRun is the cache-miss path: parse, parameterize, compile
+// against parameter slots, store the plan per selectivity bucket, and
+// run. Any parameterization trouble downgrades the shape to
+// uncacheable and falls back to the classic pipeline — never to an
+// error the uncached path would not also produce.
+func (db *DB) compileStoreRun(sql string, cfg Config, c *plancache.Cache,
+	key string, epoch uint64, lits []plancache.Lit) (*Rows, error) {
+
+	uncacheable := func() (*Rows, error) {
+		c.StoreUncacheable(key, epoch)
+		prep, err := db.prepare(sql, cfg)
+		if err != nil {
+			return nil, err
+		}
+		return prep.run(db, nil, "miss")
+	}
+
+	q, err := parser.Parse(sql)
 	if err != nil {
 		return nil, err
 	}
-	return prep.run(db)
+	pz := plancache.Parameterize(q)
+	if !pz.OK || !plancache.Aligned(pz, lits) {
+		return uncacheable()
+	}
+	prep, err := db.prepareAST(q, cfg, pz.Params)
+	if err != nil {
+		// Parameterization must never surface errors of its own; the
+		// fallback compiles the pristine text and reports its result.
+		return uncacheable()
+	}
+	sc := db.statsNow()
+	descs := plancache.Descriptors(prep.md, sc, prep.plan)
+	vkey := plancache.VariantKey(pz.Positions, pz.Texts, pz.Params)
+	c.StorePlan(key, epoch, pz.Positions, vkey, descs, prep,
+		approxPlanBytes(prep), func(authoritative []plancache.Descriptor) string {
+			return plancache.BucketKey(authoritative, sc, pz.Params)
+		})
+	return prep.run(db, pz.Params, "miss")
+}
+
+// approxPlanBytes estimates a prepared plan's memory footprint for the
+// cache's byte cap: a flat per-node charge over relational and scalar
+// nodes plus metadata overhead.
+func approxPlanBytes(p *prepared) int64 {
+	nodes := int64(0)
+	algebra.VisitRel(p.plan, func(r algebra.Rel) bool {
+		nodes++
+		for _, s := range algebra.RelScalars(r) {
+			algebra.VisitScalar(s, func(algebra.Scalar) { nodes++ })
+		}
+		return true
+	})
+	return 256 + nodes*160 + int64(p.md.NumColumns())*64
 }
 
 // prepared is a compiled query.
@@ -300,8 +549,15 @@ func (db *DB) prepare(sql string, cfg Config) (*prepared, error) {
 	if err != nil {
 		return nil, err
 	}
+	return db.prepareAST(q, cfg, nil)
+}
+
+// prepareAST compiles a parsed (possibly parameterized) query:
+// algebrize, normalize, and cost-based optimization. params supplies
+// sniffed values for ast.Param slots.
+func (db *DB) prepareAST(q ast.Query, cfg Config, params []types.Datum) (*prepared, error) {
 	md := algebra.NewMetadata()
-	res, err := algebrize.Build(db.store.Catalog, md, q)
+	res, err := algebrize.BuildWithParams(db.store.Catalog, md, q, params)
 	if err != nil {
 		return nil, err
 	}
@@ -312,7 +568,7 @@ func (db *DB) prepare(sql string, cfg Config) (*prepared, error) {
 	p := &prepared{md: md, plan: rel, outCols: res.OutCols, outNames: res.OutNames,
 		par: cfg.Parallelism}
 	if cfg.CostBased {
-		o := &opt.Optimizer{Md: md, Cat: db.store.Catalog, Stats: db.stats, Config: cfg.optConfig()}
+		o := &opt.Optimizer{Md: md, Cat: db.store.Catalog, Stats: db.statsNow(), Config: cfg.optConfig()}
 		r := o.Optimize(rel, correlatedSeed(md, res.Rel, cfg)...)
 		p.plan, p.steps, p.cost = r.Plan, r.Explored, r.Cost
 	}
@@ -336,14 +592,20 @@ func correlatedSeed(md *algebra.Metadata, algebrized algebra.Rel, cfg Config) []
 	return []algebra.Rel{seed}
 }
 
-func (p *prepared) run(db *DB) (*Rows, error) {
-	return p.runTraced(db, false)
+func (p *prepared) run(db *DB, params []types.Datum, cacheStatus string) (*Rows, error) {
+	return p.runTraced(db, params, cacheStatus, false)
 }
 
-func (p *prepared) runTraced(db *DB, trace bool) (*Rows, error) {
+// runTraced executes the plan. The prepared value is strictly
+// read-only here: per-run state (parameter bindings, evaluator,
+// tracing) lives in a fresh exec.Context, which is what makes one
+// prepared plan shareable between the cache and concurrent Stmt.Run
+// callers.
+func (p *prepared) runTraced(db *DB, params []types.Datum, cacheStatus string, trace bool) (*Rows, error) {
 	ctx := exec.NewContext(db.store, p.md)
-	ctx.Stats = db.stats
+	ctx.Stats = db.statsNow()
 	ctx.Parallelism = p.par
+	ctx.Params = params
 	if trace {
 		ctx.EnableTrace()
 	}
@@ -359,6 +621,7 @@ func (p *prepared) runTraced(db *DB, trace bool) (*Rows, error) {
 		Elapsed:        time.Since(start),
 		OptimizerSteps: p.steps,
 		EstimatedCost:  p.cost,
+		Cache:          cacheStatus,
 	}
 	if trace {
 		r.Trace = ctx.FormatTrace(p.plan)
@@ -375,7 +638,7 @@ func (db *DB) QueryAnalyze(sql string, cfg Config) (*Rows, error) {
 	if err != nil {
 		return nil, err
 	}
-	return prep.runTraced(db, true)
+	return prep.runTraced(db, nil, "bypass", true)
 }
 
 // Explain compiles a query under cfg and reports each compilation
@@ -392,6 +655,7 @@ func (db *DB) Explain(sql string, cfg Config) (string, error) {
 		return "", err
 	}
 	var b strings.Builder
+	fmt.Fprintf(&b, "cache: %s\n", db.cacheStatus(sql, cfg))
 	b.WriteString("=== algebrized (mixed scalar/relational tree) ===\n")
 	b.WriteString(algebra.FormatRel(md, res.Rel))
 
@@ -410,12 +674,51 @@ func (db *DB) Explain(sql string, cfg Config) (string, error) {
 	b.WriteString(algebra.FormatRel(md, norm))
 
 	if cfg.CostBased {
-		o := &opt.Optimizer{Md: md, Cat: db.store.Catalog, Stats: db.stats, Config: cfg.optConfig()}
+		sc := db.statsNow()
+		o := &opt.Optimizer{Md: md, Cat: db.store.Catalog, Stats: sc, Config: cfg.optConfig()}
 		r := o.Optimize(norm, correlatedSeed(md, res.Rel, cfg)...)
 		fmt.Fprintf(&b, "\n=== cost-based plan (cost %.0f, %d plans explored) ===\n", r.Cost, r.Explored)
-		b.WriteString(opt.FormatWithEstimates(md, db.store.Catalog, db.stats, r.Plan))
+		b.WriteString(opt.FormatWithEstimates(md, db.store.Catalog, sc, r.Plan))
 	}
 	return b.String(), nil
+}
+
+// cacheStatus previews how the plan cache would serve this query right
+// now — "hit", "miss", or "bypass" — without touching counters or
+// recency.
+func (db *DB) cacheStatus(sql string, cfg Config) string {
+	if cfg.PlanCache.Disabled {
+		return "bypass"
+	}
+	db.cacheMu.Lock()
+	c := db.cache
+	db.cacheMu.Unlock()
+	if c == nil {
+		return "miss"
+	}
+	shape, lits, err := plancache.Fingerprint(sql)
+	if err != nil {
+		return "bypass"
+	}
+	fam := c.Peek(shape+"\x00"+cfg.planKey(), db.epoch.Load())
+	if fam == nil {
+		return "miss"
+	}
+	if fam.Uncacheable {
+		return "bypass"
+	}
+	params, vkey, ok := plancache.Bind(fam.Positions, lits)
+	if !ok {
+		return "bypass"
+	}
+	v := fam.Variant(vkey)
+	if v == nil {
+		return "miss"
+	}
+	if _, found := v.Plan(plancache.BucketKey(v.Descs, db.statsNow(), params)); !found {
+		return "miss"
+	}
+	return "hit"
 }
 
 // TPCHQuery returns the text of a named TPC-H benchmark query
