@@ -1,0 +1,113 @@
+package orthoq
+
+// End-to-end property tests for batch-at-a-time execution with
+// compiled expressions: for every TPC-H benchmark query and the
+// random subquery corpus, the batch path (the default) must agree
+// with the legacy row-at-a-time interpreted path (DisableBatch).
+// At Parallelism 1 both paths are deterministic and must agree row
+// for row, in order; at Parallelism 4 rows are matched as a bag with
+// numeric tolerance, as in the parallel tests.
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// exactSameRows requires identical rows in identical order — serial
+// batch and row execution perform the same arithmetic in the same
+// order, so they must be bit-reproducible, not merely approximately
+// equal.
+func exactSameRows(a, b []Row) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			return false
+		}
+		for j := range a[i] {
+			if a[i][j].IsNull() != b[i][j].IsNull() {
+				return false
+			}
+			if a[i][j].String() != b[i][j].String() {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func checkBatchAgainstRow(t *testing.T, db *DB, label, sql string, cfg Config) {
+	t.Helper()
+	rowCfg := cfg
+	rowCfg.DisableBatch = true
+	rowRows, err := db.QueryCfg(sql, rowCfg)
+	if err != nil {
+		t.Fatalf("%s row-mode: %v\nsql: %s", label, err, sql)
+	}
+	batchCfg := cfg
+	batchCfg.DisableBatch = false
+	batchRows, err := db.QueryCfg(sql, batchCfg)
+	if err != nil {
+		t.Fatalf("%s batch-mode: %v\nsql: %s", label, err, sql)
+	}
+	if cfg.Parallelism <= 1 {
+		if !exactSameRows(rowRows.Data, batchRows.Data) {
+			t.Fatalf("%s serial batch disagrees with row mode\nsql: %s\nrow:\n%s\nbatch:\n%s",
+				label, sql, roundedFingerprint(rowRows), roundedFingerprint(batchRows))
+		}
+	} else if !sameBagApprox(rowRows.Data, batchRows.Data) {
+		t.Fatalf("%s par=%d batch disagrees with row mode\nsql: %s\nrow:\n%s\nbatch:\n%s",
+			label, cfg.Parallelism, sql, roundedFingerprint(rowRows), roundedFingerprint(batchRows))
+	}
+}
+
+func TestBatchRowEquivalence(t *testing.T) {
+	db := sharedDB(t)
+	base := DefaultConfig()
+	base.MaxSteps = 300
+	t.Run("tpch", func(t *testing.T) {
+		for _, name := range TPCHQueryNames() {
+			sql, ok := TPCHQuery(name)
+			if !ok {
+				t.Fatalf("missing query %s", name)
+			}
+			for _, par := range []int{1, 4} {
+				cfg := base
+				cfg.Parallelism = par
+				checkBatchAgainstRow(t, db, name, sql, cfg)
+			}
+		}
+	})
+	t.Run("fuzz", func(t *testing.T) {
+		if testing.Short() {
+			t.Skip("short mode")
+		}
+		cfg := base
+		cfg.MaxSteps = 200
+		r := rand.New(rand.NewSource(20010521))
+		for i := 0; i < 80; i++ {
+			sql := randQuery(r)
+			for _, par := range []int{1, 4} {
+				pcfg := cfg
+				pcfg.Parallelism = par
+				checkBatchAgainstRow(t, db, "fuzz", sql, pcfg)
+			}
+		}
+	})
+}
+
+// TestBatchAnalyzeTrace checks that EXPLAIN ANALYZE surfaces batch
+// counts for batch-driven operators.
+func TestBatchAnalyzeTrace(t *testing.T) {
+	db := sharedDB(t)
+	sql, _ := TPCHQuery("Q6")
+	rows, err := db.QueryAnalyze(sql, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(rows.Trace, "batches=") {
+		t.Fatalf("trace missing batch counts:\n%s", rows.Trace)
+	}
+}

@@ -8,12 +8,16 @@
 //
 //	orthoq-bench -exp all -sf 0.01 -reps 3
 //	orthoq-bench -exp figure9 -sfs 0.002,0.005,0.01,0.02
+//	orthoq-bench -exp batch -sf 0.05 -json
+//	orthoq-bench -exp batch -cpuprofile cpu.out -memprofile mem.out
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -21,13 +25,29 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: figure1|figure8|figure9|ablation|parallel|cache|all")
-	sf := flag.Float64("sf", 0.01, "TPC-H scale factor for figure1/figure8/ablation/parallel")
+	exp := flag.String("exp", "all", "experiment: figure1|figure8|figure9|ablation|parallel|cache|batch|all")
+	sf := flag.Float64("sf", 0.01, "TPC-H scale factor for figure1/figure8/ablation/parallel/batch")
 	sfList := flag.String("sfs", "0.002,0.005,0.01,0.02", "comma-separated scale factors for figure9")
 	seed := flag.Int64("seed", 1, "data generator seed")
 	reps := flag.Int("reps", 3, "repetitions per measurement (median reported)")
-	jsonOut := flag.Bool("json", false, "emit machine-readable JSON lines (parallel experiment)")
+	jsonOut := flag.Bool("json", false, "emit machine-readable JSON lines (parallel/cache/batch experiments)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the experiments to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile after the experiments to this file")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	ran := false
 	run := func(name string, f func() error) {
@@ -70,9 +90,24 @@ func main() {
 	run("ablation", func() error { return bench.RunAblations(os.Stdout, openDB(), *reps) })
 	run("parallel", func() error { return bench.RunParallel(os.Stdout, openDB(), *reps, *jsonOut) })
 	run("cache", func() error { return bench.RunCache(os.Stdout, *sf, *seed, *reps, *jsonOut) })
+	run("batch", func() error { return bench.RunBatch(os.Stdout, openDB(), *reps, *jsonOut) })
 
 	if !ran {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q (want figure1|figure8|figure9|ablation|parallel|cache|all)\n", *exp)
+		fmt.Fprintf(os.Stderr, "unknown experiment %q (want figure1|figure8|figure9|ablation|parallel|cache|batch|all)\n", *exp)
 		os.Exit(2)
+	}
+
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 	}
 }

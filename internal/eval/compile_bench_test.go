@@ -1,0 +1,79 @@
+package eval
+
+import (
+	"testing"
+
+	"orthoq/internal/algebra"
+	"orthoq/internal/sql/types"
+)
+
+// benchPred is a Q6-shaped conjunction: three range filters over one
+// row layout — the hot scan-filter shape batching targets.
+func benchPred() algebra.Scalar {
+	return &algebra.And{Args: []algebra.Scalar{
+		cmp(algebra.CmpGe, col(1), cf(0.05)),
+		cmp(algebra.CmpLe, col(1), cf(0.07)),
+		cmp(algebra.CmpLt, col(2), ci(24)),
+	}}
+}
+
+func benchArith() algebra.Scalar {
+	return &algebra.Arith{Op: types.OpMul, L: col(3),
+		R: &algebra.Arith{Op: types.OpSub, L: cf(1), R: col(1)}}
+}
+
+func benchRow() types.Row {
+	return types.Row{types.NewFloat(0.06), types.NewInt(17), types.NewFloat(1000.5)}
+}
+
+func benchOrds() map[algebra.ColID]int {
+	return map[algebra.ColID]int{1: 0, 2: 1, 3: 2}
+}
+
+func BenchmarkEvalCompiledPred(b *testing.B) {
+	comp := &Compiler{Ev: &Evaluator{}, Ords: benchOrds()}
+	p := comp.CompilePred(benchPred())
+	fr := &Frame{Row: benchRow()}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := p(fr); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEvalInterpretedPred(b *testing.B) {
+	e := &Evaluator{}
+	pred := benchPred()
+	env := &layoutEnv{ords: benchOrds(), row: benchRow()}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.EvalBool(pred, env); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEvalCompiledArith(b *testing.B) {
+	comp := &Compiler{Ev: &Evaluator{}, Ords: benchOrds()}
+	f := comp.Compile(benchArith())
+	fr := &Frame{Row: benchRow()}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := f(fr); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEvalInterpretedArith(b *testing.B) {
+	e := &Evaluator{}
+	expr := benchArith()
+	env := &layoutEnv{ords: benchOrds(), row: benchRow()}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Eval(expr, env); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,135 @@
+package exec
+
+// Batch-at-a-time execution. Hot operators implement a NextBatch fast
+// path moving up to BatchSize rows per virtual call; cold operators
+// (Apply, SegmentApply, Sort, Max1Row, ...) keep their row-at-a-time
+// Next and are bridged by the nextBatch adapter, so a batched subtree
+// can sit under a row-oriented parent and vice versa.
+//
+// Ownership contract: the producer SETS b.Rows (and b.Sel) on every
+// NextBatch call; the slices remain valid only until the next
+// Next/NextBatch call on that producer. Consumers may freely copy row
+// headers (types.Row values) out of a batch — the underlying datum
+// storage is never rewritten — but must not retain the Rows or Sel
+// slices themselves. An empty batch (Len() == 0) signals end of
+// stream.
+//
+// A driver chooses one pull mode per iterator instance for the
+// lifetime of an Open: Run drains the root via NextBatch unless
+// Context.DisableBatch is set; batched operators pull their children
+// with nextBatch, row operators with Next. The two modes produce the
+// same rows in the same order.
+
+import (
+	"orthoq/internal/eval"
+	"orthoq/internal/sql/types"
+)
+
+// BatchSize is the maximum number of rows per batch. It matches
+// morselSize so one claimed morsel fills one batch.
+const BatchSize = 1024
+
+// Batch is a unit of batched data flow: a window of rows plus an
+// optional selection vector. Sel == nil means every row is live;
+// otherwise Sel holds ascending indices into Rows — filters shrink
+// the selection instead of compacting rows.
+type Batch struct {
+	Rows []types.Row
+	Sel  []int
+
+	// buf backs the row→batch adapter for producers without a native
+	// NextBatch; it is owned by this Batch and reused across calls.
+	buf []types.Row
+}
+
+// Len returns the number of live rows.
+func (b *Batch) Len() int {
+	if b.Sel != nil {
+		return len(b.Sel)
+	}
+	return len(b.Rows)
+}
+
+// Row returns the i-th live row.
+func (b *Batch) Row(i int) types.Row {
+	if b.Sel != nil {
+		return b.Rows[b.Sel[i]]
+	}
+	return b.Rows[i]
+}
+
+// setEmpty marks end of stream.
+func (b *Batch) setEmpty() {
+	b.Rows, b.Sel = nil, nil
+}
+
+// batchIterator is the optional fast path of the Volcano interface.
+type batchIterator interface {
+	// NextBatch fills b with the next window of rows; an empty batch
+	// means end of stream. The filled slices obey the ownership
+	// contract above.
+	NextBatch(b *Batch) error
+}
+
+// nextBatch pulls one batch from it, via the native fast path when
+// implemented and a row-at-a-time adapter otherwise.
+func nextBatch(it iterator, b *Batch) error {
+	if bi, ok := it.(batchIterator); ok {
+		return bi.NextBatch(b)
+	}
+	if b.buf == nil {
+		b.buf = make([]types.Row, 0, BatchSize)
+	}
+	buf := b.buf[:0]
+	for len(buf) < BatchSize {
+		row, ok, err := it.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		buf = append(buf, row)
+	}
+	b.buf = buf
+	b.Rows, b.Sel = buf, nil
+	return nil
+}
+
+// initSel resets dst to the live indices of b, reusing dst's storage.
+func initSel(b *Batch, dst []int) []int {
+	dst = dst[:0]
+	if b.Sel != nil {
+		return append(dst, b.Sel...)
+	}
+	for i := range b.Rows {
+		dst = append(dst, i)
+	}
+	return dst
+}
+
+// applyConjuncts narrows sel (in place) to the rows passing every
+// conjunct, one conjunct at a time over the shrinking selection — the
+// vectorized form of SQL's left-to-right AND short-circuit: a row
+// eliminated by an earlier conjunct never reaches a later one.
+func applyConjuncts(conjs []eval.CompiledPred, rows []types.Row, sel []int, fr *eval.Frame) ([]int, error) {
+	for _, cj := range conjs {
+		k := 0
+		for _, ri := range sel {
+			fr.Row = rows[ri]
+			v, err := cj(fr)
+			if err != nil {
+				return nil, err
+			}
+			if v == types.TriTrue {
+				sel[k] = ri
+				k++
+			}
+		}
+		sel = sel[:k]
+		if k == 0 {
+			break
+		}
+	}
+	return sel, nil
+}

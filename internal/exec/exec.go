@@ -49,6 +49,10 @@ type Context struct {
 	// Cached plans are compiled once against parameter slots and
 	// re-bound here per execution.
 	Params []types.Datum
+	// DisableBatch forces the legacy row-at-a-time path with
+	// interpreted expression evaluation. Used as the baseline for the
+	// batch-vs-row equivalence tests and benchmarks.
+	DisableBatch bool
 
 	// shared is the per-query state common to all worker clones.
 	shared *sharedState
@@ -130,16 +134,17 @@ func NewContext(store *storage.Store, md *algebra.Metadata) *Context {
 // coordinator; the exchange operator reports worker and morsel counts.
 func (c *Context) workerClone() *Context {
 	return &Context{
-		Store:     c.Store,
-		Md:        c.Md,
-		Stats:     c.Stats,
-		RowBudget: c.RowBudget,
-		Params:    c.Params,
-		shared:    c.shared,
-		params:    make(eval.MapEnv),
-		segments:  make(map[*algebra.SegmentApply]*segmentBinding),
-		ev:        &eval.Evaluator{Params: c.Params},
-		isWorker:  true,
+		Store:        c.Store,
+		Md:           c.Md,
+		Stats:        c.Stats,
+		RowBudget:    c.RowBudget,
+		Params:       c.Params,
+		DisableBatch: c.DisableBatch,
+		shared:       c.shared,
+		params:       make(eval.MapEnv),
+		segments:     make(map[*algebra.SegmentApply]*segmentBinding),
+		ev:           &eval.Evaluator{Params: c.Params},
+		isWorker:     true,
 	}
 }
 
@@ -150,6 +155,26 @@ func (c *Context) charge() error {
 		}
 	}
 	return nil
+}
+
+// chargeN charges a whole batch of operator-row productions at once,
+// keeping RowBudget accounting exact while amortizing the atomic add.
+func (c *Context) chargeN(n int) error {
+	if c.RowBudget > 0 && n > 0 {
+		if c.shared.produced.Add(int64(n)) > c.RowBudget {
+			return fmt.Errorf("exec: row budget exceeded (%d)", c.RowBudget)
+		}
+	}
+	return nil
+}
+
+// compiler returns an expression compiler for a row layout, or nil
+// when the legacy interpreted path is forced.
+func (c *Context) compiler(ords map[algebra.ColID]int) *eval.Compiler {
+	if c.DisableBatch {
+		return nil
+	}
+	return &eval.Compiler{Ev: c.ev, Ords: ords}
 }
 
 // iterator is the Volcano operator interface.
@@ -252,6 +277,31 @@ func Run(ctx *Context, rel algebra.Rel, outCols []algebra.ColID) (*Result, error
 	res := &Result{Cols: outCols}
 	for _, c := range outCols {
 		res.Names = append(res.Names, ctx.Md.Alias(c))
+	}
+	if !ctx.DisableBatch {
+		// Batch drain: one arena allocation per batch instead of one
+		// row allocation per result row.
+		var b Batch
+		w := len(sel)
+		for {
+			if err := nextBatch(n.it, &b); err != nil {
+				return nil, err
+			}
+			live := b.Len()
+			if live == 0 {
+				return res, nil
+			}
+			arena := make([]types.Datum, live*w)
+			for i := 0; i < live; i++ {
+				row := b.Row(i)
+				out := arena[:w:w]
+				arena = arena[w:]
+				for j, o := range sel {
+					out[j] = row[o]
+				}
+				res.Rows = append(res.Rows, out)
+			}
+		}
 	}
 	for {
 		row, ok, err := n.it.Next()

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"orthoq/internal/algebra"
+	"orthoq/internal/eval"
 	"orthoq/internal/sql/types"
 )
 
@@ -155,7 +156,8 @@ func newAggTable(nKeys, nAggs, sizeHint int) *aggTable {
 	}
 }
 
-// find returns the group for key, creating it on first sight.
+// find returns the group for key, creating it on first sight. The
+// table takes ownership of key on insert.
 func (t *aggTable) find(key types.Row) *aggGroup {
 	hk := types.HashRow(key, t.keyIdx)
 	for _, cand := range t.groups[hk] {
@@ -169,18 +171,118 @@ func (t *aggTable) find(key types.Row) *aggGroup {
 	return g
 }
 
-// consume drains in into the table, evaluating aggregate arguments
-// against ctx's evaluator. This is the accumulation loop shared by
-// serial and per-worker partial aggregation.
-func (t *aggTable) consume(ctx *Context, in *node, gb *algebra.GroupBy) error {
+// findScratch is find for a caller-owned scratch key: the key is
+// cloned only when a new group is inserted, so the hot existing-group
+// path allocates nothing.
+func (t *aggTable) findScratch(key types.Row) *aggGroup {
+	hk := types.HashRow(key, t.keyIdx)
+	for _, cand := range t.groups[hk] {
+		if types.EqualRows(cand.key, t.keyIdx, key, t.keyIdx) {
+			return cand
+		}
+	}
+	g := &aggGroup{key: append(types.Row(nil), key...), states: make([]aggState, t.nAggs)}
+	t.groups[hk] = append(t.groups[hk], g)
+	t.order = append(t.order, g)
+	return g
+}
+
+// aggKeyOrds resolves the grouping columns to input ordinals.
+func aggKeyOrds(in *node, gb *algebra.GroupBy) ([]int, error) {
 	groupCols := gb.GroupCols.Ordered()
 	keyOrds := make([]int, len(groupCols))
 	for i, c := range groupCols {
 		o, ok := in.ords[c]
 		if !ok {
-			return fmt.Errorf("exec: grouping column %d missing from input", c)
+			return nil, fmt.Errorf("exec: grouping column %d missing from input", c)
 		}
 		keyOrds[i] = o
+	}
+	return keyOrds, nil
+}
+
+// compileAggArgs compiles the aggregate argument expressions against
+// in's layout; nil entries are argument-less aggregates (COUNT(*)).
+// Returns nil when the context forces the interpreted path.
+func compileAggArgs(ctx *Context, in *node, gb *algebra.GroupBy) []eval.Compiled {
+	comp := ctx.compiler(in.ords)
+	if comp == nil {
+		return nil
+	}
+	fns := make([]eval.Compiled, len(gb.Aggs))
+	for i := range gb.Aggs {
+		if gb.Aggs[i].Arg != nil {
+			fns[i] = comp.Compile(gb.Aggs[i].Arg)
+		}
+	}
+	return fns
+}
+
+// consumeBatch is the batched accumulation loop: input arrives a
+// batch at a time, group keys are gathered into a reused scratch row
+// (cloned only on group insert), and aggregate arguments run
+// compiled. Arguments that are bare column references skip the
+// compiled closure entirely and read the row positionally — the
+// common case for sum/avg/min/max over stored columns.
+func (t *aggTable) consumeBatch(ctx *Context, in *node, gb *algebra.GroupBy, argFns []eval.Compiled) error {
+	keyOrds, err := aggKeyOrds(in, gb)
+	if err != nil {
+		return err
+	}
+	argOrds := make([]int, len(gb.Aggs))
+	for j := range gb.Aggs {
+		argOrds[j] = -1
+		if cr, ok := gb.Aggs[j].Arg.(*algebra.ColRef); ok {
+			if o, ok := in.ords[cr.Col]; ok {
+				argOrds[j] = o
+			}
+		}
+	}
+	scratch := make(types.Row, len(keyOrds))
+	var b Batch
+	fr := eval.Frame{Outer: ctx.params}
+	for {
+		if err := nextBatch(in.it, &b); err != nil {
+			return err
+		}
+		live := b.Len()
+		if live == 0 {
+			return nil
+		}
+		if err := ctx.chargeN(live); err != nil {
+			return err
+		}
+		for i := 0; i < live; i++ {
+			row := b.Row(i)
+			for j, o := range keyOrds {
+				scratch[j] = row[o]
+			}
+			g := t.findScratch(scratch)
+			fr.Row = row
+			for j := range gb.Aggs {
+				var d types.Datum
+				if o := argOrds[j]; o >= 0 {
+					d = row[o]
+				} else if argFns[j] != nil {
+					v, err := argFns[j](&fr)
+					if err != nil {
+						return err
+					}
+					d = v
+				}
+				g.states[j].add(&gb.Aggs[j], d)
+			}
+		}
+	}
+}
+
+// consume drains in into the table, evaluating aggregate arguments
+// against ctx's evaluator. This is the accumulation loop shared by
+// serial and per-worker partial aggregation.
+func (t *aggTable) consume(ctx *Context, in *node, gb *algebra.GroupBy) error {
+	keyOrds, err := aggKeyOrds(in, gb)
+	if err != nil {
+		return err
 	}
 	env := rowEnv{ctx: ctx, ords: in.ords}
 	for {
@@ -258,6 +360,9 @@ type hashAggIter struct {
 	cols     []algebra.ColID
 	sizeHint int
 
+	prepped bool
+	argFns  []eval.Compiled
+
 	out []types.Row
 	pos int
 }
@@ -266,8 +371,16 @@ func (h *hashAggIter) Open() error {
 	if err := h.in.it.Open(); err != nil {
 		return err
 	}
+	if !h.prepped {
+		h.prepped = true
+		h.argFns = compileAggArgs(h.ctx, h.in, h.gb)
+	}
 	tbl := newAggTable(h.gb.GroupCols.Len(), len(h.gb.Aggs), h.sizeHint)
-	if err := tbl.consume(h.ctx, h.in, h.gb); err != nil {
+	if h.argFns != nil {
+		if err := tbl.consumeBatch(h.ctx, h.in, h.gb, h.argFns); err != nil {
+			return err
+		}
+	} else if err := tbl.consume(h.ctx, h.in, h.gb); err != nil {
 		return err
 	}
 	if err := h.in.it.Close(); err != nil {
@@ -285,6 +398,21 @@ func (h *hashAggIter) Next() (types.Row, bool, error) {
 	row := h.out[h.pos]
 	h.pos++
 	return row, true, nil
+}
+
+// NextBatch serves the materialized result in windows.
+func (h *hashAggIter) NextBatch(b *Batch) error {
+	if h.pos >= len(h.out) {
+		b.setEmpty()
+		return nil
+	}
+	end := h.pos + BatchSize
+	if end > len(h.out) {
+		end = len(h.out)
+	}
+	b.Rows, b.Sel = h.out[h.pos:end], nil
+	h.pos = end
+	return nil
 }
 
 func (h *hashAggIter) Close() error { return nil }

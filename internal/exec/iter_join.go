@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"orthoq/internal/algebra"
+	"orthoq/internal/eval"
 	"orthoq/internal/sql/types"
 )
 
@@ -100,6 +101,12 @@ type hashJoinIter struct {
 	haveL   bool
 	matched bool
 	rWidth  int
+
+	prepped   bool
+	residComp eval.CompiledPred
+	lb        Batch
+	lbPos     int
+	outBuf    []types.Row
 }
 
 // sharedBuild is a once-built hash-join table shared across parallel
@@ -129,6 +136,17 @@ func (h *hashJoinIter) Open() error {
 	h.rWidth = len(h.right.cols)
 	h.cenv = combinedEnv{ctx: h.ctx, lords: h.left.ords, rords: h.right.ords}
 	h.haveL = false
+	h.lb.setEmpty()
+	h.lbPos = 0
+	if !h.prepped {
+		h.prepped = true
+		if comp := h.ctx.compiler(h.left.ords); comp != nil {
+			comp.Ords2 = h.right.ords
+			if h.residual != nil && !algebra.IsTrueConst(h.residual) {
+				h.residComp = comp.CompilePred(h.residual)
+			}
+		}
+	}
 	return h.left.it.Open()
 }
 
@@ -138,6 +156,33 @@ func (h *hashJoinIter) buildTable() (map[uint64][]types.Row, error) {
 		return nil, err
 	}
 	table := make(map[uint64][]types.Row, h.sizeHint)
+	if !h.ctx.DisableBatch {
+		// Batched build: drain the right input a batch at a time (the
+		// row headers are copied into the table, so reused batch
+		// buffers below are safe).
+		var rb Batch
+		for {
+			if err := nextBatch(h.right.it, &rb); err != nil {
+				return nil, err
+			}
+			live := rb.Len()
+			if live == 0 {
+				break
+			}
+			for i := 0; i < live; i++ {
+				row := rb.Row(i)
+				if rowHasNullAt(row, h.rOrds) {
+					continue // NULL keys never join
+				}
+				k := types.HashRow(row, h.rOrds)
+				table[k] = append(table[k], row)
+			}
+		}
+		if err := h.right.it.Close(); err != nil {
+			return nil, err
+		}
+		return table, nil
+	}
 	for {
 		row, ok, err := h.right.it.Next()
 		if err != nil {
@@ -168,13 +213,70 @@ func rowHasNullAt(row types.Row, ords []int) bool {
 }
 
 func (h *hashJoinIter) Next() (types.Row, bool, error) {
+	return h.nextRow(false)
+}
+
+// NextBatch assembles up to BatchSize joined rows, pulling left rows
+// from an internal batch cursor and checking the residual with its
+// compiled form.
+func (h *hashJoinIter) NextBatch(b *Batch) error {
+	if h.outBuf == nil {
+		h.outBuf = make([]types.Row, 0, BatchSize)
+	}
+	out := h.outBuf[:0]
+	for len(out) < BatchSize {
+		row, ok, err := h.nextRow(true)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		out = append(out, row)
+	}
+	h.outBuf = out
+	b.Rows, b.Sel = out, nil
+	return nil
+}
+
+// leftNext pulls the next probe row: directly in row mode, through
+// the internal batch cursor in batch mode.
+func (h *hashJoinIter) leftNext(batched bool) (types.Row, bool, error) {
+	if !batched {
+		lrow, ok, err := h.left.it.Next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		if err := h.ctx.charge(); err != nil {
+			return nil, false, err
+		}
+		return lrow, true, nil
+	}
+	for h.lbPos >= h.lb.Len() {
+		if err := nextBatch(h.left.it, &h.lb); err != nil {
+			return nil, false, err
+		}
+		h.lbPos = 0
+		if h.lb.Len() == 0 {
+			return nil, false, nil
+		}
+		if err := h.ctx.chargeN(h.lb.Len()); err != nil {
+			return nil, false, err
+		}
+	}
+	row := h.lb.Row(h.lbPos)
+	h.lbPos++
+	return row, true, nil
+}
+
+// nextRow is the probe state machine, shared by the row and batch
+// pull modes (they differ only in how left rows arrive and which
+// residual evaluator runs).
+func (h *hashJoinIter) nextRow(batched bool) (types.Row, bool, error) {
 	for {
 		if !h.haveL {
-			lrow, ok, err := h.left.it.Next()
+			lrow, ok, err := h.leftNext(batched)
 			if err != nil || !ok {
-				return nil, false, err
-			}
-			if err := h.ctx.charge(); err != nil {
 				return nil, false, err
 			}
 			h.lrow = lrow
@@ -194,7 +296,14 @@ func (h *hashJoinIter) Next() (types.Row, bool, error) {
 				continue
 			}
 			pass := true
-			if h.residual != nil && !algebra.IsTrueConst(h.residual) {
+			if h.residComp != nil && batched {
+				fr := eval.Frame{Row: h.lrow, Row2: rrow, Outer: h.ctx.params}
+				v, err := h.residComp(&fr)
+				if err != nil {
+					return nil, false, err
+				}
+				pass = v == types.TriTrue
+			} else if h.residual != nil && !algebra.IsTrueConst(h.residual) {
 				h.cenv.lrow, h.cenv.rrow = h.lrow, rrow
 				v, err := h.ctx.ev.EvalBool(h.residual, &h.cenv)
 				if err != nil {

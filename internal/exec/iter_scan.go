@@ -125,6 +125,10 @@ type scanIter struct {
 	pos  int
 	env  rowEnv
 	ords map[algebra.ColID]int
+
+	prepped bool
+	conjs   []eval.CompiledPred
+	selBuf  []int
 }
 
 // storageTable is the minimal surface scan/seek need (eases testing).
@@ -142,7 +146,53 @@ func (s *scanIter) Open() error {
 		}
 	}
 	s.env = rowEnv{ctx: s.ctx, ords: s.ords}
+	if !s.prepped {
+		s.prepped = true
+		if comp := s.ctx.compiler(s.ords); comp != nil {
+			s.conjs = comp.CompileConjuncts(s.pred)
+		}
+	}
 	return nil
+}
+
+// NextBatch serves windows of the table's row storage directly,
+// narrowing each window with the compiled filter conjuncts.
+func (s *scanIter) NextBatch(b *Batch) error {
+	rows := s.tbl.AllRows()
+	for {
+		if s.pos >= len(rows) {
+			b.setEmpty()
+			return nil
+		}
+		end := s.pos + BatchSize
+		if end > len(rows) {
+			end = len(rows)
+		}
+		cand := rows[s.pos:end]
+		s.pos = end
+		if err := s.ctx.chargeN(len(cand)); err != nil {
+			return err
+		}
+		if len(s.conjs) == 0 {
+			b.Rows, b.Sel = cand, nil
+			return nil
+		}
+		sel := s.selBuf[:0]
+		for i := range cand {
+			sel = append(sel, i)
+		}
+		s.selBuf = sel
+		fr := eval.Frame{Outer: s.ctx.params}
+		sel, err := applyConjuncts(s.conjs, cand, sel, &fr)
+		if err != nil {
+			return err
+		}
+		if len(sel) == 0 {
+			continue
+		}
+		b.Rows, b.Sel = cand, sel
+		return nil
+	}
 }
 
 func (s *scanIter) Next() (types.Row, bool, error) {
@@ -191,6 +241,16 @@ type seekIter struct {
 	pos      int
 	env      rowEnv
 	ords     map[algebra.ColID]int
+
+	// key is reused across re-opens: under Apply the iterator re-opens
+	// once per outer row and rebuilding the slice was a hot allocation
+	// (LookupOrds does not retain it).
+	key []types.Datum
+
+	prepped bool
+	conjs   []eval.CompiledPred
+	selBuf  []int
+	rowBuf  []types.Row
 }
 
 func (s *seekIter) Open() error {
@@ -201,17 +261,67 @@ func (s *seekIter) Open() error {
 		}
 	}
 	s.env = rowEnv{ctx: s.ctx, ords: s.ords}
-	key := make([]types.Datum, len(s.keyExprs))
-	for i, e := range s.keyExprs {
+	if !s.prepped {
+		s.prepped = true
+		if comp := s.ctx.compiler(s.ords); comp != nil {
+			s.conjs = comp.CompileConjuncts(s.pred)
+		}
+	}
+	s.key = s.key[:0]
+	for _, e := range s.keyExprs {
 		d, err := s.ctx.ev.Eval(e, s.ctx.params)
 		if err != nil {
 			return err
 		}
-		key[i] = d
+		s.key = append(s.key, d)
 	}
-	s.matches = s.tbl.LookupOrds(s.index, key)
+	s.matches = s.tbl.LookupOrds(s.index, s.key)
 	s.pos = 0
 	return nil
+}
+
+// NextBatch gathers matched rows into an iterator-owned header buffer
+// and filters them with the compiled residual conjuncts.
+func (s *seekIter) NextBatch(b *Batch) error {
+	rows := s.tbl.AllRows()
+	for {
+		if s.pos >= len(s.matches) {
+			b.setEmpty()
+			return nil
+		}
+		end := s.pos + BatchSize
+		if end > len(s.matches) {
+			end = len(s.matches)
+		}
+		cand := s.rowBuf[:0]
+		for _, ri := range s.matches[s.pos:end] {
+			cand = append(cand, rows[ri])
+		}
+		s.rowBuf = cand
+		s.pos = end
+		if err := s.ctx.chargeN(len(cand)); err != nil {
+			return err
+		}
+		if len(s.conjs) == 0 {
+			b.Rows, b.Sel = cand, nil
+			return nil
+		}
+		sel := s.selBuf[:0]
+		for i := range cand {
+			sel = append(sel, i)
+		}
+		s.selBuf = sel
+		fr := eval.Frame{Outer: s.ctx.params}
+		sel, err := applyConjuncts(s.conjs, cand, sel, &fr)
+		if err != nil {
+			return err
+		}
+		if len(sel) == 0 {
+			continue
+		}
+		b.Rows, b.Sel = cand, sel
+		return nil
+	}
 }
 
 func (s *seekIter) Next() (types.Row, bool, error) {
@@ -241,11 +351,52 @@ type filterIter struct {
 	in   *node
 	pred algebra.Scalar
 	env  rowEnv
+
+	prepped bool
+	conjs   []eval.CompiledPred
+	cb      Batch
+	selBuf  []int
 }
 
 func (f *filterIter) Open() error {
 	f.env = rowEnv{ctx: f.ctx, ords: f.in.ords}
+	if !f.prepped {
+		f.prepped = true
+		if comp := f.ctx.compiler(f.in.ords); comp != nil {
+			f.conjs = comp.CompileConjuncts(f.pred)
+		}
+	}
 	return f.in.it.Open()
+}
+
+// NextBatch refines the input batch's selection vector in place: no
+// rows are copied, failing rows are simply dropped from Sel.
+func (f *filterIter) NextBatch(b *Batch) error {
+	for {
+		if err := nextBatch(f.in.it, &f.cb); err != nil {
+			return err
+		}
+		if f.cb.Len() == 0 {
+			b.setEmpty()
+			return nil
+		}
+		if len(f.conjs) == 0 {
+			b.Rows, b.Sel = f.cb.Rows, f.cb.Sel
+			return nil
+		}
+		sel := initSel(&f.cb, f.selBuf)
+		f.selBuf = sel
+		fr := eval.Frame{Outer: f.ctx.params}
+		sel, err := applyConjuncts(f.conjs, f.cb.Rows, sel, &fr)
+		if err != nil {
+			return err
+		}
+		if len(sel) == 0 {
+			continue
+		}
+		b.Rows, b.Sel = f.cb.Rows, sel
+		return nil
+	}
 }
 
 func (f *filterIter) Next() (types.Row, bool, error) {
@@ -267,6 +418,9 @@ func (f *filterIter) Next() (types.Row, bool, error) {
 func (f *filterIter) Close() error { return f.in.it.Close() }
 
 // projectIter computes new columns and narrows passthrough ones.
+// Output rows are carved from chunked arenas: the arena is written
+// once and never recycled, so consumers may retain the rows, while
+// allocations drop from one per row to one per BatchSize rows.
 type projectIter struct {
 	ctx  *Context
 	in   *node
@@ -274,6 +428,12 @@ type projectIter struct {
 	cols []algebra.ColID
 	env  rowEnv
 	sel  []int // passthrough ordinals in the input
+
+	prepped bool
+	items   []eval.Compiled
+	cb      Batch
+	arena   []types.Datum
+	outBuf  []types.Row
 }
 
 func (p *projectIter) Open() error {
@@ -286,7 +446,28 @@ func (p *projectIter) Open() error {
 		}
 		p.sel = append(p.sel, o)
 	}
+	if !p.prepped {
+		p.prepped = true
+		if comp := p.ctx.compiler(p.in.ords); comp != nil {
+			p.items = make([]eval.Compiled, len(p.proj.Items))
+			for i := range p.proj.Items {
+				p.items[i] = comp.Compile(p.proj.Items[i].Expr)
+			}
+		}
+	}
 	return p.in.it.Open()
+}
+
+// alloc carves a zero-length output row with capacity for the full
+// output width from the current arena chunk.
+func (p *projectIter) alloc() types.Row {
+	w := len(p.cols)
+	if len(p.arena) < w {
+		p.arena = make([]types.Datum, BatchSize*w)
+	}
+	out := p.arena[0:0:w]
+	p.arena = p.arena[w:]
+	return out
 }
 
 func (p *projectIter) Next() (types.Row, bool, error) {
@@ -294,7 +475,7 @@ func (p *projectIter) Next() (types.Row, bool, error) {
 	if err != nil || !ok {
 		return nil, false, err
 	}
-	out := make(types.Row, 0, len(p.cols))
+	out := p.alloc()
 	for _, o := range p.sel {
 		out = append(out, row[o])
 	}
@@ -307,6 +488,40 @@ func (p *projectIter) Next() (types.Row, bool, error) {
 		out = append(out, d)
 	}
 	return out, true, nil
+}
+
+// NextBatch projects a whole input batch with compiled item
+// expressions, compacting the selection in the process.
+func (p *projectIter) NextBatch(b *Batch) error {
+	if err := nextBatch(p.in.it, &p.cb); err != nil {
+		return err
+	}
+	live := p.cb.Len()
+	if live == 0 {
+		b.setEmpty()
+		return nil
+	}
+	out := p.outBuf[:0]
+	fr := eval.Frame{Outer: p.ctx.params}
+	for i := 0; i < live; i++ {
+		row := p.cb.Row(i)
+		orow := p.alloc()
+		for _, o := range p.sel {
+			orow = append(orow, row[o])
+		}
+		fr.Row = row
+		for _, item := range p.items {
+			d, err := item(&fr)
+			if err != nil {
+				return err
+			}
+			orow = append(orow, d)
+		}
+		out = append(out, orow)
+	}
+	p.outBuf = out
+	b.Rows, b.Sel = out, nil
+	return nil
 }
 
 func (p *projectIter) Close() error { return p.in.it.Close() }

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"orthoq/internal/algebra"
+	"orthoq/internal/eval"
 	"orthoq/internal/sql/types"
 )
 
@@ -344,6 +345,29 @@ func (e *exchangeIter) runWorker() {
 			return false
 		}
 	}
+	if !e.ctx.DisableBatch {
+		// Batched workers forward whole subtree batches: the channel
+		// moves O(batches) messages. Row headers are copied out of the
+		// worker's reused batch buffers before the hand-off.
+		var wb Batch
+		for {
+			if err := nextBatch(n.it, &wb); err != nil {
+				e.fail(err)
+				return
+			}
+			live := wb.Len()
+			if live == 0 {
+				flush()
+				return
+			}
+			for i := 0; i < live; i++ {
+				batch = append(batch, wb.Row(i))
+			}
+			if !flush() {
+				return
+			}
+		}
+	}
 	for {
 		row, ok, err := n.it.Next()
 		if err != nil {
@@ -359,6 +383,28 @@ func (e *exchangeIter) runWorker() {
 			return
 		}
 	}
+}
+
+// NextBatch forwards worker batches to the consumer, aliasing the
+// received slice (workers hand off ownership on send).
+func (e *exchangeIter) NextBatch(b *Batch) error {
+	if e.pos < len(e.cur) {
+		// A row-mode consumer switched... serve the remainder (only
+		// reachable if Next and NextBatch were mixed; keep it correct).
+		b.Rows, b.Sel = e.cur[e.pos:], nil
+		e.cur, e.pos = nil, 0
+		return nil
+	}
+	batch, ok := <-e.batches
+	if !ok {
+		if err := e.errSeen(); err != nil {
+			return err
+		}
+		b.setEmpty()
+		return nil
+	}
+	b.Rows, b.Sel = batch, nil
+	return nil
 }
 
 func (e *exchangeIter) Next() (types.Row, bool, error) {
@@ -434,7 +480,11 @@ func (p *parallelAggIter) Open() error {
 				return
 			}
 			tbl := newAggTable(p.gb.GroupCols.Len(), len(p.gb.Aggs), sizeHint)
-			err = tbl.consume(wctx, n, p.gb)
+			if fns := compileAggArgs(wctx, n, p.gb); fns != nil {
+				err = tbl.consumeBatch(wctx, n, p.gb, fns)
+			} else {
+				err = tbl.consume(wctx, n, p.gb)
+			}
 			n.it.Close()
 			results <- aggResult{tbl: tbl, err: err}
 		}()
@@ -471,6 +521,21 @@ func (p *parallelAggIter) Next() (types.Row, bool, error) {
 	return row, true, nil
 }
 
+// NextBatch serves the merged result in windows.
+func (p *parallelAggIter) NextBatch(b *Batch) error {
+	if p.pos >= len(p.out) {
+		b.setEmpty()
+		return nil
+	}
+	end := p.pos + BatchSize
+	if end > len(p.out) {
+		end = len(p.out)
+	}
+	b.Rows, b.Sel = p.out[p.pos:end], nil
+	p.pos = end
+	return nil
+}
+
 func (p *parallelAggIter) Close() error { return nil }
 
 // morselScanIter is the driver-table scan of one worker: it claims
@@ -486,6 +551,10 @@ type morselScanIter struct {
 	lo, hi int
 	env    rowEnv
 	ords   map[algebra.ColID]int
+
+	prepped bool
+	conjs   []eval.CompiledPred
+	selBuf  []int
 }
 
 func (s *morselScanIter) Open() error {
@@ -496,8 +565,59 @@ func (s *morselScanIter) Open() error {
 		}
 	}
 	s.env = rowEnv{ctx: s.ctx, ords: s.ords}
+	if !s.prepped {
+		s.prepped = true
+		if comp := s.ctx.compiler(s.ords); comp != nil {
+			s.conjs = comp.CompileConjuncts(s.pred)
+		}
+	}
 	s.lo, s.hi = 0, 0
 	return nil
+}
+
+// NextBatch serves each claimed morsel as whole-batch windows of the
+// driver table (morselSize == BatchSize, so normally one batch per
+// claim), filtered with the compiled conjuncts.
+func (s *morselScanIter) NextBatch(b *Batch) error {
+	rows := s.tbl.AllRows()
+	for {
+		if s.lo >= s.hi {
+			lo, hi, ok := s.src.claim()
+			if !ok {
+				b.setEmpty()
+				return nil
+			}
+			s.lo, s.hi = lo, hi
+		}
+		end := s.lo + BatchSize
+		if end > s.hi {
+			end = s.hi
+		}
+		cand := rows[s.lo:end]
+		s.lo = end
+		if err := s.ctx.chargeN(len(cand)); err != nil {
+			return err
+		}
+		if len(s.conjs) == 0 {
+			b.Rows, b.Sel = cand, nil
+			return nil
+		}
+		sel := s.selBuf[:0]
+		for i := range cand {
+			sel = append(sel, i)
+		}
+		s.selBuf = sel
+		fr := eval.Frame{Outer: s.ctx.params}
+		sel, err := applyConjuncts(s.conjs, cand, sel, &fr)
+		if err != nil {
+			return err
+		}
+		if len(sel) == 0 {
+			continue
+		}
+		b.Rows, b.Sel = cand, sel
+		return nil
+	}
 }
 
 func (s *morselScanIter) Next() (types.Row, bool, error) {

@@ -16,6 +16,9 @@ type OpStats struct {
 	Opens int64
 	// Rows counts rows produced across all opens.
 	Rows int64
+	// Batches counts non-empty NextBatch productions; 0 means the
+	// operator was driven row-at-a-time.
+	Batches int64
 	// Busy is inclusive wall time spent inside this operator and its
 	// children.
 	Busy time.Duration
@@ -56,6 +59,22 @@ func (t *traceIter) Next() (row types.Row, ok bool, err error) {
 	return row, ok, err
 }
 
+// NextBatch forwards the batched pull (falling back to the row
+// adapter for operators without a native fast path) and accumulates
+// batch counts alongside rows.
+func (t *traceIter) NextBatch(b *Batch) error {
+	start := time.Now()
+	err := nextBatch(t.in, b)
+	t.st.Busy += time.Since(start)
+	if err == nil {
+		if n := b.Len(); n > 0 {
+			t.st.Rows += int64(n)
+			t.st.Batches++
+		}
+	}
+	return err
+}
+
 func (t *traceIter) Close() error { return t.in.Close() }
 
 // FormatTrace renders the plan with the collected statistics, in the
@@ -81,6 +100,10 @@ func (c *Context) FormatTrace(rel algebra.Rel) string {
 					st.Rows, st.Opens, st.Workers, st.Morsels, st.Busy.Round(time.Microsecond))
 			} else {
 				fmt.Fprintf(&b, "  (rows=%d opens=%d time=%v)", st.Rows, st.Opens, st.Busy.Round(time.Microsecond))
+			}
+			if st.Batches > 0 {
+				fmt.Fprintf(&b, " (batches=%d rows/batch=%.1f)",
+					st.Batches, float64(st.Rows)/float64(st.Batches))
 			}
 		}
 		b.WriteByte('\n')

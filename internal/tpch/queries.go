@@ -57,6 +57,18 @@ where o_orderdate >= date '1993-07-01'
 group by o_orderpriority
 order by o_orderpriority`,
 
+	// Q6: forecasting revenue change (single-table scan with a
+	// selective range predicate feeding a scalar aggregate; the
+	// canonical batch-execution stress test — no joins, no
+	// subqueries).
+	"Q6": `
+select sum(l_extendedprice * l_discount) as revenue
+from lineitem
+where l_shipdate >= date '1994-01-01'
+  and l_shipdate < date '1994-01-01' + interval '12' month
+  and l_discount >= 0.05 and l_discount <= 0.07
+  and l_quantity < 24`,
+
 	// Q11: important stock identification (HAVING compared against an
 	// uncorrelated scalar subquery over the same join — class 1,
 	// flattens into a cross join with a scalar aggregate).

@@ -94,6 +94,12 @@ type Config struct {
 	// order); higher values may return rows in a different order than
 	// serial execution (the bag of rows is identical).
 	Parallelism int
+	// DisableBatch forces row-at-a-time execution with interpreted
+	// expression evaluation instead of the default batch-at-a-time
+	// path with compiled expressions. Results are identical; this is
+	// the baseline knob for the batch benchmarks and equivalence
+	// tests.
+	DisableBatch bool
 	// PlanCache configures the parameterized plan cache consulted by
 	// Query/QueryCfg. The zero value enables it with defaults.
 	PlanCache PlanCacheConfig
@@ -116,10 +122,10 @@ type PlanCacheConfig struct {
 // (or its execution strategy) into the cache key, so plans compiled
 // under different configurations never alias.
 func (c Config) planKey() string {
-	return fmt.Sprintf("%t%t%t%t%t%t%t%t%t|%d|%d",
+	return fmt.Sprintf("%t%t%t%t%t%t%t%t%t%t|%d|%d",
 		c.Decorrelate, c.RemoveClass2, c.SimplifyOuterJoins, c.CostBased,
 		c.GroupByReorder, c.LocalAgg, c.SegmentApply, c.JoinReorder,
-		c.CorrelatedReintro, c.MaxSteps, c.Parallelism)
+		c.CorrelatedReintro, c.DisableBatch, c.MaxSteps, c.Parallelism)
 }
 
 // DefaultConfig enables the paper's full technique set.
@@ -542,6 +548,7 @@ type prepared struct {
 	steps    int
 	cost     float64
 	par      int
+	noBatch  bool
 }
 
 func (db *DB) prepare(sql string, cfg Config) (*prepared, error) {
@@ -566,7 +573,7 @@ func (db *DB) prepareAST(q ast.Query, cfg Config, params []types.Datum) (*prepar
 		return nil, err
 	}
 	p := &prepared{md: md, plan: rel, outCols: res.OutCols, outNames: res.OutNames,
-		par: cfg.Parallelism}
+		par: cfg.Parallelism, noBatch: cfg.DisableBatch}
 	if cfg.CostBased {
 		o := &opt.Optimizer{Md: md, Cat: db.store.Catalog, Stats: db.statsNow(), Config: cfg.optConfig()}
 		r := o.Optimize(rel, correlatedSeed(md, res.Rel, cfg)...)
@@ -606,6 +613,7 @@ func (p *prepared) runTraced(db *DB, params []types.Datum, cacheStatus string, t
 	ctx.Stats = db.statsNow()
 	ctx.Parallelism = p.par
 	ctx.Params = params
+	ctx.DisableBatch = p.noBatch
 	if trace {
 		ctx.EnableTrace()
 	}
@@ -730,5 +738,5 @@ func TPCHQuery(name string) (string, bool) {
 
 // TPCHQueryNames lists the available benchmark queries in order.
 func TPCHQueryNames() []string {
-	return []string{"Q1", "Q2", "Q4", "Q11", "Q15", "Q16", "Q17", "Q18", "Q20", "Q21", "Q22"}
+	return []string{"Q1", "Q2", "Q4", "Q6", "Q11", "Q15", "Q16", "Q17", "Q18", "Q20", "Q21", "Q22"}
 }

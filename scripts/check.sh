@@ -1,11 +1,18 @@
 #!/bin/sh
 # Repo-wide static checks and race-detector test run. This is the
-# gate for PRs touching the parallel executor: the property tests in
-# parallel_test.go execute every TPC-H benchmark query and the fuzz
-# corpus at Parallelism 2/4/8 under -race.
+# gate for PRs touching the executor: the property tests in
+# parallel_test.go and batch_test.go execute every TPC-H benchmark
+# query and the fuzz corpus across Parallelism 1/2/4/8 and both pull
+# modes (batch-compiled vs row-interpreted) under -race.
 set -eu
 cd "$(dirname "$0")/.."
 
 go vet ./...
 go build ./...
+
+# Fast smoke leg: batch-vs-row equivalence is the highest-signal
+# regression check for executor changes — fail it early and clearly
+# before the full suite runs.
+go test -run TestBatchRowEquivalence -race .
+
 go test -race ./...
