@@ -44,7 +44,7 @@ func benchQuery(b *testing.B, sql string, cfg Config) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := prep.run(db, nil, ""); err != nil {
+		if _, err := prep.run(db, nil, "", cfg.execOpts(nil)); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -6,12 +6,15 @@ package orthoq
 // the stats-crossover plan flip, and concurrent use.
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 	"strings"
 	"sync"
 	"testing"
 
+	"orthoq/internal/exec/faultinject"
 	"orthoq/internal/sql/types"
 )
 
@@ -489,7 +492,7 @@ func TestQueryConcurrentCacheUse(t *testing.T) {
 					errs <- err
 					return
 				}
-				if want := int64((g+1)*(i+1)); r.Data[0][0].Int() != want {
+				if want := int64((g + 1) * (i + 1)); r.Data[0][0].Int() != want {
 					errs <- fmt.Errorf("count(v < %d) = %v", want, r.Data[0][0])
 					return
 				}
@@ -547,5 +550,117 @@ func TestCacheStatsCounters(t *testing.T) {
 	}
 	if st.Entries != 1 || st.Bytes <= 0 {
 		t.Fatalf("stats = %+v, want 1 entry with bytes", st)
+	}
+}
+
+// TestCacheSurvivesFailedRuns: governance aborts — cancellation, a
+// hard memory cap, even a contained operator panic — happen at run
+// time against a shared cached plan. None of them may corrupt or evict
+// the entry: the next clean run must still be a hit with correct rows.
+func TestCacheSurvivesFailedRuns(t *testing.T) {
+	db := sharedDB(t)
+	const sql = "select o_custkey, count(*) from orders group by o_custkey"
+	cfg := DefaultConfig()
+
+	warm, err := db.QueryCfg(sql, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantFP := roundedFingerprint(warm)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := db.QueryCfgContext(ctx, sql, cfg); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("canceled run: want ErrCanceled, got %v", err)
+	}
+
+	mcfg := cfg
+	mcfg.MemBudget = 1 << 10
+	mcfg.DisableSpill = true
+	if _, err := db.QueryCfg(sql, mcfg); !errors.Is(err, ErrMemBudget) {
+		t.Fatalf("hard-capped run: want ErrMemBudget, got %v", err)
+	}
+
+	fcfg := cfg
+	fcfg.faults = faultinject.New(faultinject.Rule{Point: "next", Kind: faultinject.Panic})
+	if _, err := db.QueryCfg(sql, fcfg); !errors.Is(err, ErrInternal) {
+		t.Fatalf("panicking run: want ErrInternal, got %v", err)
+	}
+
+	r, err := db.QueryCfg(sql, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Cache != "hit" {
+		t.Fatalf("clean run after failures: cache = %q, want hit", r.Cache)
+	}
+	if roundedFingerprint(r) != wantFP {
+		t.Fatal("cached plan returns different rows after failed runs")
+	}
+}
+
+// TestStmtReusableAfterFailure: a prepared statement survives failed
+// runs — the compiled plan is read-only at run time, so a canceled or
+// panicked execution leaves the Stmt fully usable.
+func TestStmtReusableAfterFailure(t *testing.T) {
+	db := sharedDB(t)
+	q, _ := TPCHQuery("Q4")
+	want, err := db.QueryCfg(q, uncachedCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Contained panic on the first run; the injector's rule fires once,
+	// so the second run is clean.
+	cfg := DefaultConfig()
+	cfg.faults = faultinject.New(faultinject.Rule{Point: "next", Kind: faultinject.Panic, After: 5})
+	stmt, err := db.Prepare(q, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := stmt.Run(); !errors.Is(err, ErrInternal) {
+		t.Fatalf("first run: want ErrInternal, got %v", err)
+	}
+	r, err := stmt.Run()
+	if err != nil {
+		t.Fatalf("statement unusable after contained panic: %v", err)
+	}
+	if !sameBagApprox(want.Data, r.Data) {
+		t.Fatal("post-panic run returned wrong rows")
+	}
+
+	// Cancellation, then a clean context.
+	stmt2, err := db.Prepare(q, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := stmt2.RunContext(ctx); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("canceled RunContext: want ErrCanceled, got %v", err)
+	}
+	r, err = stmt2.RunContext(context.Background())
+	if err != nil {
+		t.Fatalf("statement unusable after cancellation: %v", err)
+	}
+	if !sameBagApprox(want.Data, r.Data) {
+		t.Fatal("post-cancel run returned wrong rows")
+	}
+
+	// A spilling run and an unbounded run of the same Stmt-shaped plan
+	// agree (budget is run state, not plan identity).
+	scfg := DefaultConfig()
+	scfg.MemBudget = 16 << 10
+	scfg.SpillDir = t.TempDir()
+	stmt3, err := db.Prepare(q, scfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err = stmt3.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameBagApprox(want.Data, r.Data) {
+		t.Fatal("budgeted prepared run returned wrong rows")
 	}
 }

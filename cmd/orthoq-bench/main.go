@@ -25,7 +25,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: figure1|figure8|figure9|ablation|parallel|cache|batch|all")
+	exp := flag.String("exp", "all", "experiment: figure1|figure8|figure9|ablation|parallel|cache|batch|spill|all")
 	sf := flag.Float64("sf", 0.01, "TPC-H scale factor for figure1/figure8/ablation/parallel/batch")
 	sfList := flag.String("sfs", "0.002,0.005,0.01,0.02", "comma-separated scale factors for figure9")
 	seed := flag.Int64("seed", 1, "data generator seed")
@@ -91,9 +91,10 @@ func main() {
 	run("parallel", func() error { return bench.RunParallel(os.Stdout, openDB(), *reps, *jsonOut) })
 	run("cache", func() error { return bench.RunCache(os.Stdout, *sf, *seed, *reps, *jsonOut) })
 	run("batch", func() error { return bench.RunBatch(os.Stdout, openDB(), *reps, *jsonOut) })
+	run("spill", func() error { return bench.RunSpill(os.Stdout, openDB(), *reps, *jsonOut) })
 
 	if !ran {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q (want figure1|figure8|figure9|ablation|parallel|cache|batch|all)\n", *exp)
+		fmt.Fprintf(os.Stderr, "unknown experiment %q (want figure1|figure8|figure9|ablation|parallel|cache|batch|spill|all)\n", *exp)
 		os.Exit(2)
 	}
 

@@ -29,6 +29,11 @@ type Result struct {
 	Workers    int     `json:"workers"`
 	NsPerOp    int64   `json:"ns_per_op"`
 	Rows       int     `json:"rows"`
+	// PeakMemBytes and Spills are reported by governed experiments
+	// (spill): the high-water mark of accounted operator memory and the
+	// number of spill partition files written.
+	PeakMemBytes int64 `json:"peak_mem_bytes,omitempty"`
+	Spills       int64 `json:"spills,omitempty"`
 }
 
 // ExecuteParallel runs the plan with the given worker count (0/1 =

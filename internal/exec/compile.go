@@ -2,24 +2,104 @@ package exec
 
 import (
 	"fmt"
+	"strings"
 
 	"orthoq/internal/algebra"
+	"orthoq/internal/sql/types"
 )
 
-// compile lowers a logical operator tree to an iterator tree,
-// wrapping each operator in a statistics collector when tracing is
-// enabled.
+// compile lowers a logical operator tree to an iterator tree. Every
+// operator is wrapped in a panic guard (and, when tracing is enabled,
+// a statistics collector inside the guard) so that a panic anywhere in
+// an operator's Open/Next/Close surfaces as a typed ErrInternal
+// carrying the operator name and plan fingerprint instead of
+// unwinding the caller — and so the fault-injection harness has a
+// deterministic hook at every operator boundary.
 func compile(ctx *Context, rel algebra.Rel) (*node, error) {
 	n, err := compileNode(ctx, rel)
-	if err != nil || ctx.trace == nil {
+	if err != nil {
 		return n, err
 	}
-	st, ok := ctx.trace[rel]
-	if !ok {
-		st = &OpStats{}
-		ctx.trace[rel] = st
+	it := n.it
+	if ctx.trace != nil {
+		st, ok := ctx.trace[rel]
+		if !ok {
+			st = &OpStats{}
+			ctx.trace[rel] = st
+		}
+		it = &traceIter{in: it, st: st}
 	}
-	return newNode(&traceIter{in: n.it, st: st}, n.cols), nil
+	return newNode(&guardIter{in: it, op: opName(rel), ctx: ctx}, n.cols), nil
+}
+
+// opName renders the operator name used in fault rules and contained
+// panic reports ("Get", "Join", "GroupBy", ...).
+func opName(rel algebra.Rel) string {
+	name := fmt.Sprintf("%T", rel)
+	if i := strings.LastIndexByte(name, '.'); i >= 0 {
+		name = name[i+1:]
+	}
+	return name
+}
+
+// guardIter wraps an operator with panic containment and the
+// fault-injection hook. The nil-injector fast path is one branch per
+// call; the recover is an open-coded defer.
+type guardIter struct {
+	in  iterator
+	op  string
+	ctx *Context
+}
+
+func (g *guardIter) rescue(errp *error) {
+	if r := recover(); r != nil {
+		*errp = recovered(g.op, g.ctx.Fingerprint, r)
+	}
+}
+
+func (g *guardIter) Open() (err error) {
+	defer g.rescue(&err)
+	if f := g.ctx.Faults; f != nil {
+		if err := f.Check(g.op, "open"); err != nil {
+			return err
+		}
+	}
+	return g.in.Open()
+}
+
+func (g *guardIter) Next() (row types.Row, ok bool, err error) {
+	defer g.rescue(&err)
+	if f := g.ctx.Faults; f != nil {
+		if err := f.Check(g.op, "next"); err != nil {
+			return nil, false, err
+		}
+	}
+	return g.in.Next()
+}
+
+// NextBatch forwards the batched pull under the same guard.
+func (g *guardIter) NextBatch(b *Batch) (err error) {
+	defer g.rescue(&err)
+	if f := g.ctx.Faults; f != nil {
+		if err := f.Check(g.op, "next"); err != nil {
+			return err
+		}
+	}
+	return nextBatch(g.in, b)
+}
+
+// Close always closes the wrapped operator, even when a fault fires
+// at the close boundary — injected close faults must not themselves
+// leak resources.
+func (g *guardIter) Close() (err error) {
+	defer g.rescue(&err)
+	err = g.in.Close()
+	if f := g.ctx.Faults; f != nil {
+		if ferr := f.Check(g.op, "close"); ferr != nil && err == nil {
+			err = ferr
+		}
+	}
+	return err
 }
 
 func compileNode(ctx *Context, rel algebra.Rel) (*node, error) {
@@ -72,7 +152,8 @@ func compileNode(ctx *Context, rel algebra.Rel) (*node, error) {
 			cols = append(cols, a.Col)
 		}
 		hint := estimateGroups(ctx, t, estimateRows(ctx, t.Input))
-		return newNode(&hashAggIter{ctx: ctx, in: in, gb: t, cols: cols, sizeHint: hint}, cols), nil
+		return newNode(&hashAggIter{ctx: ctx, in: in, gb: t, cols: cols,
+			sizeHint: hint, st: ctx.traceStats(t)}, cols), nil
 
 	case *algebra.SegmentApply:
 		return compileSegmentApply(ctx, t)
@@ -105,7 +186,7 @@ func compileNode(ctx *Context, rel algebra.Rel) (*node, error) {
 		if err != nil {
 			return nil, err
 		}
-		return newNode(&sortIter{ctx: ctx, in: in, by: t.By}, in.cols), nil
+		return newNode(&sortIter{ctx: ctx, in: in, by: t.By, st: ctx.traceStats(t)}, in.cols), nil
 
 	case *algebra.Top:
 		in, err := compile(ctx, t.Input)

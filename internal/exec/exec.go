@@ -12,12 +12,14 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
 
 	"orthoq/internal/algebra"
 	"orthoq/internal/eval"
+	"orthoq/internal/exec/faultinject"
 	"orthoq/internal/sql/types"
 	"orthoq/internal/stats"
 	"orthoq/internal/storage"
@@ -53,9 +55,38 @@ type Context struct {
 	// interpreted expression evaluation. Used as the baseline for the
 	// batch-vs-row equivalence tests and benchmarks.
 	DisableBatch bool
+	// Ctx, when non-nil, carries cancellation and deadline for this
+	// run. Operators check it at amortized row boundaries (charge) and
+	// at batch boundaries, so every strand — including morsel workers —
+	// observes cancellation promptly.
+	Ctx context.Context
+	// MemBudget, when positive, caps the bytes of operator working
+	// state (hash-join builds, aggregation tables, sort buffers,
+	// exchange buffers) accounted across all workers. Spill-capable
+	// operators degrade to partitioned temp files when the budget is
+	// reached; with DisableSpill the budget is a hard cap enforced with
+	// ErrMemBudget.
+	MemBudget int64
+	// DisableSpill turns graceful degradation off: an operator that
+	// would exceed MemBudget aborts with ErrMemBudget instead of
+	// spilling.
+	DisableSpill bool
+	// SpillDir is where spill partition files are created ("" = the
+	// system temp directory).
+	SpillDir string
+	// Faults, when non-nil, is the test-only fault-injection harness
+	// consulted at every operator boundary.
+	Faults *faultinject.Injector
+	// Fingerprint identifies the plan in contained-panic reports.
+	Fingerprint string
 
 	// shared is the per-query state common to all worker clones.
 	shared *sharedState
+
+	// tick amortizes context checks in charge(): the context is polled
+	// every ctxCheckEvery charged rows per strand. Strand-private, so
+	// no atomics.
+	tick int
 
 	// params holds correlation bindings installed by Apply iterators.
 	params eval.MapEnv
@@ -91,11 +122,23 @@ type segmentBinding struct {
 type sharedState struct {
 	// produced counts operator-row productions toward RowBudget.
 	produced atomic.Int64
+	// memUsed is the bytes of operator working state currently
+	// accounted; memPeak is its high-water mark. Shared across workers
+	// like produced, so MemBudget stays a query-wide cap under
+	// parallelism.
+	memUsed atomic.Int64
+	memPeak atomic.Int64
+	// spills counts spill partition files written by any operator.
+	spills atomic.Int64
 	// builds caches hash-join build tables keyed by the logical Join
 	// node so parallel workers build once and probe a shared read-only
 	// table.
 	mu     sync.Mutex
 	builds map[algebra.Rel]*sharedBuild
+	// spillFiles registers live spill files so a failing or abandoned
+	// run still removes every temp file (see releaseSpills).
+	spillMu    sync.Mutex
+	spillFiles map[*spillFile]struct{}
 }
 
 // buildFor returns the shared build slot for a join node, creating it
@@ -140,6 +183,12 @@ func (c *Context) workerClone() *Context {
 		RowBudget:    c.RowBudget,
 		Params:       c.Params,
 		DisableBatch: c.DisableBatch,
+		Ctx:          c.Ctx,
+		MemBudget:    c.MemBudget,
+		DisableSpill: c.DisableSpill,
+		SpillDir:     c.SpillDir,
+		Faults:       c.Faults,
+		Fingerprint:  c.Fingerprint,
 		shared:       c.shared,
 		params:       make(eval.MapEnv),
 		segments:     make(map[*algebra.SegmentApply]*segmentBinding),
@@ -148,24 +197,144 @@ func (c *Context) workerClone() *Context {
 	}
 }
 
+// ctxCheckEvery is the number of charged rows between context polls
+// per strand: frequent enough that cancellation lands within
+// microseconds of work, rare enough that the poll never shows up in a
+// profile.
+const ctxCheckEvery = 256
+
+// checkCtx polls the run's context and maps its error into the typed
+// taxonomy. Cheap when no context is installed.
+func (c *Context) checkCtx() error {
+	if c.Ctx == nil {
+		return nil
+	}
+	select {
+	case <-c.Ctx.Done():
+		return ctxErr(c.Ctx.Err())
+	default:
+		return nil
+	}
+}
+
 func (c *Context) charge() error {
-	if c.RowBudget > 0 {
-		if c.shared.produced.Add(1) > c.RowBudget {
-			return fmt.Errorf("exec: row budget exceeded (%d)", c.RowBudget)
+	return c.chargeN(1)
+}
+
+// chargeN charges a batch of operator-row productions at once, keeping
+// RowBudget accounting exact while amortizing the atomic add, and
+// polls the context every ctxCheckEvery charged rows.
+func (c *Context) chargeN(n int) error {
+	if c.RowBudget > 0 && n > 0 {
+		if c.shared.produced.Add(int64(n)) > c.RowBudget {
+			return errRowBudget(c.RowBudget)
 		}
+	}
+	c.tick += n
+	if c.tick >= ctxCheckEvery {
+		c.tick = 0
+		return c.checkCtx()
 	}
 	return nil
 }
 
-// chargeN charges a whole batch of operator-row productions at once,
-// keeping RowBudget accounting exact while amortizing the atomic add.
-func (c *Context) chargeN(n int) error {
-	if c.RowBudget > 0 && n > 0 {
-		if c.shared.produced.Add(int64(n)) > c.RowBudget {
-			return fmt.Errorf("exec: row budget exceeded (%d)", c.RowBudget)
+// grantMem accounts n bytes of operator working state. over reports
+// that the query is past MemBudget (the caller should spill if it
+// can); err is the hard ErrMemBudget abort taken when spilling is
+// disabled. st, when non-nil, accumulates the operator's own memory
+// into its EXPLAIN ANALYZE stats. AllocFail fault rules force the
+// over-budget path regardless of the real budget.
+func (c *Context) grantMem(st *OpStats, op string, n int64) (over bool, err error) {
+	if n <= 0 {
+		return false, nil
+	}
+	used := c.shared.memUsed.Add(n)
+	for {
+		peak := c.shared.memPeak.Load()
+		if used <= peak || c.shared.memPeak.CompareAndSwap(peak, used) {
+			break
 		}
 	}
-	return nil
+	if st != nil {
+		atomic.AddInt64(&st.MemBytes, n)
+	}
+	over = c.MemBudget > 0 && used > c.MemBudget
+	if c.Faults.AllocFail(op) {
+		over = true
+	}
+	if over && c.DisableSpill {
+		return true, errMemBudget(op, c.MemBudget, used)
+	}
+	return over, nil
+}
+
+// noteMem is grantMem for bounded buffers that cannot spill (the
+// exchange's in-flight batches): usage and peak are tracked for
+// observability but never abort the query — the buffers are bounded
+// by construction, unlike the hash tables the budget exists to govern.
+func (c *Context) noteMem(st *OpStats, n int64) {
+	if n <= 0 {
+		return
+	}
+	used := c.shared.memUsed.Add(n)
+	for {
+		peak := c.shared.memPeak.Load()
+		if used <= peak || c.shared.memPeak.CompareAndSwap(peak, used) {
+			break
+		}
+	}
+	if st != nil {
+		atomic.AddInt64(&st.MemBytes, n)
+	}
+}
+
+// releaseMem returns n accounted bytes.
+func (c *Context) releaseMem(n int64) {
+	if n > 0 {
+		c.shared.memUsed.Add(-n)
+	}
+}
+
+// PeakMem reports the high-water mark of accounted memory for this
+// run.
+func (c *Context) PeakMem() int64 { return c.shared.memPeak.Load() }
+
+// Spills reports the number of spill partition files this run wrote.
+func (c *Context) Spills() int64 { return c.shared.spills.Load() }
+
+// registerSpill tracks a live spill file for end-of-run cleanup.
+func (c *Context) registerSpill(f *spillFile) {
+	s := c.shared
+	s.spillMu.Lock()
+	if s.spillFiles == nil {
+		s.spillFiles = make(map[*spillFile]struct{})
+	}
+	s.spillFiles[f] = struct{}{}
+	s.spillMu.Unlock()
+}
+
+func (c *Context) unregisterSpill(f *spillFile) {
+	s := c.shared
+	s.spillMu.Lock()
+	delete(s.spillFiles, f)
+	s.spillMu.Unlock()
+}
+
+// releaseSpills removes every spill file still registered — the
+// end-of-run backstop that guarantees temp-file cleanup on error,
+// cancellation, and contained panics.
+func (c *Context) releaseSpills() {
+	s := c.shared
+	s.spillMu.Lock()
+	files := make([]*spillFile, 0, len(s.spillFiles))
+	for f := range s.spillFiles {
+		files = append(files, f)
+	}
+	s.spillFiles = nil
+	s.spillMu.Unlock()
+	for _, f := range files {
+		f.remove()
+	}
 }
 
 // compiler returns an expression compiler for a row layout, or nil
@@ -243,6 +412,10 @@ type Result struct {
 	Cols  []algebra.ColID
 	Names []string
 	Rows  []types.Row
+	// PeakMem is the high-water mark of accounted operator memory.
+	PeakMem int64
+	// Spills counts spill partition files written during execution.
+	Spills int64
 }
 
 // Run compiles and executes the plan, materializing all rows. outCols
@@ -250,40 +423,50 @@ type Result struct {
 // When ctx.Parallelism > 1 an eligible subtree is executed
 // morsel-parallel; row order of the result may then differ from the
 // serial order (the bag of rows is identical).
-func Run(ctx *Context, rel algebra.Rel, outCols []algebra.ColID) (*Result, error) {
-	ctx.ev.Params = ctx.Params
-	if ctx.Parallelism > 1 && ctx.pplan == nil {
-		ctx.pplan = planParallel(ctx, rel)
-	}
-	n, err := compile(ctx, rel)
+func Run(ctx *Context, rel algebra.Rel, outCols []algebra.ColID) (res *Result, err error) {
+	defer ctx.releaseSpills()
+	defer func() {
+		// Strand-level backstop: operator panics are normally contained
+		// by the per-operator guard, but compilation and drain-loop code
+		// outside any operator is covered here.
+		if r := recover(); r != nil {
+			res, err = nil, recovered("run", ctx.Fingerprint, r)
+		}
+	}()
+	n, sel, err := prepareRun(ctx, rel, outCols)
 	if err != nil {
 		return nil, err
 	}
 	if outCols == nil {
 		outCols = n.cols
 	}
-	sel := make([]int, len(outCols))
-	for i, c := range outCols {
-		o, ok := n.ords[c]
-		if !ok {
-			return nil, fmt.Errorf("exec: output column %d (%s) not produced by plan", c, ctx.Md.Alias(c))
-		}
-		sel[i] = o
-	}
 	if err := n.it.Open(); err != nil {
+		// Close even though Open failed: a partially opened tree (e.g. a
+		// sort that spawned exchange workers before its materialize loop
+		// erred) still holds goroutines and buffers that Close releases.
+		n.it.Close()
 		return nil, err
 	}
 	defer n.it.Close()
-	res := &Result{Cols: outCols}
+	res = &Result{Cols: outCols}
 	for _, c := range outCols {
 		res.Names = append(res.Names, ctx.Md.Alias(c))
 	}
+	defer func() {
+		if res != nil {
+			res.PeakMem = ctx.PeakMem()
+			res.Spills = ctx.Spills()
+		}
+	}()
 	if !ctx.DisableBatch {
 		// Batch drain: one arena allocation per batch instead of one
 		// row allocation per result row.
 		var b Batch
 		w := len(sel)
 		for {
+			if err := ctx.checkCtx(); err != nil {
+				return nil, err
+			}
 			if err := nextBatch(n.it, &b); err != nil {
 				return nil, err
 			}
@@ -317,4 +500,32 @@ func Run(ctx *Context, rel algebra.Rel, outCols []algebra.ColID) (*Result, error
 		}
 		res.Rows = append(res.Rows, out)
 	}
+}
+
+// prepareRun compiles the plan and resolves the output projection.
+func prepareRun(ctx *Context, rel algebra.Rel, outCols []algebra.ColID) (*node, []int, error) {
+	ctx.ev.Params = ctx.Params
+	if err := ctx.checkCtx(); err != nil {
+		return nil, nil, err
+	}
+	if ctx.Parallelism > 1 && ctx.pplan == nil {
+		ctx.pplan = planParallel(ctx, rel)
+	}
+	n, err := compile(ctx, rel)
+	if err != nil {
+		return nil, nil, err
+	}
+	cols := outCols
+	if cols == nil {
+		cols = n.cols
+	}
+	sel := make([]int, len(cols))
+	for i, c := range cols {
+		o, ok := n.ords[c]
+		if !ok {
+			return nil, nil, fmt.Errorf("exec: output column %d (%s) not produced by plan", c, ctx.Md.Alias(c))
+		}
+		sel[i] = o
+	}
+	return n, sel, nil
 }

@@ -1,0 +1,169 @@
+// Package faultinject is the executor's deterministic fault-injection
+// harness. It is test-only: production code paths consult an injector
+// only through a nil-checked pointer on exec.Context, so the zero
+// configuration costs one branch per operator boundary and nothing is
+// ever injected outside tests.
+//
+// An Injector holds a list of rules. Each operator boundary crossing
+// (Open/Next/Close of every compiled operator, plus worker entry
+// points and memory grants) asks the injector whether a rule fires at
+// that point. Rules count matching crossings and fire exactly once
+// after a configured number of passes, which makes a test sweep
+// deterministic: "inject a panic at the k-th boundary crossing" is
+// reproducible run over run because the executor visits boundaries in
+// a fixed order for a fixed plan (serial execution) or is exercised
+// under the race detector for parallel plans.
+package faultinject
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+// Kind selects what a rule injects when it fires.
+type Kind int
+
+const (
+	// Error makes the boundary return ErrInjected.
+	Error Kind = iota
+	// Panic makes the boundary panic (the executor's containment layer
+	// must convert it to exec.ErrInternal).
+	Panic
+	// Delay makes the boundary sleep, simulating a slow operator so
+	// cancellation and deadline paths get exercised mid-flight.
+	Delay
+	// AllocFail makes a memory grant report budget exhaustion,
+	// forcing the spill (or typed-abort) path regardless of the real
+	// budget.
+	AllocFail
+)
+
+// ErrInjected is the error returned at a boundary by an Error rule.
+var ErrInjected = errors.New("faultinject: injected error")
+
+// PanicValue is the value Panic rules panic with; tests can recognize
+// contained panics by it.
+const PanicValue = "faultinject: injected panic"
+
+// Rule describes one fault. The zero value fires an Error at the very
+// first boundary crossing of any operator.
+type Rule struct {
+	// Op restricts the rule to operators whose name equals Op
+	// ("" matches every operator).
+	Op string
+	// Point restricts the rule to a boundary: "open", "next", "close",
+	// or "" for any.
+	Point string
+	// After is the number of matching crossings to let pass before
+	// firing (0 = fire on the first).
+	After int
+	// Kind is what to inject.
+	Kind Kind
+	// Sleep is the Delay duration (default 1ms).
+	Sleep time.Duration
+}
+
+// Injector evaluates rules at operator boundaries. Safe for
+// concurrent use by parallel workers.
+type Injector struct {
+	mu    sync.Mutex
+	rules []ruleState
+}
+
+type ruleState struct {
+	Rule
+	seen  int
+	fired bool
+}
+
+// New builds an injector from rules.
+func New(rules ...Rule) *Injector {
+	in := &Injector{rules: make([]ruleState, len(rules))}
+	for i, r := range rules {
+		in.rules[i] = ruleState{Rule: r}
+	}
+	return in
+}
+
+// Fired reports how many rules have fired so far.
+func (in *Injector) Fired() int {
+	if in == nil {
+		return 0
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	n := 0
+	for i := range in.rules {
+		if in.rules[i].fired {
+			n++
+		}
+	}
+	return n
+}
+
+// Check is called by the executor at an operator boundary. It may
+// sleep (Delay rules), panic (Panic rules), or return an error to
+// inject (Error rules). AllocFail rules never fire here.
+func (in *Injector) Check(op, point string) error {
+	if in == nil {
+		return nil
+	}
+	kind, sleep, fired := in.match(op, point, false)
+	if !fired {
+		return nil
+	}
+	switch kind {
+	case Error:
+		return ErrInjected
+	case Panic:
+		panic(PanicValue)
+	case Delay:
+		if sleep <= 0 {
+			sleep = time.Millisecond
+		}
+		time.Sleep(sleep)
+	}
+	return nil
+}
+
+// AllocFail is called by the memory accountant on each grant; it
+// reports whether an AllocFail rule fires for this grant. op is the
+// charging operator's name.
+func (in *Injector) AllocFail(op string) bool {
+	if in == nil {
+		return false
+	}
+	_, _, fired := in.match(op, "", true)
+	return fired
+}
+
+// match advances rule counters for one crossing and reports the first
+// rule that fires. alloc selects AllocFail rules; other kinds are
+// boundary rules.
+func (in *Injector) match(op, point string, alloc bool) (Kind, time.Duration, bool) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	for i := range in.rules {
+		r := &in.rules[i]
+		if r.fired {
+			continue
+		}
+		if (r.Kind == AllocFail) != alloc {
+			continue
+		}
+		if r.Op != "" && r.Op != op {
+			continue
+		}
+		if r.Point != "" && r.Point != point {
+			continue
+		}
+		if r.seen < r.After {
+			r.seen++
+			continue
+		}
+		r.fired = true
+		return r.Kind, r.Sleep, true
+	}
+	return 0, 0, false
+}

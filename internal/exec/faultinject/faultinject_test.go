@@ -1,0 +1,95 @@
+package faultinject
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestRuleMatching: rules fire deterministically at the configured
+// boundary and occurrence, exactly once.
+func TestRuleMatching(t *testing.T) {
+	inj := New(Rule{Op: "Join", Point: "next", After: 2, Kind: Error})
+	if err := inj.Check("Join", "open"); err != nil {
+		t.Fatalf("wrong point fired: %v", err)
+	}
+	if err := inj.Check("GroupBy", "next"); err != nil {
+		t.Fatalf("wrong op fired: %v", err)
+	}
+	for i := 0; i < 2; i++ {
+		if err := inj.Check("Join", "next"); err != nil {
+			t.Fatalf("fired early at occurrence %d: %v", i, err)
+		}
+	}
+	if err := inj.Check("Join", "next"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("want ErrInjected at third occurrence, got %v", err)
+	}
+	// Fire-once: later matches pass.
+	if err := inj.Check("Join", "next"); err != nil {
+		t.Fatalf("rule fired twice: %v", err)
+	}
+	if inj.Fired() != 1 {
+		t.Fatalf("Fired() = %d, want 1", inj.Fired())
+	}
+}
+
+// TestWildcards: empty Op/Point match every boundary.
+func TestWildcards(t *testing.T) {
+	inj := New(Rule{Kind: Error})
+	if err := inj.Check("Anything", "close"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("wildcard rule did not fire: %v", err)
+	}
+}
+
+// TestPanicKind: a Panic rule panics with the canonical value.
+func TestPanicKind(t *testing.T) {
+	inj := New(Rule{Op: "Sort", Kind: Panic})
+	defer func() {
+		if r := recover(); r != PanicValue {
+			t.Fatalf("panic value = %v, want %v", r, PanicValue)
+		}
+	}()
+	inj.Check("Sort", "open")
+	t.Fatal("rule did not panic")
+}
+
+// TestDelayKind: a Delay rule sleeps without erroring.
+func TestDelayKind(t *testing.T) {
+	inj := New(Rule{Op: "Get", Kind: Delay, Sleep: 10 * time.Millisecond})
+	start := time.Now()
+	if err := inj.Check("Get", "next"); err != nil {
+		t.Fatal(err)
+	}
+	if time.Since(start) < 10*time.Millisecond {
+		t.Fatal("delay rule did not sleep")
+	}
+}
+
+// TestAllocFail: AllocFail rules report through the allocation hook,
+// not through Check.
+func TestAllocFail(t *testing.T) {
+	inj := New(Rule{Op: "GroupBy", Kind: AllocFail})
+	if err := inj.Check("GroupBy", "next"); err != nil {
+		t.Fatalf("AllocFail leaked into Check: %v", err)
+	}
+	if !inj.AllocFail("GroupBy") {
+		t.Fatal("AllocFail did not fire")
+	}
+	if inj.AllocFail("GroupBy") {
+		t.Fatal("AllocFail fired twice")
+	}
+}
+
+// TestNilInjector: all methods are no-ops on a nil receiver.
+func TestNilInjector(t *testing.T) {
+	var inj *Injector
+	if err := inj.Check("Join", "next"); err != nil {
+		t.Fatal(err)
+	}
+	if inj.AllocFail("Join") {
+		t.Fatal("nil injector alloc-failed")
+	}
+	if inj.Fired() != 0 {
+		t.Fatal("nil injector fired")
+	}
+}

@@ -2,6 +2,7 @@ package exec
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"orthoq/internal/algebra"
 	"orthoq/internal/eval"
@@ -129,11 +130,27 @@ func (s *aggState) result(item *algebra.AggItem) types.Datum {
 // aggTable accumulates hash groups for one GroupBy; it is used by the
 // serial hashAggIter and, one instance per worker, by the parallel
 // aggregation exchange (partials merged with aggTable.merge).
+//
+// Governed tables (govern called) charge each inserted group against
+// the query memory accountant and degrade hybrid-hash style once the
+// budget is reached: groups already resident keep aggregating in
+// place, while input rows belonging to unseen groups are partitioned
+// to spill files on the group-key hash. Resident and spilled groups
+// are therefore disjoint and each side is complete — resident groups
+// render directly, spilled partitions are aggregated recursively at
+// the next hash-bit level (drainSpill).
 type aggTable struct {
 	nAggs  int
 	keyIdx []int
 	groups map[uint64][]*aggGroup
 	order  []*aggGroup
+
+	// Governance state (nil ctx = unbounded legacy behavior).
+	ctx     *Context
+	st      *OpStats
+	level   int
+	charged int64
+	spill   *spillSet
 }
 
 type aggGroup struct {
@@ -156,35 +173,110 @@ func newAggTable(nKeys, nAggs, sizeHint int) *aggTable {
 	}
 }
 
-// find returns the group for key, creating it on first sight. The
-// table takes ownership of key on insert.
-func (t *aggTable) find(key types.Row) *aggGroup {
-	hk := types.HashRow(key, t.keyIdx)
+// govern turns on memory accounting and spilling at the given hash-bit
+// level. Only effective when a budget or fault injector is installed —
+// otherwise the table stays on the allocation-free legacy path.
+func (t *aggTable) govern(ctx *Context, st *OpStats, level int) {
+	if ctx == nil || (ctx.MemBudget <= 0 && ctx.Faults == nil) {
+		return
+	}
+	t.ctx = ctx
+	t.st = st
+	t.level = level
+}
+
+// groupBytes approximates one resident group's footprint: key datums,
+// state array, and hash-chain overhead.
+func groupBytes(key types.Row, nAggs int) int64 {
+	return rowBytes(key) + int64(72*nAggs) + 64
+}
+
+// probe returns the resident group for (hk, key), or nil.
+func (t *aggTable) probe(hk uint64, key types.Row) *aggGroup {
 	for _, cand := range t.groups[hk] {
 		if types.EqualRows(cand.key, t.keyIdx, key, t.keyIdx) {
 			return cand
 		}
 	}
+	return nil
+}
+
+func (t *aggTable) insert(hk uint64, key types.Row) *aggGroup {
 	g := &aggGroup{key: key, states: make([]aggState, t.nAggs)}
 	t.groups[hk] = append(t.groups[hk], g)
 	t.order = append(t.order, g)
 	return g
 }
 
-// findScratch is find for a caller-owned scratch key: the key is
-// cloned only when a new group is inserted, so the hot existing-group
-// path allocates nothing.
-func (t *aggTable) findScratch(key types.Row) *aggGroup {
+// findRow is the governed lookup used by the accumulation loops: key
+// is the (possibly scratch) group key, raw is the full input row, and
+// clone says whether key must be copied on insert. A nil group with
+// nil error means the raw row was routed to a spill partition.
+func (t *aggTable) findRow(key, raw types.Row, clone bool) (*aggGroup, error) {
 	hk := types.HashRow(key, t.keyIdx)
-	for _, cand := range t.groups[hk] {
-		if types.EqualRows(cand.key, t.keyIdx, key, t.keyIdx) {
-			return cand
+	if g := t.probe(hk, key); g != nil {
+		return g, nil
+	}
+	if t.spill != nil {
+		return nil, t.spill.add(hk, raw)
+	}
+	if t.ctx != nil {
+		over, err := t.ctx.grantMem(t.st, "GroupBy", groupBytes(key, t.nAggs))
+		if err != nil {
+			return nil, err
+		}
+		t.charged += groupBytes(key, t.nAggs)
+		if over && t.level <= maxSpillLevel {
+			// Budget reached: later unseen groups go to disk. The group
+			// that tripped the budget stays resident (one-group
+			// overshoot), keeping the resident/spilled sets disjoint.
+			t.spill = newSpillSet(t.ctx, t.level)
+			if t.st != nil {
+				atomic.AddInt64(&t.st.Spills, 1)
+			}
 		}
 	}
-	g := &aggGroup{key: append(types.Row(nil), key...), states: make([]aggState, t.nAggs)}
-	t.groups[hk] = append(t.groups[hk], g)
-	t.order = append(t.order, g)
-	return g
+	if clone {
+		key = append(types.Row(nil), key...)
+	}
+	return t.insert(hk, key), nil
+}
+
+// find returns the group for key, creating it on first sight. The
+// table takes ownership of key on insert. Legacy ungoverned entry
+// point (merge and tests).
+func (t *aggTable) find(key types.Row) *aggGroup {
+	hk := types.HashRow(key, t.keyIdx)
+	if g := t.probe(hk, key); g != nil {
+		return g
+	}
+	return t.insert(hk, key)
+}
+
+// findForMerge inserts partial states even past the budget: partial
+// aggregate states cannot be re-spilled as rows, and the resident
+// partials across workers are collectively bounded by the shared
+// budget that made them spill in the first place. Usage is still
+// tracked for the peak statistic.
+func (t *aggTable) findForMerge(key types.Row) *aggGroup {
+	hk := types.HashRow(key, t.keyIdx)
+	if g := t.probe(hk, key); g != nil {
+		return g
+	}
+	if t.ctx != nil {
+		n := groupBytes(key, t.nAggs)
+		t.ctx.noteMem(t.st, n)
+		t.charged += n
+	}
+	return t.insert(hk, key)
+}
+
+// release returns the table's accounted memory to the budget.
+func (t *aggTable) release() {
+	if t.ctx != nil && t.charged > 0 {
+		t.ctx.releaseMem(t.charged)
+		t.charged = 0
+	}
 }
 
 // aggKeyOrds resolves the grouping columns to input ordinals.
@@ -257,7 +349,13 @@ func (t *aggTable) consumeBatch(ctx *Context, in *node, gb *algebra.GroupBy, arg
 			for j, o := range keyOrds {
 				scratch[j] = row[o]
 			}
-			g := t.findScratch(scratch)
+			g, err := t.findRow(scratch, row, true)
+			if err != nil {
+				return err
+			}
+			if g == nil {
+				continue // routed to a spill partition
+			}
 			fr.Row = row
 			for j := range gb.Aggs {
 				var d types.Datum
@@ -296,7 +394,13 @@ func (t *aggTable) consume(ctx *Context, in *node, gb *algebra.GroupBy) error {
 		if err := ctx.charge(); err != nil {
 			return err
 		}
-		g := t.find(mapRow(row, keyOrds))
+		g, err := t.findRow(mapRow(row, keyOrds), row, false)
+		if err != nil {
+			return err
+		}
+		if g == nil {
+			continue // routed to a spill partition
+		}
 		env.row = row
 		for i := range gb.Aggs {
 			item := &gb.Aggs[i]
@@ -317,7 +421,7 @@ func (t *aggTable) consume(ctx *Context, in *node, gb *algebra.GroupBy) error {
 // local/global combination rules (aggState.mergeFor).
 func (t *aggTable) merge(o *aggTable, gb *algebra.GroupBy) {
 	for _, og := range o.order {
-		g := t.find(og.key)
+		g := t.findForMerge(og.key)
 		for i := range og.states {
 			g.states[i].mergeFor(&gb.Aggs[i], &og.states[i])
 		}
@@ -327,8 +431,15 @@ func (t *aggTable) merge(o *aggTable, gb *algebra.GroupBy) {
 // render materializes the result rows: group key columns followed by
 // aggregate results, with the §1.1 scalar-aggregation empty-input row.
 func (t *aggTable) render(gb *algebra.GroupBy, out []types.Row) []types.Row {
-	out = out[:0]
-	if len(t.order) == 0 && gb.Kind == algebra.ScalarGroupBy {
+	return t.renderInto(gb, out[:0], t.spill == nil)
+}
+
+// renderInto appends the resident groups' result rows to out.
+// allowEmptyRow gates the scalar-aggregation empty-input row: it must
+// fire only when the whole aggregation — not just this (sub)table —
+// saw no groups, so callers with spilled partitions pass false.
+func (t *aggTable) renderInto(gb *algebra.GroupBy, out []types.Row, allowEmptyRow bool) []types.Row {
+	if len(t.order) == 0 && allowEmptyRow && gb.Kind == algebra.ScalarGroupBy {
 		// Scalar aggregation returns exactly one row on empty input
 		// (paper §1.1): agg(∅) per aggregate.
 		row := make(types.Row, 0, len(gb.Aggs))
@@ -349,6 +460,103 @@ func (t *aggTable) render(gb *algebra.GroupBy, out []types.Row) []types.Row {
 	return out
 }
 
+// accumSpilled folds one decoded spill row into the table through the
+// interpreted argument path (spill drains are I/O bound; compiled
+// argument evaluation would not be observable here).
+func (t *aggTable) accumSpilled(ctx *Context, gb *algebra.GroupBy, keyOrds []int,
+	scratch types.Row, env *rowEnv, row types.Row) error {
+	for j, o := range keyOrds {
+		scratch[j] = row[o]
+	}
+	g, err := t.findRow(scratch, row, true)
+	if err != nil {
+		return err
+	}
+	if g == nil {
+		return nil // re-spilled at the next level
+	}
+	env.row = row
+	for i := range gb.Aggs {
+		item := &gb.Aggs[i]
+		var d types.Datum
+		if item.Arg != nil {
+			v, err := ctx.ev.Eval(item.Arg, env)
+			if err != nil {
+				return err
+			}
+			d = v
+		}
+		g.states[i].add(item, d)
+	}
+	return nil
+}
+
+// drainSpill renders every spilled partition of t: each partition file
+// is aggregated into a fresh governed sub-table at the next hash-bit
+// level (recursing if the partition itself overflows) and its groups
+// appended to out. The partition files are dropped as they are
+// consumed, and t's resident memory is released first — the resident
+// groups must already be rendered into out by the caller.
+func (t *aggTable) drainSpill(ctx *Context, gb *algebra.GroupBy, keyOrds []int,
+	ords map[algebra.ColID]int, out []types.Row) ([]types.Row, error) {
+	if t.spill == nil {
+		return out, nil
+	}
+	spill := t.spill
+	t.spill = nil
+	t.release()
+	if err := spill.finish(); err != nil {
+		spill.dropAll()
+		return out, err
+	}
+	env := rowEnv{ctx: ctx, ords: ords}
+	scratch := make(types.Row, len(keyOrds))
+	for p, f := range spill.parts {
+		if f == nil {
+			continue
+		}
+		sub := newAggTable(len(keyOrds), len(gb.Aggs), 64)
+		sub.govern(ctx, t.st, spill.level+1)
+		rd, err := f.reader()
+		if err != nil {
+			spill.dropAll()
+			return out, err
+		}
+		for {
+			row, ok, err := rd.next()
+			if err != nil {
+				rd.close()
+				spill.dropAll()
+				return out, err
+			}
+			if !ok {
+				break
+			}
+			if err := ctx.charge(); err != nil {
+				rd.close()
+				spill.dropAll()
+				return out, err
+			}
+			if err := sub.accumSpilled(ctx, gb, keyOrds, scratch, &env, row); err != nil {
+				rd.close()
+				spill.dropAll()
+				return out, err
+			}
+		}
+		rd.close()
+		f.drop(ctx)
+		spill.parts[p] = nil
+		out = sub.renderInto(gb, out, false)
+		out, err = sub.drainSpill(ctx, gb, keyOrds, ords, out)
+		sub.release()
+		if err != nil {
+			spill.dropAll()
+			return out, err
+		}
+	}
+	return out, nil
+}
+
 // hashAggIter implements vector, scalar and local GroupBy with hash
 // grouping. Local GroupBy executes identically to vector GroupBy (the
 // paper notes the execution engine need not distinguish them — the
@@ -359,6 +567,7 @@ type hashAggIter struct {
 	gb       *algebra.GroupBy
 	cols     []algebra.ColID
 	sizeHint int
+	st       *OpStats
 
 	prepped bool
 	argFns  []eval.Compiled
@@ -376,6 +585,8 @@ func (h *hashAggIter) Open() error {
 		h.argFns = compileAggArgs(h.ctx, h.in, h.gb)
 	}
 	tbl := newAggTable(h.gb.GroupCols.Len(), len(h.gb.Aggs), h.sizeHint)
+	tbl.govern(h.ctx, h.st, 0)
+	defer tbl.release()
 	if h.argFns != nil {
 		if err := tbl.consumeBatch(h.ctx, h.in, h.gb, h.argFns); err != nil {
 			return err
@@ -387,6 +598,16 @@ func (h *hashAggIter) Open() error {
 		return err
 	}
 	h.out = tbl.render(h.gb, h.out)
+	if tbl.spill != nil {
+		keyOrds, err := aggKeyOrds(h.in, h.gb)
+		if err != nil {
+			return err
+		}
+		h.out, err = tbl.drainSpill(h.ctx, h.gb, keyOrds, h.in.ords, h.out)
+		if err != nil {
+			return err
+		}
+	}
 	h.pos = 0
 	return nil
 }

@@ -639,16 +639,48 @@ func (t *topIter) Next() (types.Row, bool, error) {
 
 func (t *topIter) Close() error { return t.in.it.Close() }
 
-// sortIter materializes and sorts.
+// sortIter materializes and sorts. The sort buffer is charged against
+// the query memory budget in chunks; sorts cannot spill, so the
+// charge aborts only under DisableSpill (with spilling enabled the
+// usage is tracked toward the peak statistic — sort inputs in this
+// engine sit above aggregations and are small relative to the hash
+// state the budget governs).
 type sortIter struct {
 	ctx  *Context
 	in   *node
 	by   []algebra.Ordering
+	st   *OpStats
 	rows []types.Row
 	pos  int
+
+	charged int64
+	pending int64
+}
+
+// sortChargeChunk batches sort-buffer memory grants to amortize the
+// shared atomic.
+const sortChargeChunk = 32 << 10
+
+func (s *sortIter) chargeRow(row types.Row) error {
+	s.pending += rowBytes(row)
+	if s.pending < sortChargeChunk {
+		return nil
+	}
+	n := s.pending
+	s.pending = 0
+	s.charged += n
+	_, err := s.ctx.grantMem(s.st, "Sort", n)
+	return err
 }
 
 func (s *sortIter) Open() error {
+	if s.charged > 0 {
+		// Re-open: release the previous run's buffer charge.
+		s.ctx.releaseMem(s.charged)
+		s.charged = 0
+	}
+	s.pending = 0
+	governed := s.ctx.MemBudget > 0 || s.ctx.Faults != nil
 	if err := s.in.it.Open(); err != nil {
 		return err
 	}
@@ -660,6 +692,11 @@ func (s *sortIter) Open() error {
 		}
 		if !ok {
 			break
+		}
+		if governed {
+			if err := s.chargeRow(row); err != nil {
+				return err
+			}
 		}
 		s.rows = append(s.rows, row)
 	}
@@ -696,7 +733,15 @@ func (s *sortIter) Next() (types.Row, bool, error) {
 	return row, true, nil
 }
 
-func (s *sortIter) Close() error { return s.in.it.Close() }
+func (s *sortIter) Close() error {
+	if s.charged > 0 {
+		s.ctx.releaseMem(s.charged)
+		s.charged = 0
+	}
+	s.pending = 0
+	s.rows = nil
+	return s.in.it.Close()
+}
 
 // unionIter concatenates two inputs with positional column mapping.
 type unionIter struct {
@@ -731,11 +776,14 @@ func (u *unionIter) Next() (types.Row, bool, error) {
 	return mapRow(row, u.rsel), true, nil
 }
 
+// Close closes both sides even when the first errors, so a failing
+// (or fault-injected) close cannot leak the other input's resources.
 func (u *unionIter) Close() error {
-	if err := u.l.it.Close(); err != nil {
-		return err
+	err := u.l.it.Close()
+	if rerr := u.r.it.Close(); err == nil {
+		err = rerr
 	}
-	return u.r.it.Close()
+	return err
 }
 
 func mapRow(row types.Row, sel []int) types.Row {
@@ -834,11 +882,13 @@ func (d *differenceIter) Next() (types.Row, bool, error) {
 	return row, true, nil
 }
 
+// Close closes both sides even when the first errors (see unionIter).
 func (d *differenceIter) Close() error {
-	if err := d.l.it.Close(); err != nil {
-		return err
+	err := d.l.it.Close()
+	if rerr := d.r.it.Close(); err == nil {
+		err = rerr
 	}
-	return d.r.it.Close()
+	return err
 }
 
 // segmentApplyIter materializes its input, partitions it by the

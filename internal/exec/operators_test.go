@@ -59,6 +59,10 @@ func TestApplySpoolsUncorrelatedInner(t *testing.T) {
 	var walk func(it iterator)
 	walk = func(it iterator) {
 		switch x := it.(type) {
+		case *guardIter:
+			walk(x.in)
+		case *traceIter:
+			walk(x.in)
 		case *applyIter:
 			if _, ok := x.right.it.(*spoolIter); ok {
 				found = true
@@ -107,6 +111,10 @@ func TestCorrelatedInnerNotSpooled(t *testing.T) {
 	var walk func(it iterator)
 	walk = func(it iterator) {
 		switch x := it.(type) {
+		case *guardIter:
+			walk(x.in)
+		case *traceIter:
+			walk(x.in)
 		case *applyIter:
 			if _, ok := x.right.it.(*spoolIter); ok {
 				spooled = true

@@ -258,7 +258,7 @@ type exchangeIter struct {
 	st      *OpStats
 
 	src      *morselSource
-	batches  chan []types.Row
+	batches  chan exBatch
 	cancel   chan struct{}
 	stopOnce *sync.Once
 	errMu    sync.Mutex
@@ -266,6 +266,15 @@ type exchangeIter struct {
 
 	cur []types.Row
 	pos int
+}
+
+// exBatch is one worker-to-consumer hand-off: the rows plus their
+// accounted bytes (released when the consumer takes ownership). The
+// exchange buffer is bounded — workers*2 batches in the channel — so
+// its memory is tracked against the budget but never spilled.
+type exBatch struct {
+	rows  []types.Row
+	bytes int64
 }
 
 func (e *exchangeIter) fail(err error) {
@@ -293,7 +302,7 @@ func (e *exchangeIter) Open() error {
 		return fmtErrNoTable(e.driver.Table)
 	}
 	e.src = newMorselSource(total)
-	e.batches = make(chan []types.Row, e.workers*2)
+	e.batches = make(chan exBatch, e.workers*2)
 	e.cancel = make(chan struct{})
 	e.stopOnce = &sync.Once{}
 	e.firstErr = nil
@@ -321,6 +330,14 @@ func (e *exchangeIter) Open() error {
 }
 
 func (e *exchangeIter) runWorker() {
+	// Panics in the worker's own machinery (operator panics are already
+	// contained by guardIter) must surface as the exchange's error, not
+	// crash the process from a bare goroutine.
+	defer func() {
+		if r := recover(); r != nil {
+			e.fail(recovered("exchange-worker", e.ctx.Fingerprint, r))
+		}
+	}()
 	wctx, n, err := spawnWorker(e.ctx, e.rel, e.driver, e.src)
 	_ = wctx
 	if err != nil {
@@ -328,20 +345,32 @@ func (e *exchangeIter) runWorker() {
 		return
 	}
 	if err := n.it.Open(); err != nil {
+		n.it.Close()
 		e.fail(err)
 		return
 	}
 	defer n.it.Close()
+	governed := e.ctx.MemBudget > 0 || e.ctx.Faults != nil
 	batch := make([]types.Row, 0, exchangeBatch)
 	flush := func() bool {
 		if len(batch) == 0 {
 			return true
 		}
+		var bb int64
+		if governed {
+			for _, r := range batch {
+				bb += rowBytes(r)
+			}
+			e.ctx.noteMem(e.st, bb)
+		}
 		select {
-		case e.batches <- batch:
+		case e.batches <- exBatch{rows: batch, bytes: bb}:
 			batch = make([]types.Row, 0, exchangeBatch)
 			return true
 		case <-e.cancel:
+			if bb > 0 {
+				e.ctx.releaseMem(bb)
+			}
 			return false
 		}
 	}
@@ -403,7 +432,10 @@ func (e *exchangeIter) NextBatch(b *Batch) error {
 		b.setEmpty()
 		return nil
 	}
-	b.Rows, b.Sel = batch, nil
+	if batch.bytes > 0 {
+		e.ctx.releaseMem(batch.bytes)
+	}
+	b.Rows, b.Sel = batch.rows, nil
 	return nil
 }
 
@@ -421,7 +453,10 @@ func (e *exchangeIter) Next() (types.Row, bool, error) {
 			}
 			return nil, false, nil
 		}
-		e.cur, e.pos = batch, 0
+		if batch.bytes > 0 {
+			e.ctx.releaseMem(batch.bytes)
+		}
+		e.cur, e.pos = batch.rows, 0
 	}
 }
 
@@ -430,7 +465,10 @@ func (e *exchangeIter) Close() error {
 		e.stop()
 		// Drain so blocked workers exit; the closer goroutine closes
 		// the channel once all workers are done.
-		for range e.batches {
+		for batch := range e.batches {
+			if batch.bytes > 0 {
+				e.ctx.releaseMem(batch.bytes)
+			}
 		}
 		e.batches = nil
 	}
@@ -463,51 +501,154 @@ func (p *parallelAggIter) Open() error {
 		p.st.Workers = int64(p.workers)
 	}
 	type aggResult struct {
-		tbl *aggTable
-		err error
+		tbl  *aggTable
+		ords map[algebra.ColID]int
+		err  error
 	}
 	results := make(chan aggResult, p.workers)
 	sizeHint := estimateGroups(p.ctx, p.gb, estimateRows(p.ctx, p.gb.Input))
 	for w := 0; w < p.workers; w++ {
 		go func() {
+			var res aggResult
+			defer func() {
+				// Contain panics from the worker's own machinery and
+				// always deliver a result so the coordinator never hangs.
+				if r := recover(); r != nil {
+					res = aggResult{err: recovered("agg-worker", p.ctx.Fingerprint, r)}
+				}
+				results <- res
+			}()
 			wctx, n, err := spawnWorker(p.ctx, p.gb.Input, p.driver, src)
 			if err != nil {
-				results <- aggResult{err: err}
+				res.err = err
 				return
 			}
 			if err := n.it.Open(); err != nil {
-				results <- aggResult{err: err}
+				n.it.Close()
+				res.err = err
 				return
 			}
 			tbl := newAggTable(p.gb.GroupCols.Len(), len(p.gb.Aggs), sizeHint)
+			tbl.govern(wctx, p.st, 0)
 			if fns := compileAggArgs(wctx, n, p.gb); fns != nil {
 				err = tbl.consumeBatch(wctx, n, p.gb, fns)
 			} else {
 				err = tbl.consume(wctx, n, p.gb)
 			}
-			n.it.Close()
-			results <- aggResult{tbl: tbl, err: err}
+			if cerr := n.it.Close(); err == nil {
+				err = cerr
+			}
+			res = aggResult{tbl: tbl, ords: n.ords, err: err}
 		}()
 	}
+	// Merge partial tables. Workers share the query budget, so a worker
+	// that crossed it holds resident partials plus raw-row spill files
+	// for its unseen groups; the merged table seeds from every worker's
+	// partials (those groups stay resident and complete) and the spill
+	// files drain through the merged table afterwards — a group spilled
+	// by one worker but resident in another simply keeps aggregating in
+	// place.
 	merged := newAggTable(p.gb.GroupCols.Len(), len(p.gb.Aggs), sizeHint)
+	merged.govern(p.ctx, p.st, 0)
 	var firstErr error
+	var spilled []*spillSet
+	var ords map[algebra.ColID]int
 	for w := 0; w < p.workers; w++ {
 		r := <-results
-		if r.err != nil {
-			if firstErr == nil {
-				firstErr = r.err
-			}
+		if r.err != nil && firstErr == nil {
+			firstErr = r.err
+		}
+		if r.tbl == nil {
 			continue
 		}
-		merged.merge(r.tbl, p.gb)
+		if r.err == nil {
+			merged.merge(r.tbl, p.gb)
+			if r.tbl.spill != nil {
+				spilled = append(spilled, r.tbl.spill)
+				r.tbl.spill = nil
+			}
+			ords = r.ords
+		} else if r.tbl.spill != nil {
+			r.tbl.spill.dropAll()
+			r.tbl.spill = nil
+		}
+		r.tbl.release()
 	}
 	if p.st != nil {
 		p.st.Morsels = src.claimed.Load()
 	}
+	fail := func(err error) error {
+		for _, ss := range spilled {
+			ss.dropAll()
+		}
+		if merged.spill != nil {
+			merged.spill.dropAll()
+			merged.spill = nil
+		}
+		merged.release()
+		return err
+	}
 	if firstErr != nil {
-		return firstErr
+		return fail(firstErr)
+	}
+	var keyOrds []int
+	if len(spilled) > 0 {
+		groupCols := p.gb.GroupCols.Ordered()
+		keyOrds = make([]int, len(groupCols))
+		for i, c := range groupCols {
+			o, ok := ords[c]
+			if !ok {
+				return fail(fmt.Errorf("exec: grouping column %d missing from worker input", c))
+			}
+			keyOrds[i] = o
+		}
+		env := rowEnv{ctx: p.ctx, ords: ords}
+		scratch := make(types.Row, len(keyOrds))
+		for _, ss := range spilled {
+			if err := ss.finish(); err != nil {
+				return fail(err)
+			}
+			for i, f := range ss.parts {
+				if f == nil {
+					continue
+				}
+				rd, err := f.reader()
+				if err != nil {
+					return fail(err)
+				}
+				for {
+					row, ok, err := rd.next()
+					if err != nil {
+						rd.close()
+						return fail(err)
+					}
+					if !ok {
+						break
+					}
+					if err := p.ctx.charge(); err != nil {
+						rd.close()
+						return fail(err)
+					}
+					if err := merged.accumSpilled(p.ctx, p.gb, keyOrds, scratch, &env, row); err != nil {
+						rd.close()
+						return fail(err)
+					}
+				}
+				rd.close()
+				f.drop(p.ctx)
+				ss.parts[i] = nil
+			}
+		}
 	}
 	p.out = merged.render(p.gb, p.out)
+	if merged.spill != nil {
+		var err error
+		p.out, err = merged.drainSpill(p.ctx, p.gb, keyOrds, ords, p.out)
+		if err != nil {
+			return fail(err)
+		}
+	}
+	merged.release()
 	p.pos = 0
 	return nil
 }

@@ -27,6 +27,30 @@ type OpStats struct {
 	// morsels dispatched across them.
 	Workers int64
 	Morsels int64
+	// MemBytes is the operator's accounted working-state memory
+	// (cumulative grants; hash tables and sort buffers release at the
+	// end, so this reads as the operator's own high-water mark).
+	// Updated atomically — parallel workers share one OpStats.
+	MemBytes int64
+	// Spills counts spill episodes this operator took (a hash
+	// aggregation or join build crossing the memory budget).
+	Spills int64
+}
+
+// traceStats returns the stats slot for a logical node, creating it
+// when tracing is enabled; nil otherwise. Used by operators that
+// report memory and spill behavior from inside (the generic traceIter
+// wrapper cannot see operator internals).
+func (c *Context) traceStats(rel algebra.Rel) *OpStats {
+	if c.trace == nil {
+		return nil
+	}
+	st, ok := c.trace[rel]
+	if !ok {
+		st = &OpStats{}
+		c.trace[rel] = st
+	}
+	return st
 }
 
 // EnableTrace turns on per-operator statistics collection for plans
@@ -104,6 +128,9 @@ func (c *Context) FormatTrace(rel algebra.Rel) string {
 			if st.Batches > 0 {
 				fmt.Fprintf(&b, " (batches=%d rows/batch=%.1f)",
 					st.Batches, float64(st.Rows)/float64(st.Batches))
+			}
+			if st.MemBytes > 0 || st.Spills > 0 {
+				fmt.Fprintf(&b, " (mem=%d spills=%d)", st.MemBytes, st.Spills)
 			}
 		}
 		b.WriteByte('\n')

@@ -19,7 +19,9 @@
 package orthoq
 
 import (
+	"context"
 	"fmt"
+	"hash/fnv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -29,6 +31,7 @@ import (
 	"orthoq/internal/algebrize"
 	"orthoq/internal/core"
 	"orthoq/internal/exec"
+	"orthoq/internal/exec/faultinject"
 	"orthoq/internal/opt"
 	"orthoq/internal/plancache"
 	"orthoq/internal/sql/ast"
@@ -39,6 +42,22 @@ import (
 	"orthoq/internal/storage"
 	"orthoq/internal/tpch"
 )
+
+// Typed execution errors, re-exported from the engine. Classify
+// failures with errors.Is: every governance abort — row budget, memory
+// budget with spilling disabled, cancellation, deadline, contained
+// operator panic — wraps exactly one of these sentinels.
+var (
+	ErrRowBudget = exec.ErrRowBudget
+	ErrMemBudget = exec.ErrMemBudget
+	ErrCanceled  = exec.ErrCanceled
+	ErrTimeout   = exec.ErrTimeout
+	ErrInternal  = exec.ErrInternal
+)
+
+// InternalError is a contained operator panic (wraps ErrInternal); it
+// carries the operator name and plan fingerprint for bug reports.
+type InternalError = exec.InternalError
 
 // Value is a SQL datum (NULL-aware tagged union).
 type Value = types.Datum
@@ -103,6 +122,59 @@ type Config struct {
 	// PlanCache configures the parameterized plan cache consulted by
 	// Query/QueryCfg. The zero value enables it with defaults.
 	PlanCache PlanCacheConfig
+
+	// Timeout, when positive, bounds each query execution; expiry
+	// surfaces as an error wrapping ErrTimeout. Combine with
+	// QueryContext for caller-driven cancellation.
+	Timeout time.Duration
+	// MemBudget, when positive, caps the bytes of operator working
+	// state (hash-join builds, aggregation tables, sort buffers,
+	// exchange buffers) across all workers of a query. Hash joins and
+	// hash aggregations degrade to partitioned temp-file (Grace-style)
+	// execution at the cap; results are identical, only speed differs.
+	MemBudget int64
+	// DisableSpill makes MemBudget a hard cap: instead of spilling, an
+	// operator that would exceed it aborts with ErrMemBudget.
+	DisableSpill bool
+	// SpillDir is the directory for spill partition files ("" = the
+	// system temp directory). Files are always removed by the end of
+	// the run, error or not.
+	SpillDir string
+	// RowBudget, when positive, aborts execution after this many
+	// operator-row productions with ErrRowBudget — a guard against
+	// runaway plans.
+	RowBudget int64
+
+	// faults installs the test-only fault-injection harness; it is
+	// deliberately unexported (set by tests in this package) and, like
+	// the other run-time knobs above, is not part of the plan identity.
+	faults *faultinject.Injector
+}
+
+// runOpts carries the per-run governance knobs. They are execution
+// state, not plan identity: a cached plan compiled once is shared by
+// runs with different budgets, timeouts, and fault rules, so none of
+// these may live on prepared or appear in planKey.
+type runOpts struct {
+	ctx          context.Context
+	timeout      time.Duration
+	memBudget    int64
+	disableSpill bool
+	spillDir     string
+	rowBudget    int64
+	faults       *faultinject.Injector
+}
+
+func (c Config) execOpts(ctx context.Context) runOpts {
+	return runOpts{
+		ctx:          ctx,
+		timeout:      c.Timeout,
+		memBudget:    c.MemBudget,
+		disableSpill: c.DisableSpill,
+		spillDir:     c.SpillDir,
+		rowBudget:    c.RowBudget,
+		faults:       c.faults,
+	}
 }
 
 // PlanCacheConfig sizes the per-DB plan cache. The cache is created on
@@ -324,6 +396,13 @@ type Rows struct {
 	// (reused a cached plan, re-binding literals), "miss" (compiled and
 	// cached), or "bypass" (cache disabled or shape uncacheable).
 	Cache string
+	// PeakMemBytes is the high-water mark of accounted operator working
+	// memory (hash tables, sort buffers, exchange buffers) during
+	// execution.
+	PeakMemBytes int64
+	// Spills counts spill partition files written during execution
+	// (non-zero only when MemBudget forced operators to disk).
+	Spills int64
 }
 
 // Table renders the result as an aligned text table.
@@ -382,24 +461,35 @@ func (r *Rows) Table() string {
 type Stmt struct {
 	db    *DB
 	prep  *prepared
+	cfg   Config
 	epoch uint64
 }
 
 // Prepare compiles SQL under cfg once; Run executes it repeatedly
 // without re-optimizing. The returned Stmt is safe for concurrent use:
 // the prepared state is read-only at run time and every Run builds a
-// private execution context.
+// private execution context. cfg's governance knobs (Timeout,
+// MemBudget, ...) apply to every Run; a run that fails — canceled,
+// over budget, even a contained panic — leaves the Stmt fully
+// reusable.
 func (db *DB) Prepare(sql string, cfg Config) (*Stmt, error) {
 	prep, err := db.prepare(sql, cfg)
 	if err != nil {
 		return nil, err
 	}
-	return &Stmt{db: db, prep: prep, epoch: db.epoch.Load()}, nil
+	return &Stmt{db: db, prep: prep, cfg: cfg, epoch: db.epoch.Load()}, nil
 }
 
 // Run executes the prepared plan.
 func (s *Stmt) Run() (*Rows, error) {
-	return s.prep.run(s.db, nil, "")
+	return s.prep.run(s.db, nil, "", s.cfg.execOpts(nil))
+}
+
+// RunContext executes the prepared plan under a caller-supplied
+// context: cancellation surfaces as an error wrapping ErrCanceled,
+// deadline expiry as ErrTimeout.
+func (s *Stmt) RunContext(ctx context.Context) (*Rows, error) {
+	return s.prep.run(s.db, nil, "", s.cfg.execOpts(ctx))
 }
 
 // Stale reports whether the database epoch moved since Prepare
@@ -421,18 +511,34 @@ func (db *DB) Query(sql string) (*Rows, error) {
 	return db.QueryCfg(sql, DefaultConfig())
 }
 
+// QueryContext is Query under a caller-supplied context: cancellation
+// surfaces as an error wrapping ErrCanceled, deadline expiry as
+// ErrTimeout.
+func (db *DB) QueryContext(ctx context.Context, sql string) (*Rows, error) {
+	return db.QueryCfgContext(ctx, sql, DefaultConfig())
+}
+
 // QueryCfg runs SQL under an explicit optimization configuration,
 // consulting the plan cache unless cfg.PlanCache.Disabled: repeated
 // queries differing only in literal values reuse the optimized plan,
 // skipping parse/normalize/optimize entirely on a hit.
 func (db *DB) QueryCfg(sql string, cfg Config) (*Rows, error) {
+	return db.QueryCfgContext(nil, sql, cfg)
+}
+
+// QueryCfgContext is QueryCfg under a caller-supplied context. The
+// context and cfg's governance knobs are pure run state: they never
+// affect the cached plan or its key, so the same cached plan serves
+// runs with different budgets and deadlines.
+func (db *DB) QueryCfgContext(goCtx context.Context, sql string, cfg Config) (*Rows, error) {
+	opts := cfg.execOpts(goCtx)
 	if cfg.PlanCache.Disabled {
 		db.disabledBypasses.Add(1)
 		prep, err := db.prepare(sql, cfg)
 		if err != nil {
 			return nil, err
 		}
-		return prep.run(db, nil, "bypass")
+		return prep.run(db, nil, "bypass", opts)
 	}
 	c := db.planCache(cfg)
 	shape, lits, err := plancache.Fingerprint(sql)
@@ -444,7 +550,7 @@ func (db *DB) QueryCfg(sql string, cfg Config) (*Rows, error) {
 		if perr != nil {
 			return nil, perr
 		}
-		return prep.run(db, nil, "bypass")
+		return prep.run(db, nil, "bypass", opts)
 	}
 	key := shape + "\x00" + cfg.planKey()
 	epoch := db.epoch.Load()
@@ -455,14 +561,14 @@ func (db *DB) QueryCfg(sql string, cfg Config) (*Rows, error) {
 			if perr != nil {
 				return nil, perr
 			}
-			return prep.run(db, nil, "bypass")
+			return prep.run(db, nil, "bypass", opts)
 		}
 		if params, vkey, ok := plancache.Bind(fam.Positions, lits); ok {
 			if v := fam.Variant(vkey); v != nil {
 				bkey := plancache.BucketKey(v.Descs, db.statsNow(), params)
 				if p, found := v.Plan(bkey); found {
 					c.CountHit()
-					return p.(*prepared).run(db, params, "hit")
+					return p.(*prepared).run(db, params, "hit", opts)
 				}
 			}
 			// Known shape, new variant or bucket: compile with the new
@@ -476,11 +582,11 @@ func (db *DB) QueryCfg(sql string, cfg Config) (*Rows, error) {
 			if perr != nil {
 				return nil, perr
 			}
-			return prep.run(db, nil, "bypass")
+			return prep.run(db, nil, "bypass", opts)
 		}
 	}
 	c.CountMiss()
-	return db.compileStoreRun(sql, cfg, c, key, epoch, lits)
+	return db.compileStoreRun(sql, cfg, c, key, epoch, lits, opts)
 }
 
 // compileStoreRun is the cache-miss path: parse, parameterize, compile
@@ -489,7 +595,7 @@ func (db *DB) QueryCfg(sql string, cfg Config) (*Rows, error) {
 // uncacheable and falls back to the classic pipeline — never to an
 // error the uncached path would not also produce.
 func (db *DB) compileStoreRun(sql string, cfg Config, c *plancache.Cache,
-	key string, epoch uint64, lits []plancache.Lit) (*Rows, error) {
+	key string, epoch uint64, lits []plancache.Lit, opts runOpts) (*Rows, error) {
 
 	uncacheable := func() (*Rows, error) {
 		c.StoreUncacheable(key, epoch)
@@ -497,7 +603,7 @@ func (db *DB) compileStoreRun(sql string, cfg Config, c *plancache.Cache,
 		if err != nil {
 			return nil, err
 		}
-		return prep.run(db, nil, "miss")
+		return prep.run(db, nil, "miss", opts)
 	}
 
 	q, err := parser.Parse(sql)
@@ -521,7 +627,7 @@ func (db *DB) compileStoreRun(sql string, cfg Config, c *plancache.Cache,
 		approxPlanBytes(prep), func(authoritative []plancache.Descriptor) string {
 			return plancache.BucketKey(authoritative, sc, pz.Params)
 		})
-	return prep.run(db, pz.Params, "miss")
+	return prep.run(db, pz.Params, "miss", opts)
 }
 
 // approxPlanBytes estimates a prepared plan's memory footprint for the
@@ -549,6 +655,16 @@ type prepared struct {
 	cost     float64
 	par      int
 	noBatch  bool
+	// fingerprint identifies the plan in contained-panic reports
+	// (FNV-64a over the plan rendering).
+	fingerprint string
+}
+
+// planFingerprint hashes the plan text into a short stable identifier.
+func planFingerprint(md *algebra.Metadata, rel algebra.Rel) string {
+	h := fnv.New64a()
+	h.Write([]byte(algebra.FormatRel(md, rel)))
+	return fmt.Sprintf("%016x", h.Sum64())
 }
 
 func (db *DB) prepare(sql string, cfg Config) (*prepared, error) {
@@ -579,6 +695,7 @@ func (db *DB) prepareAST(q ast.Query, cfg Config, params []types.Datum) (*prepar
 		r := o.Optimize(rel, correlatedSeed(md, res.Rel, cfg)...)
 		p.plan, p.steps, p.cost = r.Plan, r.Explored, r.Cost
 	}
+	p.fingerprint = planFingerprint(md, p.plan)
 	return p, nil
 }
 
@@ -599,21 +716,48 @@ func correlatedSeed(md *algebra.Metadata, algebrized algebra.Rel, cfg Config) []
 	return []algebra.Rel{seed}
 }
 
-func (p *prepared) run(db *DB, params []types.Datum, cacheStatus string) (*Rows, error) {
-	return p.runTraced(db, params, cacheStatus, false)
+func (p *prepared) run(db *DB, params []types.Datum, cacheStatus string, opts runOpts) (*Rows, error) {
+	return p.runTraced(db, params, cacheStatus, false, opts)
 }
 
-// runTraced executes the plan. The prepared value is strictly
-// read-only here: per-run state (parameter bindings, evaluator,
-// tracing) lives in a fresh exec.Context, which is what makes one
-// prepared plan shareable between the cache and concurrent Stmt.Run
-// callers.
-func (p *prepared) runTraced(db *DB, params []types.Datum, cacheStatus string, trace bool) (*Rows, error) {
+// execContext builds the per-run execution context from the prepared
+// plan's execution-strategy knobs (plan identity) and the caller's
+// governance knobs (run state). The returned cancel func is non-nil
+// when a Timeout installed a deadline.
+func (p *prepared) execContext(db *DB, params []types.Datum, opts runOpts) (*exec.Context, context.CancelFunc) {
 	ctx := exec.NewContext(db.store, p.md)
 	ctx.Stats = db.statsNow()
 	ctx.Parallelism = p.par
 	ctx.Params = params
 	ctx.DisableBatch = p.noBatch
+	ctx.RowBudget = opts.rowBudget
+	ctx.MemBudget = opts.memBudget
+	ctx.DisableSpill = opts.disableSpill
+	ctx.SpillDir = opts.spillDir
+	ctx.Faults = opts.faults
+	ctx.Fingerprint = p.fingerprint
+	goCtx := opts.ctx
+	var cancel context.CancelFunc
+	if opts.timeout > 0 {
+		if goCtx == nil {
+			goCtx = context.Background()
+		}
+		goCtx, cancel = context.WithTimeout(goCtx, opts.timeout)
+	}
+	ctx.Ctx = goCtx
+	return ctx, cancel
+}
+
+// runTraced executes the plan. The prepared value is strictly
+// read-only here: per-run state (parameter bindings, evaluator,
+// tracing, budgets) lives in a fresh exec.Context, which is what makes
+// one prepared plan shareable between the cache and concurrent
+// Stmt.Run callers.
+func (p *prepared) runTraced(db *DB, params []types.Datum, cacheStatus string, trace bool, opts runOpts) (*Rows, error) {
+	ctx, cancel := p.execContext(db, params, opts)
+	if cancel != nil {
+		defer cancel()
+	}
 	if trace {
 		ctx.EnableTrace()
 	}
@@ -630,11 +774,76 @@ func (p *prepared) runTraced(db *DB, params []types.Datum, cacheStatus string, t
 		OptimizerSteps: p.steps,
 		EstimatedCost:  p.cost,
 		Cache:          cacheStatus,
+		PeakMemBytes:   out.PeakMem,
+		Spills:         out.Spills,
 	}
 	if trace {
 		r.Trace = ctx.FormatTrace(p.plan)
 	}
 	return r, nil
+}
+
+// Stream is an incremental query result: rows are pulled one at a
+// time instead of materialized. Close may be called before exhaustion
+// — it tears the execution tree down (stopping and draining any
+// parallel workers, removing spill files) and is idempotent. A Stream
+// must always be Closed.
+type Stream struct {
+	cu     *exec.Cursor
+	cancel context.CancelFunc
+	names  []string
+}
+
+// QueryStream runs SQL under cfg and returns a streaming result. The
+// plan cache is not consulted (streams are for large results, where
+// execution dominates compilation).
+func (db *DB) QueryStream(sql string, cfg Config) (*Stream, error) {
+	return db.QueryStreamContext(nil, sql, cfg)
+}
+
+// QueryStreamContext is QueryStream under a caller-supplied context;
+// canceling it makes the next Next return an error wrapping
+// ErrCanceled.
+func (db *DB) QueryStreamContext(goCtx context.Context, sql string, cfg Config) (*Stream, error) {
+	prep, err := db.prepare(sql, cfg)
+	if err != nil {
+		return nil, err
+	}
+	ctx, cancel := prep.execContext(db, nil, cfg.execOpts(goCtx))
+	cu, err := exec.RunCursor(ctx, prep.plan, prep.outCols)
+	if err != nil {
+		if cancel != nil {
+			cancel()
+		}
+		return nil, err
+	}
+	return &Stream{cu: cu, cancel: cancel,
+		names: append([]string(nil), prep.outNames...)}, nil
+}
+
+// Columns returns the result column names.
+func (s *Stream) Columns() []string { return s.names }
+
+// Next returns the next row; ok=false at end of stream. After an
+// error, Close, or exhaustion it keeps returning ok=false.
+func (s *Stream) Next() (Row, bool, error) { return s.cu.Next() }
+
+// PeakMemBytes reports the high-water mark of accounted operator
+// memory so far.
+func (s *Stream) PeakMemBytes() int64 { return s.cu.PeakMem() }
+
+// Spills reports spill partition files written so far.
+func (s *Stream) Spills() int64 { return s.cu.Spills() }
+
+// Close releases all execution resources. Safe to call at any point,
+// any number of times.
+func (s *Stream) Close() error {
+	err := s.cu.Close()
+	if s.cancel != nil {
+		s.cancel()
+		s.cancel = nil
+	}
+	return err
 }
 
 // QueryAnalyze runs SQL under cfg with per-operator execution
@@ -646,7 +855,7 @@ func (db *DB) QueryAnalyze(sql string, cfg Config) (*Rows, error) {
 	if err != nil {
 		return nil, err
 	}
-	return prep.runTraced(db, nil, "bypass", true)
+	return prep.runTraced(db, nil, "bypass", true, cfg.execOpts(nil))
 }
 
 // Explain compiles a query under cfg and reports each compilation

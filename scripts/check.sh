@@ -15,4 +15,10 @@ go build ./...
 # before the full suite runs.
 go test -run TestBatchRowEquivalence -race .
 
+# Governance leg: the fault-injection property sweep, spill-vs-unbounded
+# equivalence, and the goroutine/spill-file leak checks, under -race.
+# These catch lifecycle bugs (stranded workers, unreleased memory,
+# orphaned spill partitions) that the equivalence suites can't see.
+go test -run 'TestTypedErrors|TestFaultInjection|TestSpill|TestStream|TestCancel|TestCacheSurvivesFailedRuns|TestStmtReusableAfterFailure' -race .
+
 go test -race ./...
