@@ -10,6 +10,7 @@
 //	orthoq-bench -exp figure9 -sfs 0.002,0.005,0.01,0.02
 //	orthoq-bench -exp batch -sf 0.05 -json
 //	orthoq-bench -exp batch -cpuprofile cpu.out -memprofile mem.out
+//	orthoq-bench -exp obs -json
 package main
 
 import (
@@ -25,7 +26,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: figure1|figure8|figure9|ablation|parallel|cache|batch|spill|all")
+	exp := flag.String("exp", "all", "experiment: figure1|figure8|figure9|ablation|parallel|cache|batch|spill|obs|all")
 	sf := flag.Float64("sf", 0.01, "TPC-H scale factor for figure1/figure8/ablation/parallel/batch")
 	sfList := flag.String("sfs", "0.002,0.005,0.01,0.02", "comma-separated scale factors for figure9")
 	seed := flag.Int64("seed", 1, "data generator seed")
@@ -92,9 +93,10 @@ func main() {
 	run("cache", func() error { return bench.RunCache(os.Stdout, *sf, *seed, *reps, *jsonOut) })
 	run("batch", func() error { return bench.RunBatch(os.Stdout, openDB(), *reps, *jsonOut) })
 	run("spill", func() error { return bench.RunSpill(os.Stdout, openDB(), *reps, *jsonOut) })
+	run("obs", func() error { return bench.RunObs(os.Stdout, openDB(), *reps, *jsonOut) })
 
 	if !ran {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q (want figure1|figure8|figure9|ablation|parallel|cache|batch|spill|all)\n", *exp)
+		fmt.Fprintf(os.Stderr, "unknown experiment %q (want figure1|figure8|figure9|ablation|parallel|cache|batch|spill|obs|all)\n", *exp)
 		os.Exit(2)
 	}
 

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"encoding/json"
 	"io"
 	"strings"
 	"testing"
@@ -85,5 +86,41 @@ func TestSystemConfigsLadder(t *testing.T) {
 	}
 	if systems[0].Name != "correlated-only" || systems[4].Name != "full-optimization" {
 		t.Errorf("ladder order: %s ... %s", systems[0].Name, systems[4].Name)
+	}
+}
+
+func TestRunObsSmoke(t *testing.T) {
+	db := tinyDB(t)
+	var sb strings.Builder
+	if err := RunObs(&sb, db, 1, false); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Q2", "Q17", "operator", "self"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("obs output missing %q:\n%s", want, sb.String())
+		}
+	}
+
+	// JSON mode: one parseable line per query, each carrying a span
+	// tree whose root row count matches the reported total.
+	sb.Reset()
+	if err := RunObs(&sb, db, 2, true); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("obs -json emitted %d lines, want 2:\n%s", len(lines), sb.String())
+	}
+	for _, line := range lines {
+		var r ObsResult
+		if err := json.Unmarshal([]byte(line), &r); err != nil {
+			t.Fatalf("bad JSON line: %v\n%s", err, line)
+		}
+		if r.Experiment != "obs" || r.Spans == nil {
+			t.Errorf("incomplete obs record: %+v", r)
+		}
+		if r.Spans.Rows != int64(r.Rows) {
+			t.Errorf("%s: root span rows=%d, record rows=%d", r.Query, r.Spans.Rows, r.Rows)
+		}
 	}
 }

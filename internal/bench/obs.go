@@ -1,0 +1,120 @@
+// Observability experiment: per-operator span trees for the paper's
+// Figure-9 queries (Q2, Q17). Where the other experiments report one
+// elapsed time per plan, this one breaks the median-rep execution down
+// by operator — rows, opens, inclusive and self time, memory, spills —
+// so plan-level regressions can be localized to the operator that
+// moved. JSON mode emits the full span tree per query for recording
+// across revisions.
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"orthoq/internal/core"
+	"orthoq/internal/exec"
+	"orthoq/internal/obs"
+	"orthoq/internal/opt"
+	"orthoq/internal/tpch"
+)
+
+// ObsResult is the machine-readable form of one traced execution.
+type ObsResult struct {
+	Experiment string    `json:"experiment"`
+	Query      string    `json:"query"`
+	SF         float64   `json:"sf"`
+	NsPerOp    int64     `json:"ns_per_op"`
+	Rows       int       `json:"rows"`
+	Spans      *obs.Span `json:"spans"`
+}
+
+// ExecuteTraced runs the plan with span collection on and returns the
+// span tree alongside the usual row count and elapsed time.
+func (p *Plan) ExecuteTraced(db *DB) (rows int, elapsed time.Duration, spans *obs.Span, err error) {
+	ctx := exec.NewContext(db.Store, p.Md)
+	ctx.Stats = db.Stats
+	ctx.EnableTrace()
+	start := time.Now()
+	res, err := exec.Run(ctx, p.Rel, p.Out)
+	if err != nil {
+		return 0, 0, nil, fmt.Errorf("%s: %w", p.Name, err)
+	}
+	return len(res.Rows), time.Since(start), ctx.Spans(p.Rel), nil
+}
+
+// RunObs traces Q2 and Q17 under the full optimizer and reports the
+// per-operator breakdown of the median-time repetition.
+func RunObs(w io.Writer, db *DB, reps int, jsonOut bool) error {
+	if !jsonOut {
+		fmt.Fprintf(w, "== per-operator spans: Q2/Q17 under the full optimizer (SF %g) ==\n\n", db.SF)
+	}
+	enc := json.NewEncoder(w)
+	for _, name := range []string{"Q2", "Q17"} {
+		plan, err := compile(db, name, tpch.Queries[name], core.Options{}, nil)
+		if err != nil {
+			return err
+		}
+		plan = optimize(db, plan, opt.Config{})
+
+		// Keep the spans of the median-duration rep so the reported
+		// breakdown is the one whose total we report.
+		type rep struct {
+			rows    int
+			elapsed time.Duration
+			spans   *obs.Span
+		}
+		if reps < 1 {
+			reps = 1
+		}
+		runs := make([]rep, 0, reps)
+		for i := 0; i < reps; i++ {
+			rows, d, spans, err := plan.ExecuteTraced(db)
+			if err != nil {
+				return err
+			}
+			runs = append(runs, rep{rows: rows, elapsed: d, spans: spans})
+		}
+		sort.Slice(runs, func(i, j int) bool { return runs[i].elapsed < runs[j].elapsed })
+		best := runs[len(runs)/2]
+
+		if jsonOut {
+			if err := enc.Encode(ObsResult{Experiment: "obs", Query: name, SF: db.SF,
+				NsPerOp: best.elapsed.Nanoseconds(), Rows: best.rows, Spans: best.spans}); err != nil {
+				return err
+			}
+			continue
+		}
+		fmt.Fprintf(w, "%s: %d rows in %s\n", name, best.rows, fmtDur(best.elapsed))
+		tab := &table{header: []string{"operator", "rows", "opens", "busy", "self", "mem", "spills"}}
+		writeSpanRows(tab, best.spans, 0)
+		tab.write(w)
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+func writeSpanRows(tab *table, s *obs.Span, depth int) {
+	if s == nil {
+		return
+	}
+	mem := ""
+	if s.MemBytes > 0 {
+		mem = fmt.Sprintf("%dKB", s.MemBytes/1024)
+	}
+	spills := ""
+	if s.Spills > 0 {
+		spills = fmt.Sprint(s.Spills)
+	}
+	indent := ""
+	for i := 0; i < depth; i++ {
+		indent += "  "
+	}
+	tab.add(indent+s.Op, fmt.Sprint(s.Rows), fmt.Sprint(s.Opens),
+		fmtDur(s.Busy), fmtDur(s.Self), mem, spills)
+	for _, c := range s.Children {
+		writeSpanRows(tab, c, depth+1)
+	}
+}

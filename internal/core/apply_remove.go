@@ -5,6 +5,33 @@ import (
 	"orthoq/internal/sql/types"
 )
 
+// Canonical names of the normalization rewrite rules (the Figure-4
+// Apply-removal identities plus outerjoin simplification), used by
+// Options.DisableRules/Record and the rule-level equivalence harness.
+const (
+	RuleApplyToJoin        = "ApplyToJoin"        // identities (1)/(2)
+	RuleApplySelect        = "ApplySelect"        // identity (3)
+	RuleApplyProject       = "ApplyProject"       // identity (4)
+	RuleApplyUnion         = "ApplyUnion"         // identity (5)
+	RuleApplyDifference    = "ApplyDifference"    // identity (6)
+	RuleApplyJoin          = "ApplyJoin"          // identity (7) + one-sided pushes
+	RuleApplyGroupBy       = "ApplyGroupBy"       // identity (8)
+	RuleApplyScalarGroupBy = "ApplyScalarGroupBy" // identity (9)
+	RuleApplySort          = "ApplySort"
+	RuleApplyDecompose     = "ApplyDecompose" // §1.3 common-subexpression form
+	RuleSimplifyOuterJoin  = "SimplifyOuterJoin"
+)
+
+// NormRuleNames lists every named normalization rule.
+func NormRuleNames() []string {
+	return []string{
+		RuleApplyToJoin, RuleApplySelect, RuleApplyProject, RuleApplyUnion,
+		RuleApplyDifference, RuleApplyJoin, RuleApplyGroupBy,
+		RuleApplyScalarGroupBy, RuleApplySort, RuleApplyDecompose,
+		RuleSimplifyOuterJoin,
+	}
+}
+
 // Options gates normalization features. The zero value matches the
 // paper's shipped behavior.
 type Options struct {
@@ -19,6 +46,22 @@ type Options struct {
 	KeepCorrelated bool
 	// KeepOuterJoins disables outerjoin simplification (ablation).
 	KeepOuterJoins bool
+	// DisableRules suppresses individual normalization rules by
+	// canonical name (the Rule* constants). A disabled identity leaves
+	// its Apply correlated; the executor still runs it, so results stay
+	// equivalent — the property the rule-level harness checks.
+	DisableRules map[string]bool
+	// Record, when set, is invoked with a rule's name each time that
+	// rewrite fires. Used to report which rules shaped a plan.
+	Record func(rule string)
+}
+
+func (o Options) disabled(name string) bool { return o.DisableRules[name] }
+
+func (o Options) record(name string) {
+	if o.Record != nil {
+		o.Record(name)
+	}
 }
 
 // RemoveApplies pushes Apply operators toward the leaves until the
@@ -47,16 +90,24 @@ func removeApply(md *algebra.Metadata, a *algebra.Apply, opts Options) algebra.R
 		leftCols := algebra.OutputCols(cur.Left)
 		if !algebra.OuterRefs(cur.Right).Intersects(leftCols) {
 			// Identities (1)/(2): no parameters resolved from R.
+			if opts.disabled(RuleApplyToJoin) {
+				return cur
+			}
+			opts.record(RuleApplyToJoin)
 			return applyToJoin(cur)
 		}
 		next, ok := pushApplyDown(md, cur, opts)
-		if !ok && opts.RemoveClass2 && cur.Kind != algebra.CrossJoin && cur.Kind != algebra.InnerJoin &&
+		if !ok && opts.RemoveClass2 && !opts.disabled(RuleApplyDecompose) &&
+			cur.Kind != algebra.CrossJoin && cur.Kind != algebra.InnerJoin &&
 			containsSetOp(cur.Right) {
 			// Class-2 fallback: decompose the non-cross Apply through a
 			// common subexpression, R A⊗ E = R ⊗_{R.key} (R A× E), so
 			// that identities (5)/(6) can handle the set operation
 			// under a cross Apply.
 			next, ok = decomposeApplyViaKeyJoin(md, cur)
+			if ok {
+				opts.record(RuleApplyDecompose)
+			}
 		}
 		if !ok {
 			return cur // remains correlated
@@ -94,30 +145,45 @@ func pushApplyDown(md *algebra.Metadata, a *algebra.Apply, opts Options) (algebr
 		// Fold the select into the Apply predicate: R A⊗on (σp E) =
 		// R A⊗(on∧p) E. Combined with the uncorrelated check this
 		// realizes identities (2) and (3) for every join variant.
+		if opts.disabled(RuleApplySelect) {
+			return nil, false
+		}
+		opts.record(RuleApplySelect)
 		n := *a
 		n.Right = r.Input
 		n.On = algebra.ConjoinAll(a.On, r.Filter)
 		return &n, true
 
 	case *algebra.Project:
-		return pushApplyThroughProject(md, a, r)
+		if opts.disabled(RuleApplyProject) {
+			return nil, false
+		}
+		nr, ok := pushApplyThroughProject(md, a, r)
+		if ok {
+			opts.record(RuleApplyProject)
+		}
+		return nr, ok
 
 	case *algebra.GroupBy:
-		return pushApplyThroughGroupBy(md, a, r)
+		return pushApplyThroughGroupBy(md, a, r, opts)
 
 	case *algebra.Join:
 		return pushApplyThroughJoin(md, a, r, opts)
 
 	case *algebra.UnionAll:
-		if !opts.RemoveClass2 || a.Kind != algebra.CrossJoin || a.On != nil {
+		if !opts.RemoveClass2 || a.Kind != algebra.CrossJoin || a.On != nil ||
+			opts.disabled(RuleApplyUnion) {
 			return nil, false
 		}
+		opts.record(RuleApplyUnion)
 		return pushApplyThroughUnion(md, a, r), true
 
 	case *algebra.Difference:
-		if !opts.RemoveClass2 || a.Kind != algebra.CrossJoin || a.On != nil {
+		if !opts.RemoveClass2 || a.Kind != algebra.CrossJoin || a.On != nil ||
+			opts.disabled(RuleApplyDifference) {
 			return nil, false
 		}
+		opts.record(RuleApplyDifference)
 		return pushApplyThroughDifference(md, a, r), true
 
 	case *algebra.Top:
@@ -127,6 +193,10 @@ func pushApplyDown(md *algebra.Metadata, a *algebra.Apply, opts Options) (algebr
 
 	case *algebra.Sort:
 		// Order inside a subquery is meaningless without Top; drop it.
+		if opts.disabled(RuleApplySort) {
+			return nil, false
+		}
+		opts.record(RuleApplySort)
 		n := *a
 		n.Right = r.Input
 		return &n, true
@@ -189,8 +259,18 @@ func pushApplyThroughProject(md *algebra.Metadata, a *algebra.Apply, p *algebra.
 }
 
 // pushApplyThroughGroupBy realizes identities (8) and (9).
-func pushApplyThroughGroupBy(md *algebra.Metadata, a *algebra.Apply, gb *algebra.GroupBy) (algebra.Rel, bool) {
+func pushApplyThroughGroupBy(md *algebra.Metadata, a *algebra.Apply, gb *algebra.GroupBy, opts Options) (algebra.Rel, bool) {
 	if a.Kind != algebra.CrossJoin && a.Kind != algebra.InnerJoin {
+		return nil, false
+	}
+	// Disabling is keyed by which identity would eventually fire on
+	// this GroupBy kind — the predicate hoist below is merely its
+	// preparatory step and is gated with it.
+	gateRule := RuleApplyGroupBy
+	if gb.Kind == algebra.ScalarGroupBy {
+		gateRule = RuleApplyScalarGroupBy
+	}
+	if opts.disabled(gateRule) {
 		return nil, false
 	}
 	if a.On != nil && !algebra.IsTrueConst(a.On) {
@@ -209,6 +289,7 @@ func pushApplyThroughGroupBy(md *algebra.Metadata, a *algebra.Apply, gb *algebra
 		if !ok {
 			return nil, false
 		}
+		opts.record(RuleApplyScalarGroupBy)
 		inner := &algebra.Apply{Kind: algebra.LeftOuterJoin, Left: left, Right: gb.Input}
 		return &algebra.GroupBy{
 			Kind:      algebra.VectorGroupBy,
@@ -219,6 +300,7 @@ func pushApplyThroughGroupBy(md *algebra.Metadata, a *algebra.Apply, gb *algebra
 
 	case algebra.VectorGroupBy, algebra.LocalGroupBy:
 		// Identity (8): R A× (G(A,F) E) = G(A ∪ columns(R), F) (R A× E).
+		opts.record(RuleApplyGroupBy)
 		inner := &algebra.Apply{Kind: algebra.CrossJoin, Left: left, Right: gb.Input}
 		return &algebra.GroupBy{
 			Kind:      gb.Kind,
@@ -289,11 +371,15 @@ func pushApplyThroughJoin(md *algebra.Metadata, a *algebra.Apply, j *algebra.Joi
 	if j.Kind != algebra.InnerJoin && j.Kind != algebra.CrossJoin {
 		return nil, false
 	}
+	if opts.disabled(RuleApplyJoin) {
+		return nil, false
+	}
 	leftCols := algebra.OutputCols(a.Left)
 	corrOn := j.On != nil && algebra.ScalarCols(j.On).Intersects(leftCols)
 	if corrOn {
 		// Hoist the correlated join predicate into the Apply: R A⊗
 		// (E1 ⋈p E2) = R A⊗p (E1 × E2).
+		opts.record(RuleApplyJoin)
 		na := &algebra.Apply{Kind: a.Kind, Left: a.Left, On: algebra.ConjoinAll(a.On, j.On),
 			Right: &algebra.Join{Kind: algebra.CrossJoin, Left: j.Left, Right: j.Right}}
 		return na, true
@@ -302,15 +388,18 @@ func pushApplyThroughJoin(md *algebra.Metadata, a *algebra.Apply, j *algebra.Joi
 	rCorr := algebra.OuterRefs(j.Right).Intersects(leftCols)
 	switch {
 	case lCorr && !rCorr:
+		opts.record(RuleApplyJoin)
 		na := &algebra.Apply{Kind: algebra.CrossJoin, Left: a.Left, Right: j.Left}
 		out := &algebra.Join{Kind: j.Kind, Left: na, Right: j.Right, On: j.On}
 		return wrapOn(out, a.On), true
 	case rCorr && !lCorr:
+		opts.record(RuleApplyJoin)
 		na := &algebra.Apply{Kind: algebra.CrossJoin, Left: a.Left, Right: j.Right}
 		out := &algebra.Join{Kind: j.Kind, Left: j.Left, Right: na, On: j.On}
 		return wrapOn(out, a.On), true
 	case lCorr && rCorr && opts.RemoveClass2:
 		// Identity (7): join the two applied sides on R.key.
+		opts.record(RuleApplyJoin)
 		left := keyedLeft(md, a.Left)
 		key, _ := algebra.KeyCols(left)
 		l2, remap := cloneWithFreshCols(md, left)

@@ -53,6 +53,13 @@ func NullRejects(p algebra.Scalar, set algebra.ColSet) bool {
 // aggregate result rejects the groups produced by unmatched outer rows
 // when the aggregate yields its empty-input value on them.
 func SimplifyOuterJoins(md *algebra.Metadata, r algebra.Rel) algebra.Rel {
+	return simplifyOuterJoins(md, r, Options{})
+}
+
+// simplifyOuterJoins is SimplifyOuterJoins with rule recording: each
+// outerjoin actually converted fires RuleSimplifyOuterJoin (callers
+// gate on Options.DisableRules before invoking).
+func simplifyOuterJoins(md *algebra.Metadata, r algebra.Rel, opts Options) algebra.Rel {
 	return transformUp(r, func(n algebra.Rel) algebra.Rel {
 		sel, ok := n.(*algebra.Select)
 		if !ok {
@@ -62,12 +69,14 @@ func SimplifyOuterJoins(md *algebra.Metadata, r algebra.Rel) algebra.Rel {
 		case *algebra.Join:
 			if in.Kind == algebra.LeftOuterJoin &&
 				NullRejects(sel.Filter, algebra.OutputCols(in.Right)) {
+				opts.record(RuleSimplifyOuterJoin)
 				nj := *in
 				nj.Kind = algebra.InnerJoin
 				return &algebra.Select{Input: &nj, Filter: sel.Filter}
 			}
 		case *algebra.GroupBy:
 			if nj, ok := simplifyThroughGroupBy(md, sel.Filter, in); ok {
+				opts.record(RuleSimplifyOuterJoin)
 				return &algebra.Select{Input: nj, Filter: sel.Filter}
 			}
 		}

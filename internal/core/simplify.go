@@ -20,8 +20,8 @@ func Simplify(md *algebra.Metadata, r algebra.Rel, opts Options) algebra.Rel {
 }
 
 func simplifyOnce(md *algebra.Metadata, r algebra.Rel, opts Options) algebra.Rel {
-	if !opts.KeepOuterJoins {
-		r = SimplifyOuterJoins(md, r)
+	if !opts.KeepOuterJoins && !opts.disabled(RuleSimplifyOuterJoin) {
+		r = simplifyOuterJoins(md, r, opts)
 	}
 	return transformUp(r, func(n algebra.Rel) algebra.Rel {
 		switch t := n.(type) {

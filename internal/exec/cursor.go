@@ -89,6 +89,12 @@ func (cu *Cursor) PeakMem() int64 { return cu.ctx.PeakMem() }
 // Spills reports spill partition files written so far.
 func (cu *Cursor) Spills() int64 { return cu.ctx.Spills() }
 
+// Workers reports parallel worker goroutines spawned so far.
+func (cu *Cursor) Workers() int64 { return cu.ctx.WorkersSpawned() }
+
+// Morsels reports driver-scan morsels dispatched so far.
+func (cu *Cursor) Morsels() int64 { return cu.ctx.MorselsDispatched() }
+
 // Close releases the iterator tree and all run resources. Safe to
 // call at any point, any number of times.
 func (cu *Cursor) Close() (err error) {

@@ -115,7 +115,7 @@ func TestEstimateGroupsDistinct(t *testing.T) {
 	}
 	// Grouping on the unique column: distinct count capped by input rows.
 	gb2 := &algebra.GroupBy{Kind: algebra.VectorGroupBy,
-		Input: &algebra.Select{Input: get(a, b), Filter: &algebra.Const{Val: types.NewBool(true)}},
+		Input:     &algebra.Select{Input: get(a, b), Filter: &algebra.Const{Val: types.NewBool(true)}},
 		GroupCols: algebra.NewColSet(b)}
 	if n := estimateRows(ctx, gb2); n != 100 {
 		t.Fatalf("groupby b estimate = %d, want cap at input 100", n)

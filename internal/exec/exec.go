@@ -130,6 +130,17 @@ type sharedState struct {
 	memPeak atomic.Int64
 	// spills counts spill partition files written by any operator.
 	spills atomic.Int64
+	// workers and morsels count parallel-exchange activity for this
+	// query: goroutines spawned and driver-scan morsels dispatched.
+	// Maintained whether or not tracing is on — they feed the engine
+	// metrics registry, not just EXPLAIN ANALYZE.
+	workers atomic.Int64
+	morsels atomic.Int64
+	// wtrace accumulates operator statistics merged from finished
+	// parallel workers (each worker traces into a private map; see
+	// mergeWorkerTrace). Guarded by wmu: workers finish concurrently.
+	wmu    sync.Mutex
+	wtrace map[algebra.Rel]*OpStats
 	// builds caches hash-join build tables keyed by the logical Join
 	// node so parallel workers build once and probe a shared read-only
 	// table.
@@ -173,9 +184,16 @@ func NewContext(store *storage.Store, md *algebra.Metadata) *Context {
 // workerClone creates a per-worker context for parallel execution: it
 // shares the store, metadata, statistics, and query-wide sharedState
 // (budget accounting, build cache) but owns private parameter
-// bindings, segment state, and evaluator. Tracing stays on the
-// coordinator; the exchange operator reports worker and morsel counts.
+// bindings, segment state, and evaluator. When the coordinator is
+// tracing, the clone gets a private trace map — race-free to update —
+// that the worker folds into sharedState.wtrace when it finishes
+// (mergeWorkerTrace), so EXPLAIN ANALYZE and Spans cover the operators
+// below a parallel exchange.
 func (c *Context) workerClone() *Context {
+	var wt map[algebra.Rel]*OpStats
+	if c.trace != nil {
+		wt = make(map[algebra.Rel]*OpStats)
+	}
 	return &Context{
 		Store:        c.Store,
 		Md:           c.Md,
@@ -193,9 +211,43 @@ func (c *Context) workerClone() *Context {
 		params:       make(eval.MapEnv),
 		segments:     make(map[*algebra.SegmentApply]*segmentBinding),
 		ev:           &eval.Evaluator{Params: c.Params},
+		trace:        wt,
 		isWorker:     true,
 	}
 }
+
+// mergeWorkerTrace folds a finished worker's private trace into the
+// query's merged worker-side statistics. Callers must guarantee the
+// worker has stopped executing (the exchange's WaitGroup/result
+// channel provides the happens-before edge); the mutex serializes
+// concurrent merges from sibling workers.
+func (c *Context) mergeWorkerTrace(w *Context) {
+	if w == nil || w.trace == nil || len(w.trace) == 0 {
+		return
+	}
+	s := c.shared
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
+	if s.wtrace == nil {
+		s.wtrace = make(map[algebra.Rel]*OpStats, len(w.trace))
+	}
+	for rel, st := range w.trace {
+		dst, ok := s.wtrace[rel]
+		if !ok {
+			dst = &OpStats{}
+			s.wtrace[rel] = dst
+		}
+		dst.addFrom(st)
+	}
+}
+
+// WorkersSpawned reports the parallel worker goroutines started by
+// this run so far.
+func (c *Context) WorkersSpawned() int64 { return c.shared.workers.Load() }
+
+// MorselsDispatched reports the driver-scan morsels claimed by workers
+// during this run so far.
+func (c *Context) MorselsDispatched() int64 { return c.shared.morsels.Load() }
 
 // ctxCheckEvery is the number of charged rows between context polls
 // per strand: frequent enough that cancellation lands within
@@ -416,6 +468,10 @@ type Result struct {
 	PeakMem int64
 	// Spills counts spill partition files written during execution.
 	Spills int64
+	// Workers and Morsels report morsel-driven parallel activity
+	// (goroutines spawned, driver-scan morsels dispatched).
+	Workers int64
+	Morsels int64
 }
 
 // Run compiles and executes the plan, materializing all rows. outCols
@@ -456,6 +512,8 @@ func Run(ctx *Context, rel algebra.Rel, outCols []algebra.ColID) (res *Result, e
 		if res != nil {
 			res.PeakMem = ctx.PeakMem()
 			res.Spills = ctx.Spills()
+			res.Workers = ctx.WorkersSpawned()
+			res.Morsels = ctx.MorselsDispatched()
 		}
 	}()
 	if !ctx.DisableBatch {

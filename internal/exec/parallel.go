@@ -310,6 +310,7 @@ func (e *exchangeIter) Open() error {
 	if e.st != nil {
 		e.st.Workers = int64(e.workers)
 	}
+	e.ctx.shared.workers.Add(int64(e.workers))
 
 	var wg sync.WaitGroup
 	for w := 0; w < e.workers; w++ {
@@ -321,9 +322,11 @@ func (e *exchangeIter) Open() error {
 	}
 	go func() {
 		wg.Wait()
+		claimed := e.src.claimed.Load()
 		if e.st != nil {
-			e.st.Morsels = e.src.claimed.Load()
+			e.st.Morsels = claimed
 		}
+		e.ctx.shared.morsels.Add(claimed)
 		close(e.batches)
 	}()
 	return nil
@@ -339,11 +342,15 @@ func (e *exchangeIter) runWorker() {
 		}
 	}()
 	wctx, n, err := spawnWorker(e.ctx, e.rel, e.driver, e.src)
-	_ = wctx
 	if err != nil {
 		e.fail(err)
 		return
 	}
+	// Fold this worker's private trace into the query's merged
+	// worker-side statistics once the worker is done (the enclosing
+	// WaitGroup publishes the merge to the consumer before the batch
+	// channel closes).
+	defer e.ctx.mergeWorkerTrace(wctx)
 	if err := n.it.Open(); err != nil {
 		n.it.Close()
 		e.fail(err)
@@ -500,6 +507,7 @@ func (p *parallelAggIter) Open() error {
 	if p.st != nil {
 		p.st.Workers = int64(p.workers)
 	}
+	p.ctx.shared.workers.Add(int64(p.workers))
 	type aggResult struct {
 		tbl  *aggTable
 		ords map[algebra.ColID]int
@@ -523,6 +531,9 @@ func (p *parallelAggIter) Open() error {
 				res.err = err
 				return
 			}
+			// Merge the worker's private trace when it finishes; the
+			// results channel hand-off publishes it to the coordinator.
+			defer p.ctx.mergeWorkerTrace(wctx)
 			if err := n.it.Open(); err != nil {
 				n.it.Close()
 				res.err = err
@@ -577,6 +588,7 @@ func (p *parallelAggIter) Open() error {
 	if p.st != nil {
 		p.st.Morsels = src.claimed.Load()
 	}
+	p.ctx.shared.morsels.Add(src.claimed.Load())
 	fail := func(err error) error {
 		for _, ss := range spilled {
 			ss.dropAll()

@@ -3,9 +3,11 @@ package exec
 import (
 	"fmt"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"orthoq/internal/algebra"
+	"orthoq/internal/obs"
 	"orthoq/internal/sql/types"
 )
 
@@ -37,6 +39,22 @@ type OpStats struct {
 	Spills int64
 }
 
+// addFrom folds another operator's counters into this one (worker
+// trace merge). The source stats are quiescent — their worker has
+// exited and a channel hand-off established the happens-before edge —
+// but MemBytes/Spills are loaded atomically since they are written
+// atomically during the run.
+func (st *OpStats) addFrom(src *OpStats) {
+	st.Opens += src.Opens
+	st.Rows += src.Rows
+	st.Batches += src.Batches
+	st.Busy += src.Busy
+	st.Workers += src.Workers
+	st.Morsels += src.Morsels
+	st.MemBytes += atomic.LoadInt64(&src.MemBytes)
+	st.Spills += atomic.LoadInt64(&src.Spills)
+}
+
 // traceStats returns the stats slot for a logical node, creating it
 // when tracing is enabled; nil otherwise. Used by operators that
 // report memory and spill behavior from inside (the generic traceIter
@@ -60,9 +78,29 @@ func (c *Context) EnableTrace() {
 }
 
 // traceIter wraps an iterator and accumulates statistics.
+//
+// Counting contract: every delivered row increments Rows exactly once,
+// whichever pull mode delivered it. Both Next and NextBatch funnel
+// through note(), and the wrapped operator's cursor is shared between
+// its row and batch paths, so a consumer that switches modes mid-query
+// (legal: the exchange operator explicitly supports it, and a batched
+// parent can fall back to the row adapter) never re-counts rows it
+// already produced.
 type traceIter struct {
 	in iterator
 	st *OpStats
+}
+
+// note is the single counting site for produced rows.
+func (t *traceIter) note(n int, batched bool, elapsed time.Duration) {
+	t.st.Busy += elapsed
+	if n <= 0 {
+		return
+	}
+	t.st.Rows += int64(n)
+	if batched {
+		t.st.Batches++
+	}
 }
 
 func (t *traceIter) Open() error {
@@ -76,10 +114,11 @@ func (t *traceIter) Open() error {
 func (t *traceIter) Next() (row types.Row, ok bool, err error) {
 	start := time.Now()
 	row, ok, err = t.in.Next()
-	t.st.Busy += time.Since(start)
+	n := 0
 	if ok {
-		t.st.Rows++
+		n = 1
 	}
+	t.note(n, false, time.Since(start))
 	return row, ok, err
 }
 
@@ -89,27 +128,101 @@ func (t *traceIter) Next() (row types.Row, ok bool, err error) {
 func (t *traceIter) NextBatch(b *Batch) error {
 	start := time.Now()
 	err := nextBatch(t.in, b)
-	t.st.Busy += time.Since(start)
+	n := 0
 	if err == nil {
-		if n := b.Len(); n > 0 {
-			t.st.Rows += int64(n)
-			t.st.Batches++
-		}
+		n = b.Len()
 	}
+	t.note(n, true, time.Since(start))
 	return err
 }
 
-func (t *traceIter) Close() error { return t.in.Close() }
+func (t *traceIter) Close() error {
+	start := time.Now()
+	err := t.in.Close()
+	t.st.Busy += time.Since(start)
+	return err
+}
+
+// statFor resolves the stats for a logical node across the two trace
+// domains: the coordinator's own map and the merged worker-side map
+// (populated by mergeWorkerTrace as parallel workers finish). For an
+// exchange node both exist — the coordinator slot describes the
+// exchange itself (rows forwarded, wall time), the worker slot the
+// subtree root as executed across workers.
+func (c *Context) statFor(rel algebra.Rel) (st, wst *OpStats) {
+	st = c.trace[rel]
+	s := c.shared
+	s.wmu.Lock()
+	wst = s.wtrace[rel]
+	s.wmu.Unlock()
+	return st, wst
+}
+
+// Spans builds the per-query operator span tree for a traced run.
+// Returns nil when tracing was not enabled. Worker-side statistics are
+// folded in: at a parallel boundary the span carries the coordinator's
+// view (rows forwarded, wall time, workers, morsels) plus the
+// cumulative worker time; operators below the boundary carry their
+// counters summed across workers.
+func (c *Context) Spans(rel algebra.Rel) *obs.Span {
+	if c.trace == nil {
+		return nil
+	}
+	return c.buildSpan(rel)
+}
+
+func (c *Context) buildSpan(rel algebra.Rel) *obs.Span {
+	st, wst := c.statFor(rel)
+	sp := &obs.Span{Op: opName(rel)}
+	use := st
+	if use == nil {
+		use = wst
+	}
+	if use != nil {
+		sp.Opens = use.Opens
+		sp.Rows = use.Rows
+		sp.Batches = use.Batches
+		sp.Busy = use.Busy
+		sp.Workers = use.Workers
+		sp.Morsels = use.Morsels
+		sp.MemBytes = atomic.LoadInt64(&use.MemBytes)
+		sp.Spills = atomic.LoadInt64(&use.Spills)
+	}
+	if st != nil && wst != nil {
+		// Exchange collision: the worker subtree's root is the same
+		// logical node as the exchange. The span keeps the coordinator's
+		// production counts (folding the workers' would double-count
+		// every forwarded row) and takes the worker-side inclusive time
+		// as WorkerTime, plus worker-side memory/spill attribution.
+		sp.WorkerTime = wst.Busy
+		sp.MemBytes += atomic.LoadInt64(&wst.MemBytes)
+		sp.Spills += atomic.LoadInt64(&wst.Spills)
+	}
+	for _, child := range rel.Inputs() {
+		sp.Children = append(sp.Children, c.buildSpan(child))
+	}
+	if sp.Workers > 0 && sp.WorkerTime == 0 {
+		// Aggregation exchange: workers executed the input subtree (no
+		// root collision); their cumulative time is the direct
+		// children's inclusive time.
+		for _, ch := range sp.Children {
+			sp.WorkerTime += ch.Busy
+		}
+	}
+	sp.FinishSelf()
+	return sp
+}
 
 // FormatTrace renders the plan with the collected statistics, in the
-// same shape as algebra.FormatRel.
+// same shape as algebra.FormatRel, including per-operator inclusive
+// (time=) and self (self=) wall time.
 func (c *Context) FormatTrace(rel algebra.Rel) string {
 	if c.trace == nil {
 		return ""
 	}
 	var b strings.Builder
-	var walk func(n algebra.Rel, depth int)
-	walk = func(n algebra.Rel, depth int) {
+	var walk func(n algebra.Rel, sp *obs.Span, depth int)
+	walk = func(n algebra.Rel, sp *obs.Span, depth int) {
 		line := algebra.FormatRel(c.Md, n)
 		if i := strings.IndexByte(line, '\n'); i >= 0 {
 			line = line[:i]
@@ -118,26 +231,30 @@ func (c *Context) FormatTrace(rel algebra.Rel) string {
 			b.WriteString("  ")
 		}
 		b.WriteString(line)
-		if st, ok := c.trace[n]; ok {
-			if st.Workers > 0 {
-				fmt.Fprintf(&b, "  (rows=%d opens=%d workers=%d morsels=%d time=%v)",
-					st.Rows, st.Opens, st.Workers, st.Morsels, st.Busy.Round(time.Microsecond))
+		if st, wst := c.statFor(n); st != nil || wst != nil {
+			if sp.Workers > 0 {
+				fmt.Fprintf(&b, "  (rows=%d opens=%d workers=%d morsels=%d time=%v self=%v workertime=%v)",
+					sp.Rows, sp.Opens, sp.Workers, sp.Morsels,
+					sp.Busy.Round(time.Microsecond), sp.Self.Round(time.Microsecond),
+					sp.WorkerTime.Round(time.Microsecond))
 			} else {
-				fmt.Fprintf(&b, "  (rows=%d opens=%d time=%v)", st.Rows, st.Opens, st.Busy.Round(time.Microsecond))
+				fmt.Fprintf(&b, "  (rows=%d opens=%d time=%v self=%v)",
+					sp.Rows, sp.Opens,
+					sp.Busy.Round(time.Microsecond), sp.Self.Round(time.Microsecond))
 			}
-			if st.Batches > 0 {
+			if sp.Batches > 0 {
 				fmt.Fprintf(&b, " (batches=%d rows/batch=%.1f)",
-					st.Batches, float64(st.Rows)/float64(st.Batches))
+					sp.Batches, float64(sp.Rows)/float64(sp.Batches))
 			}
-			if st.MemBytes > 0 || st.Spills > 0 {
-				fmt.Fprintf(&b, " (mem=%d spills=%d)", st.MemBytes, st.Spills)
+			if sp.MemBytes > 0 || sp.Spills > 0 {
+				fmt.Fprintf(&b, " (mem=%d spills=%d)", sp.MemBytes, sp.Spills)
 			}
 		}
 		b.WriteByte('\n')
-		for _, child := range n.Inputs() {
-			walk(child, depth+1)
+		for i, child := range n.Inputs() {
+			walk(child, sp.Children[i], depth+1)
 		}
 	}
-	walk(rel, 0)
+	walk(rel, c.buildSpan(rel), 0)
 	return b.String()
 }

@@ -1,0 +1,213 @@
+package exec
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"orthoq/internal/algebra"
+	"orthoq/internal/core"
+	"orthoq/internal/obs"
+	"orthoq/internal/sql/types"
+)
+
+// fakeRows is a minimal row-only iterator producing n constant rows.
+type fakeRows struct {
+	n, pos int
+	opens  int
+}
+
+func (f *fakeRows) Open() error { f.opens++; f.pos = 0; return nil }
+func (f *fakeRows) Next() (types.Row, bool, error) {
+	if f.pos >= f.n {
+		return nil, false, nil
+	}
+	f.pos++
+	return types.Row{types.NewInt(int64(f.pos))}, true, nil
+}
+func (f *fakeRows) Close() error { return nil }
+
+// TestTraceIterMixedModeCountsOnce pins the counting contract: a
+// consumer that interleaves Next and NextBatch on the same traced
+// iterator counts every produced row exactly once — the wrapped
+// operator shares one cursor between both pull modes, and note() is
+// the single counting site.
+func TestTraceIterMixedModeCountsOnce(t *testing.T) {
+	const n = 2500 // > 2×BatchSize so the batch path runs more than once
+	st := &OpStats{}
+	ti := &traceIter{in: &fakeRows{n: n}, st: st}
+	if err := ti.Open(); err != nil {
+		t.Fatal(err)
+	}
+	// Three rows via the row path.
+	for i := 0; i < 3; i++ {
+		if _, ok, err := ti.Next(); err != nil || !ok {
+			t.Fatalf("Next %d: ok=%v err=%v", i, ok, err)
+		}
+	}
+	// Drain the rest via the batch path (adapter: fakeRows has no
+	// native NextBatch).
+	var b Batch
+	got := 3
+	for {
+		if err := ti.NextBatch(&b); err != nil {
+			t.Fatal(err)
+		}
+		if b.Len() == 0 {
+			break
+		}
+		got += b.Len()
+		// Interleave one more row pull mid-stream while rows remain.
+		if got < n {
+			if _, ok, err := ti.Next(); err != nil {
+				t.Fatal(err)
+			} else if ok {
+				got++
+			}
+		}
+	}
+	if err := ti.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got != n {
+		t.Fatalf("consumer saw %d rows, want %d", got, n)
+	}
+	if st.Rows != int64(n) {
+		t.Errorf("traced Rows = %d, want %d (each row counted exactly once)", st.Rows, n)
+	}
+	if st.Opens != 1 {
+		t.Errorf("Opens = %d, want 1", st.Opens)
+	}
+	if st.Batches == 0 {
+		t.Error("Batches = 0, want > 0 (batch path was used)")
+	}
+	if st.Busy <= 0 {
+		t.Error("Busy not accumulated")
+	}
+}
+
+// flattenSpanRows renders a span tree as one line per node with Rows
+// and Opens, for exact cross-path comparison.
+func flattenSpanRows(sp *obs.Span, withOpens bool) []string {
+	var out []string
+	var walk func(s *obs.Span, depth int)
+	walk = func(s *obs.Span, depth int) {
+		line := fmt.Sprintf("%*s%s rows=%d", depth*2, "", s.Op, s.Rows)
+		if withOpens {
+			line += fmt.Sprintf(" opens=%d", s.Opens)
+		}
+		out = append(out, line)
+		for _, c := range s.Children {
+			walk(c, depth+1)
+		}
+	}
+	walk(sp, 0)
+	return out
+}
+
+// TestMixedBatchRowPlanCountsEqual pins the regression the trace
+// contract guards against: a row-only operator (Sort) under a batched
+// hash join forces the join's probe loop through the row adapter while
+// the rest of the tree runs batched. Per-operator row and open counts
+// must match the pure row-at-a-time execution exactly.
+func TestMixedBatchRowPlanCountsEqual(t *testing.T) {
+	st := testDB(t)
+	md, rel, out := compilePlan(t, st,
+		`select o_orderkey, c_name from orders, customer where o_custkey = c_custkey`,
+		core.Options{})
+
+	// Wrap the join's left input in a Sort so a row-only operator sits
+	// under the batched hash join.
+	var wrap func(algebra.Rel) algebra.Rel
+	wrap = func(n algebra.Rel) algebra.Rel {
+		if j, ok := n.(*algebra.Join); ok {
+			sortCol := algebra.OutputCols(j.Left).Ordered()[0]
+			return &algebra.Join{Kind: j.Kind, On: j.On,
+				Left:  &algebra.Sort{Input: j.Left, By: []algebra.Ordering{{Col: sortCol}}},
+				Right: j.Right}
+		}
+		ins := n.Inputs()
+		kids := make([]algebra.Rel, len(ins))
+		changed := false
+		for i, c := range ins {
+			kids[i] = wrap(c)
+			changed = changed || kids[i] != c
+		}
+		if changed {
+			return n.WithInputs(kids)
+		}
+		return n
+	}
+	rel = wrap(rel)
+
+	run := func(disableBatch bool) *obs.Span {
+		ctx := NewContext(st, md)
+		ctx.DisableBatch = disableBatch
+		ctx.EnableTrace()
+		if _, err := Run(ctx, rel, out); err != nil {
+			t.Fatal(err)
+		}
+		return ctx.Spans(rel)
+	}
+	batch := strings.Join(flattenSpanRows(run(false), true), "\n")
+	row := strings.Join(flattenSpanRows(run(true), true), "\n")
+	if batch != row {
+		t.Errorf("per-operator counts differ between batch and row execution\nbatch:\n%s\nrow:\n%s", batch, row)
+	}
+}
+
+// TestSpanSelfTimeInvariant checks the span timing algebra on a real
+// serial plan: Self ∈ [0, Busy] everywhere, and a parent's inclusive
+// time covers the sum of its children's (pull execution nests child
+// calls inside the parent's timer).
+func TestSpanSelfTimeInvariant(t *testing.T) {
+	st := testDB(t)
+	md, rel, out := compilePlan(t, st,
+		`select o_orderstatus, count(*) as n, sum(o_totalprice) as s
+		 from orders, customer where o_custkey = c_custkey
+		 group by o_orderstatus`,
+		core.Options{})
+	ctx := NewContext(st, md)
+	ctx.EnableTrace()
+	if _, err := Run(ctx, rel, out); err != nil {
+		t.Fatal(err)
+	}
+	sp := ctx.Spans(rel)
+	if sp == nil {
+		t.Fatal("Spans returned nil for a traced run")
+	}
+	sp.Walk(func(s *obs.Span) {
+		if s.Self < 0 || s.Self > s.Busy {
+			t.Errorf("%s: Self=%v outside [0, Busy=%v]", s.Op, s.Self, s.Busy)
+		}
+		if s.Workers > 0 {
+			return // children are measured in worker time at a boundary
+		}
+		var sum int64
+		for _, c := range s.Children {
+			sum += int64(c.Busy)
+		}
+		if int64(s.Busy) < sum {
+			t.Errorf("%s: inclusive Busy=%v < sum of children %v", s.Op, s.Busy, sum)
+		}
+	})
+	if got := sp.TotalSelf(); got > sp.Busy {
+		t.Errorf("TotalSelf=%v exceeds root Busy=%v on a serial plan", got, sp.Busy)
+	}
+}
+
+// TestSpansNilWhenUntraced: no trace, no spans — and no cost.
+func TestSpansNilWhenUntraced(t *testing.T) {
+	st := testDB(t)
+	md, rel, out := compilePlan(t, st, `select count(*) as n from orders`, core.Options{})
+	ctx := NewContext(st, md)
+	if _, err := Run(ctx, rel, out); err != nil {
+		t.Fatal(err)
+	}
+	if sp := ctx.Spans(rel); sp != nil {
+		t.Fatalf("Spans = %+v on an untraced run, want nil", sp)
+	}
+	if tr := ctx.FormatTrace(rel); tr != "" {
+		t.Fatalf("FormatTrace = %q on an untraced run, want empty", tr)
+	}
+}

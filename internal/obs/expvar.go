@@ -1,0 +1,40 @@
+package obs
+
+import (
+	"context"
+	"expvar"
+	"runtime/pprof"
+	"sync"
+)
+
+var pubMu sync.Mutex
+
+// Publish registers the metrics under name in the process-wide expvar
+// registry (served on /debug/vars by the standard expvar handler), so
+// an embedding process gets engine counters on its debug endpoint for
+// free. Idempotent: the first registration under a name wins; later
+// calls (another DB handle choosing the same name) are no-ops, because
+// expvar.Publish panics on duplicates.
+func Publish(name string, m *Metrics) {
+	pubMu.Lock()
+	defer pubMu.Unlock()
+	if expvar.Get(name) != nil {
+		return
+	}
+	expvar.Publish(name, expvar.Func(func() any { return m.Snapshot() }))
+}
+
+// planLabel is the pprof label key carrying the plan fingerprint.
+const planLabel = "orthoq_plan"
+
+// WithPlanLabel runs f with the goroutine's pprof labels extended by
+// orthoq_plan=<fingerprint>, so CPU-profile samples — including those
+// of morsel workers, which inherit labels at spawn — attribute to plan
+// fingerprints (`go tool pprof -tags`). The label join key matches the
+// query log's fingerprint field.
+func WithPlanLabel(ctx context.Context, fingerprint string, f func(context.Context)) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	pprof.Do(ctx, pprof.Labels(planLabel, fingerprint), f)
+}

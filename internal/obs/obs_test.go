@@ -1,0 +1,214 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestHistogramBucketPlacement(t *testing.T) {
+	var h Histogram
+	cases := []struct {
+		d      time.Duration
+		bucket int
+	}{
+		{0, 0},                     // sub-microsecond
+		{500 * time.Nanosecond, 0}, // truncates to 0µs
+		{1 * time.Microsecond, 1},  // [1,2)
+		{3 * time.Microsecond, 2},  // [2,4)
+		{4 * time.Microsecond, 3},  // [4,8)
+		{1 * time.Millisecond, 10}, // 1000µs → bits.Len64 = 10
+		{1000 * time.Hour, histBuckets - 1},
+	}
+	for _, c := range cases {
+		h.Observe(c.d)
+	}
+	s := h.Snapshot()
+	if s.N != uint64(len(cases)) {
+		t.Fatalf("N = %d, want %d", s.N, len(cases))
+	}
+	want := make(map[int]uint64)
+	for _, c := range cases {
+		want[c.bucket]++
+	}
+	for i, got := range s.Counts {
+		if got != want[i] {
+			t.Errorf("bucket %d: count = %d, want %d", i, got, want[i])
+		}
+	}
+}
+
+func TestHistogramMean(t *testing.T) {
+	var h Histogram
+	if got := h.Snapshot().Mean(); got != 0 {
+		t.Errorf("empty Mean = %v, want 0", got)
+	}
+	h.Observe(10 * time.Microsecond)
+	h.Observe(30 * time.Microsecond)
+	if got := h.Snapshot().Mean(); got != 20*time.Microsecond {
+		t.Errorf("Mean = %v, want 20µs", got)
+	}
+}
+
+func TestRecordRunClassCounters(t *testing.T) {
+	var m Metrics
+	m.RecordRun(time.Millisecond, 5, "")
+	m.RecordRun(time.Millisecond, 0, ClassTimeout)
+	m.RecordRun(time.Millisecond, 0, ClassCanceled)
+	m.RecordRun(time.Millisecond, 0, ClassRowBudget)
+	m.RecordRun(time.Millisecond, 0, ClassMemBudget)
+	m.RecordRun(time.Millisecond, 0, ClassInternal)
+	m.RecordRun(time.Millisecond, 0, ClassOther)
+	m.RecordRun(time.Millisecond, 0, "unknown-class")
+	s := m.Snapshot()
+	if s.Queries != 8 {
+		t.Errorf("Queries = %d, want 8", s.Queries)
+	}
+	if s.Failures != 7 {
+		t.Errorf("Failures = %d, want 7", s.Failures)
+	}
+	if s.Timeouts != 1 || s.Cancels != 1 || s.RowBudgetHits != 1 ||
+		s.MemBudgetHits != 1 || s.PanicsContained != 1 {
+		t.Errorf("class counters wrong: %+v", s)
+	}
+	if s.OtherErrors != 2 { // ClassOther and the unknown class
+		t.Errorf("OtherErrors = %d, want 2", s.OtherErrors)
+	}
+	if s.RowsReturned != 5 {
+		t.Errorf("RowsReturned = %d, want 5 (failures contribute no rows)", s.RowsReturned)
+	}
+	if s.ExecTime != 8*time.Millisecond {
+		t.Errorf("ExecTime = %v, want 8ms", s.ExecTime)
+	}
+	if s.Durations.N != 8 {
+		t.Errorf("Durations.N = %d, want 8", s.Durations.N)
+	}
+}
+
+func TestNotePeakMemIsHighWater(t *testing.T) {
+	var m Metrics
+	m.NotePeakMem(100)
+	m.NotePeakMem(50) // lower: no change
+	if got := m.Snapshot().PeakMemMax; got != 100 {
+		t.Errorf("PeakMemMax = %d, want 100", got)
+	}
+	m.NotePeakMem(200)
+	if got := m.Snapshot().PeakMemMax; got != 200 {
+		t.Errorf("PeakMemMax = %d, want 200", got)
+	}
+}
+
+func TestSnapshotMarshals(t *testing.T) {
+	var m Metrics
+	m.RecordRun(time.Millisecond, 1, "")
+	buf, err := json.Marshal(m.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{`"queries"`, `"durations"`, `"exec_ns"`, `"cache_hits"`} {
+		if !bytes.Contains(buf, []byte(key)) {
+			t.Errorf("marshalled snapshot missing %s: %s", key, buf)
+		}
+	}
+}
+
+func TestFinishSelfSerial(t *testing.T) {
+	s := &Span{Op: "Join", Busy: 100 * time.Millisecond, Children: []*Span{
+		{Op: "Get", Busy: 30 * time.Millisecond},
+		{Op: "Get", Busy: 20 * time.Millisecond},
+	}}
+	s.FinishSelf()
+	if s.Self != 50*time.Millisecond {
+		t.Errorf("Self = %v, want 50ms", s.Self)
+	}
+	// Clock skew can make children sum past the parent; Self clamps.
+	s2 := &Span{Op: "Join", Busy: 10 * time.Millisecond, Children: []*Span{
+		{Op: "Get", Busy: 30 * time.Millisecond},
+	}}
+	s2.FinishSelf()
+	if s2.Self != 0 {
+		t.Errorf("clamped Self = %v, want 0", s2.Self)
+	}
+}
+
+func TestFinishSelfParallelBoundary(t *testing.T) {
+	s := &Span{Op: "GroupBy", Busy: 10 * time.Millisecond, Workers: 4, Children: []*Span{
+		{Op: "Get", Busy: 35 * time.Millisecond}, // worker-side, sums across workers
+	}}
+	s.FinishSelf()
+	if s.Self != s.Busy {
+		t.Errorf("parallel-boundary Self = %v, want Busy = %v", s.Self, s.Busy)
+	}
+}
+
+func TestSpanWalkFindTotalSelf(t *testing.T) {
+	tree := &Span{Op: "Project", Self: 1, Children: []*Span{
+		{Op: "Join", Self: 2, Children: []*Span{
+			{Op: "Get", Self: 3},
+			{Op: "Get", Self: 4},
+		}},
+	}}
+	var order []string
+	tree.Walk(func(s *Span) { order = append(order, s.Op) })
+	if strings.Join(order, ",") != "Project,Join,Get,Get" {
+		t.Errorf("Walk order = %v", order)
+	}
+	if f := tree.Find("Join"); f == nil || f.Self != 2 {
+		t.Errorf("Find(Join) = %+v", f)
+	}
+	if f := tree.Find("Sort"); f != nil {
+		t.Errorf("Find(Sort) = %+v, want nil", f)
+	}
+	if got := tree.TotalSelf(); got != 10 {
+		t.Errorf("TotalSelf = %v, want 10", got)
+	}
+	var nilSpan *Span
+	nilSpan.Walk(func(*Span) { t.Error("Walk visited a nil span") })
+}
+
+func TestQueryRecordAppend(t *testing.T) {
+	var buf bytes.Buffer
+	r := QueryRecord{Fingerprint: "abc123", Cache: "hit", Rules: []string{"ApplyToJoin"},
+		DurationUS: 42, Rows: 7}
+	r.Now()
+	if err := r.Append(&buf); err != nil {
+		t.Fatal(err)
+	}
+	r2 := QueryRecord{Fingerprint: "def456", ErrorClass: ClassTimeout, Error: "query timeout"}
+	r2.Now()
+	if err := r2.Append(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 2: %q", len(lines), buf.String())
+	}
+	var got QueryRecord
+	if err := json.Unmarshal([]byte(lines[0]), &got); err != nil {
+		t.Fatalf("line 0 not valid JSON: %v", err)
+	}
+	if got.Fingerprint != "abc123" || got.Cache != "hit" || got.Rows != 7 ||
+		len(got.Rules) != 1 || got.Rules[0] != "ApplyToJoin" {
+		t.Errorf("round-trip mismatch: %+v", got)
+	}
+	if _, err := time.Parse(time.RFC3339Nano, got.Time); err != nil {
+		t.Errorf("ts not RFC3339Nano: %v", err)
+	}
+	if err := json.Unmarshal([]byte(lines[1]), &got); err != nil {
+		t.Fatalf("line 1 not valid JSON: %v", err)
+	}
+	if got.ErrorClass != ClassTimeout || got.Error == "" {
+		t.Errorf("failure record mismatch: %+v", got)
+	}
+	if !strings.HasSuffix(buf.String(), "\n") {
+		t.Error("log does not end with newline")
+	}
+}
+
+func TestPublishIdempotent(t *testing.T) {
+	var m Metrics
+	Publish("orthoq_test_publish", &m)
+	Publish("orthoq_test_publish", &m) // second call must not panic
+}

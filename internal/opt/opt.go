@@ -9,6 +9,34 @@ import (
 	"orthoq/internal/stats"
 )
 
+// Canonical names of the cost-based transformation rules, used by
+// Config.DisableRules, Result.Rules, and the rule-level equivalence
+// harness. Normalization rules (the Apply-removal identities and
+// outerjoin simplification) are named in internal/core.
+const (
+	RulePushGroupByBelowJoin      = "PushGroupByBelowJoin"
+	RuleSplitGroupBy              = "SplitGroupBy"
+	RulePushLocalGroupByBelowJoin = "PushLocalGroupByBelowJoin"
+	RulePullGroupByAboveJoin      = "PullGroupByAboveJoin"
+	RulePushSemiJoinBelowGroupBy  = "PushSemiJoinBelowGroupBy"
+	RuleSemiJoinToJoinDistinct    = "SemiJoinToJoinDistinct"
+	RuleIntroduceSegmentApply     = "IntroduceSegmentApply"
+	RulePushJoinBelowSegmentApply = "PushJoinBelowSegmentApply"
+	RuleCommuteJoin               = "CommuteJoin"
+	RuleRotateJoin                = "RotateJoin"
+	RuleJoinToApply               = "JoinToApply"
+)
+
+// RuleNames lists every cost-based transformation rule.
+func RuleNames() []string {
+	return []string{
+		RulePushGroupByBelowJoin, RuleSplitGroupBy, RulePushLocalGroupByBelowJoin,
+		RulePullGroupByAboveJoin, RulePushSemiJoinBelowGroupBy, RuleSemiJoinToJoinDistinct,
+		RuleIntroduceSegmentApply, RulePushJoinBelowSegmentApply,
+		RuleCommuteJoin, RuleRotateJoin, RuleJoinToApply,
+	}
+}
+
 // Config selects which transformation rules the optimizer may use;
 // disabling individual primitives implements the paper's ablations
 // ("systems" axis of the benchmark harness).
@@ -26,9 +54,16 @@ type Config struct {
 	// DisableCorrelatedReintro turns off rewriting joins back into
 	// index-lookup Apply plans.
 	DisableCorrelatedReintro bool
+	// DisableRules suppresses individual rules by canonical name (the
+	// Rule* constants) — finer grained than the family flags above; the
+	// rule-level equivalence harness disables one rule at a time and
+	// checks result equivalence.
+	DisableRules map[string]bool
 	// MaxSteps caps best-first expansions (0 = default).
 	MaxSteps int
 }
+
+func (c *Config) disabled(name string) bool { return c.DisableRules[name] }
 
 // Optimizer explores the rule-generated plan space and returns the
 // cheapest plan under the cost model.
@@ -44,11 +79,16 @@ type Result struct {
 	Plan     algebra.Rel
 	Cost     float64
 	Explored int
+	// Rules is the sequence of rule applications that derived the
+	// chosen plan from its seed (empty when the seed won unchanged).
+	Rules []string
 }
 
 type frontierItem struct {
 	rel  algebra.Rel
 	cost float64
+	// rules is the rewrite path from the seed to rel.
+	rules []string
 }
 
 type frontier []frontierItem
@@ -63,6 +103,12 @@ func (f *frontier) Pop() any {
 	it := old[n-1]
 	*f = old[:n-1]
 	return it
+}
+
+// candidate is one named single-rule rewrite.
+type candidate struct {
+	rel  algebra.Rel
+	rule string
 }
 
 // Optimize runs best-first search from the normalized plan. Extra
@@ -81,17 +127,17 @@ func (o *Optimizer) Optimize(rel algebra.Rel, seeds ...algebra.Rel) *Result {
 
 	seen := map[string]bool{}
 	var fr frontier
-	push := func(r algebra.Rel) {
+	push := func(r algebra.Rel, rules []string) {
 		key := algebra.FormatRel(o.Md, r)
 		if seen[key] {
 			return
 		}
 		seen[key] = true
-		heap.Push(&fr, frontierItem{rel: r, cost: cost(r)})
+		heap.Push(&fr, frontierItem{rel: r, cost: cost(r), rules: rules})
 	}
-	push(rel)
+	push(rel, nil)
 	for _, s := range seeds {
-		push(s)
+		push(s, nil)
 	}
 
 	best := Result{Plan: rel, Cost: cost(rel)}
@@ -100,7 +146,7 @@ func (o *Optimizer) Optimize(rel algebra.Rel, seeds ...algebra.Rel) *Result {
 		item := heap.Pop(&fr).(frontierItem)
 		steps++
 		if item.cost < best.Cost {
-			best.Plan, best.Cost = item.rel, item.cost
+			best.Plan, best.Cost, best.Rules = item.rel, item.cost, item.rules
 		}
 		// Prune hopeless regions: anything an order of magnitude worse
 		// than the incumbent rarely leads anywhere better.
@@ -108,61 +154,70 @@ func (o *Optimizer) Optimize(rel algebra.Rel, seeds ...algebra.Rel) *Result {
 			continue
 		}
 		for _, n := range o.neighbors(item.rel) {
-			push(n)
+			path := make([]string, len(item.rules), len(item.rules)+1)
+			copy(path, item.rules)
+			push(n.rel, append(path, n.rule))
 		}
 	}
 	best.Explored = steps
 	return &best
 }
 
-// neighbors generates all single-rule rewrites anywhere in the tree.
-func (o *Optimizer) neighbors(rel algebra.Rel) []algebra.Rel {
-	var out []algebra.Rel
-	for _, alt := range o.rulesAt(rel) {
-		out = append(out, alt)
-	}
+// neighbors generates all single-rule rewrites anywhere in the tree,
+// tagged with the rule that produced them.
+func (o *Optimizer) neighbors(rel algebra.Rel) []candidate {
+	var out []candidate
+	out = append(out, o.rulesAt(rel)...)
 	ins := rel.Inputs()
 	for i, child := range ins {
 		for _, nc := range o.neighbors(child) {
 			kids := make([]algebra.Rel, len(ins))
 			copy(kids, ins)
-			kids[i] = nc
-			out = append(out, rel.WithInputs(kids))
+			kids[i] = nc.rel
+			out = append(out, candidate{rel: rel.WithInputs(kids), rule: nc.rule})
 		}
 	}
 	return out
 }
 
 // rulesAt applies every enabled rule at the root of r.
-func (o *Optimizer) rulesAt(r algebra.Rel) []algebra.Rel {
-	var out []algebra.Rel
-	add := func(nr algebra.Rel, ok bool) {
-		if ok && nr != nil {
-			out = append(out, nr)
+func (o *Optimizer) rulesAt(r algebra.Rel) []candidate {
+	var out []candidate
+	add := func(rule string, nr algebra.Rel, ok bool) {
+		if ok && nr != nil && !o.Config.disabled(rule) {
+			out = append(out, candidate{rel: nr, rule: rule})
 		}
 	}
 	switch t := r.(type) {
 	case *algebra.GroupBy:
 		if !o.Config.DisableGroupByReorder {
-			add(core.TryPushGroupByBelowJoin(o.Md, t))
+			nr, ok := core.TryPushGroupByBelowJoin(o.Md, t)
+			add(RulePushGroupByBelowJoin, nr, ok)
 		}
 		if !o.Config.DisableLocalAgg {
 			if t.Kind == algebra.VectorGroupBy {
-				add(core.TrySplitGroupBy(o.Md, t))
+				nr, ok := core.TrySplitGroupBy(o.Md, t)
+				add(RuleSplitGroupBy, nr, ok)
 			}
 			if t.Kind == algebra.LocalGroupBy {
-				add(core.TryPushLocalGroupByBelowJoin(o.Md, t))
+				nr, ok := core.TryPushLocalGroupByBelowJoin(o.Md, t)
+				add(RulePushLocalGroupByBelowJoin, nr, ok)
 			}
 		}
 	case *algebra.Join:
 		if !o.Config.DisableGroupByReorder {
-			add(core.TryPullGroupByAboveJoin(o.Md, t))
-			add(core.TryPushSemiJoinBelowGroupBy(o.Md, t))
-			add(core.TrySemiJoinToJoinDistinct(o.Md, t))
+			nr, ok := core.TryPullGroupByAboveJoin(o.Md, t)
+			add(RulePullGroupByAboveJoin, nr, ok)
+			nr, ok = core.TryPushSemiJoinBelowGroupBy(o.Md, t)
+			add(RulePushSemiJoinBelowGroupBy, nr, ok)
+			nr, ok = core.TrySemiJoinToJoinDistinct(o.Md, t)
+			add(RuleSemiJoinToJoinDistinct, nr, ok)
 		}
 		if !o.Config.DisableSegmentApply {
-			add(core.TryIntroduceSegmentApply(o.Md, t))
-			add(core.TryPushJoinBelowSegmentApply(o.Md, t))
+			nr, ok := core.TryIntroduceSegmentApply(o.Md, t)
+			add(RuleIntroduceSegmentApply, nr, ok)
+			nr, ok = core.TryPushJoinBelowSegmentApply(o.Md, t)
+			add(RulePushJoinBelowSegmentApply, nr, ok)
 			// Composite Figure-6→Figure-7 step: introduce SegmentApply
 			// at a child join and immediately push this join below it.
 			// Without the composition, the intermediate whole-table
@@ -180,16 +235,24 @@ func (o *Optimizer) rulesAt(r algebra.Rel) []algebra.Rel {
 				kids := []algebra.Rel{t.Left, t.Right}
 				kids[i] = sa
 				wrapped := t.WithInputs(kids).(*algebra.Join)
-				add(core.TryPushJoinBelowSegmentApply(o.Md, wrapped))
+				nr, ok := core.TryPushJoinBelowSegmentApply(o.Md, wrapped)
+				// The composite counts as both rules; gate on either
+				// being disabled via add's check on the segment names.
+				add(RulePushJoinBelowSegmentApply, nr,
+					ok && !o.Config.disabled(RuleIntroduceSegmentApply))
 			}
 		}
 		if !o.Config.DisableJoinReorder {
-			add(commuteJoin(t))
-			add(rotateJoinRight(t))
-			add(rotateJoinLeft(t))
+			nr, ok := commuteJoin(t)
+			add(RuleCommuteJoin, nr, ok)
+			nr, ok = rotateJoinRight(t)
+			add(RuleRotateJoin, nr, ok)
+			nr, ok = rotateJoinLeft(t)
+			add(RuleRotateJoin, nr, ok)
 		}
 		if !o.Config.DisableCorrelatedReintro {
-			add(joinToApply(o.Md, o.Cat, t))
+			nr, ok := joinToApply(o.Md, o.Cat, t)
+			add(RuleJoinToApply, nr, ok)
 		}
 	}
 	return out

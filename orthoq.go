@@ -20,8 +20,11 @@ package orthoq
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"hash/fnv"
+	"io"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -32,6 +35,7 @@ import (
 	"orthoq/internal/core"
 	"orthoq/internal/exec"
 	"orthoq/internal/exec/faultinject"
+	"orthoq/internal/obs"
 	"orthoq/internal/opt"
 	"orthoq/internal/plancache"
 	"orthoq/internal/sql/ast"
@@ -122,6 +126,26 @@ type Config struct {
 	// PlanCache configures the parameterized plan cache consulted by
 	// Query/QueryCfg. The zero value enables it with defaults.
 	PlanCache PlanCacheConfig
+	// DisableRules suppresses individual rewrite rules by canonical
+	// name (see RuleNames): normalization identities stay correlated,
+	// cost-based transformations are never generated. Unlike the
+	// observability knobs below, disabled rules change the compiled
+	// plan, so they are part of the plan-cache identity.
+	DisableRules []string
+
+	// Trace enables per-operator span collection: the result's Spans()
+	// method returns the operator span tree (rows, opens, batches,
+	// inclusive/self wall time, memory, spills, parallel activity per
+	// operator). Tracing is run state — a cached plan is shared by
+	// traced and untraced runs — and costs one map insert plus two
+	// time.Now calls per operator call when on, nothing when off.
+	Trace bool
+	// QueryLog, when non-nil, receives one JSON line per completed
+	// query execution (success or failure): fingerprint, cache status,
+	// rewrite rules applied, duration, rows, peak memory, spills,
+	// parallel activity, and error class. Writes are serialized per DB
+	// handle, each line in a single Write call. Run state.
+	QueryLog io.Writer
 
 	// Timeout, when positive, bounds each query execution; expiry
 	// surfaces as an error wrapping ErrTimeout. Combine with
@@ -163,6 +187,8 @@ type runOpts struct {
 	spillDir     string
 	rowBudget    int64
 	faults       *faultinject.Injector
+	trace        bool
+	queryLog     io.Writer
 }
 
 func (c Config) execOpts(ctx context.Context) runOpts {
@@ -174,6 +200,8 @@ func (c Config) execOpts(ctx context.Context) runOpts {
 		spillDir:     c.SpillDir,
 		rowBudget:    c.RowBudget,
 		faults:       c.faults,
+		trace:        c.Trace,
+		queryLog:     c.QueryLog,
 	}
 }
 
@@ -194,10 +222,38 @@ type PlanCacheConfig struct {
 // (or its execution strategy) into the cache key, so plans compiled
 // under different configurations never alias.
 func (c Config) planKey() string {
-	return fmt.Sprintf("%t%t%t%t%t%t%t%t%t%t|%d|%d",
+	key := fmt.Sprintf("%t%t%t%t%t%t%t%t%t%t|%d|%d",
 		c.Decorrelate, c.RemoveClass2, c.SimplifyOuterJoins, c.CostBased,
 		c.GroupByReorder, c.LocalAgg, c.SegmentApply, c.JoinReorder,
 		c.CorrelatedReintro, c.DisableBatch, c.MaxSteps, c.Parallelism)
+	if len(c.DisableRules) > 0 {
+		// Sorted so the key is order-insensitive; Trace/QueryLog are
+		// deliberately absent — observability is run state.
+		d := append([]string(nil), c.DisableRules...)
+		sort.Strings(d)
+		key += "|" + strings.Join(d, ",")
+	}
+	return key
+}
+
+// RuleNames lists the canonical names of every individually disableable
+// rewrite rule: the normalization identities (Apply removal, outerjoin
+// simplification) followed by the cost-based transformation rules.
+func RuleNames() []string {
+	return append(core.NormRuleNames(), opt.RuleNames()...)
+}
+
+// ruleSet turns a rule-name list into the lookup map the lower layers
+// use.
+func ruleSet(names []string) map[string]bool {
+	if len(names) == 0 {
+		return nil
+	}
+	m := make(map[string]bool, len(names))
+	for _, n := range names {
+		m[n] = true
+	}
+	return m
 }
 
 // DefaultConfig enables the paper's full technique set.
@@ -219,6 +275,7 @@ func (c Config) normOptions() core.Options {
 		RemoveClass2:   c.RemoveClass2,
 		KeepCorrelated: !c.Decorrelate,
 		KeepOuterJoins: !c.SimplifyOuterJoins,
+		DisableRules:   ruleSet(c.DisableRules),
 	}
 }
 
@@ -230,6 +287,7 @@ func (c Config) optConfig() opt.Config {
 		DisableSegmentApply:      !c.SegmentApply,
 		DisableJoinReorder:       !c.JoinReorder,
 		DisableCorrelatedReintro: !c.CorrelatedReintro,
+		DisableRules:             ruleSet(c.DisableRules),
 		MaxSteps:                 c.MaxSteps,
 	}
 }
@@ -258,6 +316,16 @@ type DB struct {
 	// disabledBypasses counts cache bypasses taken before/without a
 	// cache instance (PlanCache.Disabled configs).
 	disabledBypasses atomic.Uint64
+
+	// metrics is the engine-wide observability registry; every
+	// execution path folds into it with a few atomic adds. Snapshot via
+	// Metrics().
+	metrics obs.Metrics
+	// logMu serializes query-log writes: one lock per handle covers
+	// every Config.QueryLog writer, so interleaved runs with different
+	// writers still produce intact lines even when those writers alias
+	// the same underlying stream.
+	logMu sync.Mutex
 }
 
 // statsNow returns the current statistics collection.
@@ -268,7 +336,39 @@ func Open(store *storage.Store) *DB {
 	db := &DB{store: store}
 	db.statsv.Store(stats.Collect(store))
 	db.analyzedRows.Store(totalRows(db.statsNow(), store))
+	// Expose engine counters on the process debug endpoint. First
+	// handle wins the name; additional handles keep their Metrics()
+	// accessor but are not re-published.
+	obs.Publish("orthoq", &db.metrics)
 	return db
+}
+
+// Span is a node of the per-operator span tree returned by
+// Rows.Spans; the alias lets callers name the type (e.g. in Walk
+// closures) without reaching into internal packages.
+type Span = obs.Span
+
+// MetricsSnapshot is the point-in-time counter copy returned by
+// DB.Metrics.
+type MetricsSnapshot = obs.Snapshot
+
+// QueryRecord is the schema of one Config.QueryLog line, exported so
+// log consumers can unmarshal records by name.
+type QueryRecord = obs.QueryRecord
+
+// Metrics snapshots the engine-wide observability counters: queries
+// run and failed (classified), rows returned, execution time histogram,
+// spills, peak memory high-water, morsel-driven parallelism activity,
+// and plan-cache effectiveness. All counters are monotonic since Open,
+// so callers diff two snapshots to meter an interval.
+func (db *DB) Metrics() MetricsSnapshot {
+	s := db.metrics.Snapshot()
+	cs := db.CacheStats()
+	s.CacheHits = cs.Hits
+	s.CacheMisses = cs.Misses
+	s.CacheBypasses = cs.Bypasses
+	s.CacheEvictions = cs.Evictions
+	return s
 }
 
 func totalRows(sc *stats.Collection, store *storage.Store) int64 {
@@ -403,7 +503,26 @@ type Rows struct {
 	// Spills counts spill partition files written during execution
 	// (non-zero only when MemBudget forced operators to disk).
 	Spills int64
+	// Workers and Morsels report morsel-driven parallel activity
+	// (goroutines spawned, driver-scan morsels dispatched).
+	Workers int64
+	Morsels int64
+	// Rules lists the rewrite rules that shaped the plan, in firing
+	// order, deduplicated: normalization identities first, then the
+	// cost-based transformation path of the winning plan.
+	Rules []string
+
+	// spans is the operator span tree; set when Config.Trace was on
+	// (or via QueryAnalyze).
+	spans *obs.Span
 }
+
+// Spans returns the per-operator span tree of a traced run (Config.Trace
+// or QueryAnalyze): per operator, rows/opens/batches, inclusive (Busy)
+// and exclusive (Self) wall time, memory, spills, and — at a parallel
+// exchange — workers, morsels, and cumulative worker time. Returns nil
+// when the run was not traced.
+func (r *Rows) Spans() *Span { return r.spans }
 
 // Table renders the result as an aligned text table.
 func (r *Rows) Table() string {
@@ -655,6 +774,9 @@ type prepared struct {
 	cost     float64
 	par      int
 	noBatch  bool
+	// rules records the rewrite rules that shaped the plan (see
+	// Rows.Rules). Immutable after prepare.
+	rules []string
 	// fingerprint identifies the plan in contained-panic reports
 	// (FNV-64a over the plan rendering).
 	fingerprint string
@@ -684,7 +806,10 @@ func (db *DB) prepareAST(q ast.Query, cfg Config, params []types.Datum) (*prepar
 	if err != nil {
 		return nil, err
 	}
-	rel, err := core.Normalize(md, res.Rel, cfg.normOptions())
+	var fired []string
+	nopts := cfg.normOptions()
+	nopts.Record = func(rule string) { fired = append(fired, rule) }
+	rel, err := core.Normalize(md, res.Rel, nopts)
 	if err != nil {
 		return nil, err
 	}
@@ -694,9 +819,31 @@ func (db *DB) prepareAST(q ast.Query, cfg Config, params []types.Datum) (*prepar
 		o := &opt.Optimizer{Md: md, Cat: db.store.Catalog, Stats: db.statsNow(), Config: cfg.optConfig()}
 		r := o.Optimize(rel, correlatedSeed(md, res.Rel, cfg)...)
 		p.plan, p.steps, p.cost = r.Plan, r.Explored, r.Cost
+		// The correlated seed is a strategy alternative, not a rewrite of
+		// the chosen plan, so only the winner's rule path is reported.
+		fired = append(fired, r.Rules...)
 	}
+	p.rules = dedupRules(fired)
 	p.fingerprint = planFingerprint(md, p.plan)
 	return p, nil
+}
+
+// dedupRules keeps the first occurrence of each rule name, preserving
+// firing order (a rule that fired fifty times during normalization
+// reads once).
+func dedupRules(fired []string) []string {
+	if len(fired) == 0 {
+		return nil
+	}
+	seen := make(map[string]bool, len(fired))
+	out := make([]string, 0, len(fired))
+	for _, r := range fired {
+		if !seen[r] {
+			seen[r] = true
+			out = append(out, r)
+		}
+	}
+	return out
 }
 
 // correlatedSeed builds the correlated (Apply) formulation as an
@@ -758,11 +905,27 @@ func (p *prepared) runTraced(db *DB, params []types.Datum, cacheStatus string, t
 	if cancel != nil {
 		defer cancel()
 	}
-	if trace {
+	tracing := trace || opts.trace
+	if tracing {
 		ctx.EnableTrace()
 	}
 	start := time.Now()
-	out, err := exec.Run(ctx, p.plan, p.outCols)
+	var out *exec.Result
+	var err error
+	// CPU-profile samples of this run — including morsel workers, which
+	// inherit labels at spawn — carry the plan fingerprint, the same
+	// identifier used by the query log and panic reports.
+	obs.WithPlanLabel(ctx.Ctx, p.fingerprint, func(context.Context) {
+		out, err = exec.Run(ctx, p.plan, p.outCols)
+	})
+	elapsed := time.Since(start)
+	var nrows int64
+	if err == nil {
+		nrows = int64(len(out.Rows))
+	}
+	db.noteRun(p, cacheStatus, elapsed, nrows, err,
+		ctx.PeakMem(), ctx.Spills(), ctx.WorkersSpawned(), ctx.MorselsDispatched(),
+		opts.queryLog)
 	if err != nil {
 		return nil, err
 	}
@@ -770,17 +933,89 @@ func (p *prepared) runTraced(db *DB, params []types.Datum, cacheStatus string, t
 		Columns:        append([]string(nil), p.outNames...),
 		Data:           out.Rows,
 		Plan:           algebra.FormatRel(p.md, p.plan),
-		Elapsed:        time.Since(start),
+		Elapsed:        elapsed,
 		OptimizerSteps: p.steps,
 		EstimatedCost:  p.cost,
 		Cache:          cacheStatus,
 		PeakMemBytes:   out.PeakMem,
 		Spills:         out.Spills,
+		Workers:        out.Workers,
+		Morsels:        out.Morsels,
+		Rules:          p.rules,
+	}
+	if tracing {
+		r.spans = ctx.Spans(p.plan)
 	}
 	if trace {
 		r.Trace = ctx.FormatTrace(p.plan)
 	}
 	return r, nil
+}
+
+// errClass maps an execution error onto the query-log/metrics taxonomy
+// ("" for success).
+func errClass(err error) string {
+	switch {
+	case err == nil:
+		return ""
+	case errors.Is(err, ErrTimeout):
+		return obs.ClassTimeout
+	case errors.Is(err, ErrCanceled):
+		return obs.ClassCanceled
+	case errors.Is(err, ErrRowBudget):
+		return obs.ClassRowBudget
+	case errors.Is(err, ErrMemBudget):
+		return obs.ClassMemBudget
+	case errors.Is(err, ErrInternal):
+		return obs.ClassInternal
+	default:
+		return obs.ClassOther
+	}
+}
+
+// noteRun folds one finished execution — success or failure — into the
+// engine metrics and, when configured, appends its query-log record.
+// Every execution path (Query*, Stmt.Run*, QueryAnalyze, streams at
+// Close) funnels through here, which is what keeps DB.Metrics() deltas
+// consistent with per-query observations.
+func (db *DB) noteRun(p *prepared, cacheStatus string, elapsed time.Duration,
+	rows int64, runErr error, peakMem, spills, workers, morsels int64, logw io.Writer) {
+
+	class := errClass(runErr)
+	db.metrics.RecordRun(elapsed, rows, class)
+	db.metrics.NotePeakMem(peakMem)
+	if spills > 0 {
+		db.metrics.Spills.Add(uint64(spills))
+	}
+	if workers > 0 {
+		db.metrics.WorkersSpawned.Add(uint64(workers))
+	}
+	if morsels > 0 {
+		db.metrics.MorselsDispatched.Add(uint64(morsels))
+	}
+	if logw == nil {
+		return
+	}
+	rec := obs.QueryRecord{
+		Fingerprint:  p.fingerprint,
+		Cache:        cacheStatus,
+		Rules:        p.rules,
+		DurationUS:   elapsed.Microseconds(),
+		Rows:         rows,
+		PeakMemBytes: peakMem,
+		Spills:       spills,
+		Workers:      workers,
+		Morsels:      morsels,
+		ErrorClass:   class,
+	}
+	if runErr != nil {
+		rec.Error = runErr.Error()
+	}
+	rec.Now()
+	db.logMu.Lock()
+	// A failing writer only loses log lines, never the query result.
+	_ = rec.Append(logw)
+	db.logMu.Unlock()
 }
 
 // Stream is an incremental query result: rows are pulled one at a
@@ -792,6 +1027,18 @@ type Stream struct {
 	cu     *exec.Cursor
 	cancel context.CancelFunc
 	names  []string
+
+	// Observability: the stream's query-log record and metrics update
+	// are emitted once, at Close, when the row count is known. The
+	// logged duration spans open-to-Close, which for a stream includes
+	// caller think-time between Next calls.
+	db      *DB
+	prep    *prepared
+	logw    io.Writer
+	start   time.Time
+	nrows   int64
+	lastErr error
+	noted   bool
 }
 
 // QueryStream runs SQL under cfg and returns a streaming result. The
@@ -809,16 +1056,22 @@ func (db *DB) QueryStreamContext(goCtx context.Context, sql string, cfg Config) 
 	if err != nil {
 		return nil, err
 	}
-	ctx, cancel := prep.execContext(db, nil, cfg.execOpts(goCtx))
+	opts := cfg.execOpts(goCtx)
+	start := time.Now()
+	ctx, cancel := prep.execContext(db, nil, opts)
 	cu, err := exec.RunCursor(ctx, prep.plan, prep.outCols)
 	if err != nil {
 		if cancel != nil {
 			cancel()
 		}
+		db.noteRun(prep, "bypass", time.Since(start), 0, err,
+			ctx.PeakMem(), ctx.Spills(), ctx.WorkersSpawned(), ctx.MorselsDispatched(),
+			opts.queryLog)
 		return nil, err
 	}
 	return &Stream{cu: cu, cancel: cancel,
-		names: append([]string(nil), prep.outNames...)}, nil
+		names: append([]string(nil), prep.outNames...),
+		db:    db, prep: prep, logw: opts.queryLog, start: start}, nil
 }
 
 // Columns returns the result column names.
@@ -826,7 +1079,16 @@ func (s *Stream) Columns() []string { return s.names }
 
 // Next returns the next row; ok=false at end of stream. After an
 // error, Close, or exhaustion it keeps returning ok=false.
-func (s *Stream) Next() (Row, bool, error) { return s.cu.Next() }
+func (s *Stream) Next() (Row, bool, error) {
+	row, ok, err := s.cu.Next()
+	if ok {
+		s.nrows++
+	}
+	if err != nil {
+		s.lastErr = err
+	}
+	return row, ok, err
+}
 
 // PeakMemBytes reports the high-water mark of accounted operator
 // memory so far.
@@ -835,13 +1097,20 @@ func (s *Stream) PeakMemBytes() int64 { return s.cu.PeakMem() }
 // Spills reports spill partition files written so far.
 func (s *Stream) Spills() int64 { return s.cu.Spills() }
 
-// Close releases all execution resources. Safe to call at any point,
-// any number of times.
+// Close releases all execution resources, then folds the stream into
+// the engine metrics and query log (rows actually streamed; a stream
+// abandoned mid-result logs what it delivered). Safe to call at any
+// point, any number of times.
 func (s *Stream) Close() error {
 	err := s.cu.Close()
 	if s.cancel != nil {
 		s.cancel()
 		s.cancel = nil
+	}
+	if !s.noted {
+		s.noted = true
+		s.db.noteRun(s.prep, "bypass", time.Since(s.start), s.nrows, s.lastErr,
+			s.cu.PeakMem(), s.cu.Spills(), s.cu.Workers(), s.cu.Morsels(), s.logw)
 	}
 	return err
 }

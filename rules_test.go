@@ -1,0 +1,302 @@
+package orthoq
+
+// Rule-level equivalence harness. Every rewrite rule — the Figure-4
+// normalization identities and the §3/§4 cost-based transformations —
+// is exercised three ways:
+//
+//   1. A witness query per rule proves the rule actually fires
+//      (Rows.Rules reports the firing set), so a rule silently dying
+//      is caught even while results stay correct via other paths.
+//   2. For every rule a query fires, re-running the query with that
+//      one rule disabled must return the same bag of rows: each rule
+//      is individually load-bearing for performance only, never for
+//      correctness. Runs alternate serial and parallel execution.
+//   3. DisableRules is plan identity: the plan cache must never serve
+//      a plan compiled under a different rule set, while the order of
+//      the disabled-rule list must not matter.
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// ruleWitnesses maps each normalization rule to a query that fires it
+// under the baseline config (empirically pinned; see rules in the
+// comments). Cost-based rules are covered by the TPC-H leg below.
+var ruleWitnesses = []struct {
+	name  string
+	sql   string
+	rules []string // rules that must appear in the baseline firing set
+}{
+	{"scalar-agg", `select c_custkey from customer
+		where 1000 < (select sum(o_totalprice) from orders where o_custkey = c_custkey)`,
+		[]string{"ApplyScalarGroupBy", "ApplySelect", "ApplyToJoin"}},
+	{"select-list", `select c_custkey,
+		(select count(*) from orders where o_custkey = c_custkey) as n from customer`,
+		[]string{"ApplyScalarGroupBy", "ApplyToJoin"}},
+	{"exists", `select c_custkey from customer
+		where exists (select 1 from orders where o_custkey = c_custkey)`,
+		[]string{"ApplyProject", "ApplySelect", "ApplyToJoin"}},
+	{"orderby-sub", `select c_custkey from customer
+		where exists (select o_orderkey from orders where o_custkey = c_custkey order by o_orderkey)`,
+		[]string{"ApplySort"}},
+	{"outerjoin", `select c_custkey from customer left join orders on o_custkey = c_custkey
+		where o_totalprice > 1000`,
+		[]string{"SimplifyOuterJoin"}},
+	// The decompose witnesses keep an inequality correlation that
+	// stays a nested loop under every plan; the c_custkey cap bounds
+	// the outer side so disabled-rule (partially correlated) runs stay
+	// fast without changing which rules fire.
+	{"corr-union", `select c_custkey from customer
+		where c_custkey <= 40 and exists (select o_orderkey from orders where o_custkey = c_custkey
+			union all select o_orderkey from orders where o_totalprice > c_acctbal)`,
+		[]string{"ApplyDecompose", "ApplyUnion"}},
+	{"corr-except", `select c_custkey from customer
+		where c_custkey <= 40 and exists (select o_orderkey from orders where o_custkey = c_custkey
+			except all select o_orderkey from orders where o_totalprice > c_acctbal)`,
+		[]string{"ApplyDecompose", "ApplyDifference"}},
+	{"corr-union-gb", `select c_custkey from customer
+		where c_custkey <= 40 and exists (select o_custkey from orders where o_custkey = c_custkey group by o_custkey
+			union all select o_custkey from orders where o_totalprice > c_acctbal)`,
+		[]string{"ApplyGroupBy"}},
+	{"corr-on-join", `select c_custkey from customer
+		where c_custkey <= 40 and exists (select o_orderkey from orders join lineitem on l_orderkey = o_orderkey and l_quantity > c_acctbal
+			union all select o_orderkey from orders where o_custkey = c_custkey)`,
+		[]string{"ApplyJoin"}},
+}
+
+// neverAtThisScale are rules whose preconditions no witness or TPC-H
+// query meets at test scale; their disable plumbing is checked as a
+// strict no-op instead.
+var neverAtThisScale = []string{
+	"SplitGroupBy", "PushLocalGroupByBelowJoin", "PushSemiJoinBelowGroupBy",
+	"IntroduceSegmentApply", "PushJoinBelowSegmentApply",
+}
+
+func baselineRuleCfg() Config {
+	cfg := DefaultConfig()
+	cfg.RemoveClass2 = true // Figure-4 identities (5)-(7) included
+	cfg.MaxSteps = 300
+	return cfg
+}
+
+func hasRule(rules []string, name string) bool {
+	for _, r := range rules {
+		if r == name {
+			return true
+		}
+	}
+	return false
+}
+
+func TestRuleNamesWellFormed(t *testing.T) {
+	names := RuleNames()
+	seen := map[string]bool{}
+	for _, n := range names {
+		if n == "" {
+			t.Error("empty rule name")
+		}
+		if seen[n] {
+			t.Errorf("duplicate rule name %q", n)
+		}
+		seen[n] = true
+	}
+	for _, w := range ruleWitnesses {
+		for _, r := range w.rules {
+			if !seen[r] {
+				t.Errorf("witness %s expects unknown rule %q", w.name, r)
+			}
+		}
+	}
+	for _, r := range neverAtThisScale {
+		if !seen[r] {
+			t.Errorf("unknown rule %q in neverAtThisScale", r)
+		}
+	}
+}
+
+// TestRuleWitnessesFireAndAreRemovable is the core harness: each
+// witness's expected rules fire, and disabling any fired rule — one at
+// a time — keeps the result bag identical while removing the rule from
+// the reported firing set.
+func TestRuleWitnessesFireAndAreRemovable(t *testing.T) {
+	db := sharedDB(t)
+	cfg := baselineRuleCfg()
+	run := 0
+	for _, w := range ruleWitnesses {
+		base, err := db.QueryCfg(w.sql, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", w.name, err)
+		}
+		for _, want := range w.rules {
+			if !hasRule(base.Rules, want) {
+				t.Errorf("%s: rule %s did not fire (fired: %v)", w.name, want, base.Rules)
+			}
+		}
+		for _, rule := range base.Rules {
+			c := cfg
+			c.DisableRules = []string{rule}
+			if run++; run%2 == 0 {
+				c.Parallelism = 4
+			}
+			got, err := db.QueryCfg(w.sql, c)
+			if err != nil {
+				t.Fatalf("%s without %s: %v", w.name, rule, err)
+			}
+			if hasRule(got.Rules, rule) {
+				t.Errorf("%s: disabled rule %s still fired", w.name, rule)
+			}
+			if !sameBagApprox(base.Data, got.Data) {
+				t.Errorf("%s: disabling %s changed the result (%d rows vs %d)\nbaseline rules: %v\ngot rules: %v",
+					w.name, rule, len(base.Data), len(got.Data), base.Rules, got.Rules)
+			}
+		}
+	}
+}
+
+// TestRuleEquivalenceTPCH runs the same removability property over the
+// benchmark suite, and pins that the cost-based transformations the
+// witnesses cannot reach (GroupBy pull-up, join rotation) fire
+// somewhere in it.
+func TestRuleEquivalenceTPCH(t *testing.T) {
+	db := sharedDB(t)
+	cfg := baselineRuleCfg()
+	fired := map[string]bool{}
+	run := 0
+	for _, name := range TPCHQueryNames() {
+		sql, _ := TPCHQuery(name)
+		base, err := db.QueryCfg(sql, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for _, r := range base.Rules {
+			fired[r] = true
+		}
+		for _, rule := range base.Rules {
+			c := cfg
+			c.DisableRules = []string{rule}
+			if run++; run%2 == 0 {
+				c.Parallelism = 4
+			}
+			got, err := db.QueryCfg(sql, c)
+			if err != nil {
+				t.Fatalf("%s without %s: %v", name, rule, err)
+			}
+			if hasRule(got.Rules, rule) {
+				t.Errorf("%s: disabled rule %s still fired", name, rule)
+			}
+			if !sameBagApprox(base.Data, got.Data) {
+				t.Errorf("%s: disabling %s changed the result (%d rows vs %d)",
+					name, rule, len(base.Data), len(got.Data))
+			}
+		}
+	}
+	for _, want := range []string{"PushGroupByBelowJoin", "PullGroupByAboveJoin",
+		"SemiJoinToJoinDistinct", "CommuteJoin", "RotateJoin", "JoinToApply"} {
+		if !fired[want] {
+			t.Errorf("cost-based rule %s never fired across the TPC-H suite", want)
+		}
+	}
+}
+
+// TestDisableDormantRulesIsNoop: disabling rules whose preconditions a
+// query does not meet must leave the compiled plan byte-identical.
+func TestDisableDormantRulesIsNoop(t *testing.T) {
+	db := sharedDB(t)
+	cfg := baselineRuleCfg()
+	q1, _ := TPCHQuery("Q1")
+	for _, sql := range []string{q1, ruleWitnesses[0].sql} {
+		base, err := db.QueryCfg(sql, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := cfg
+		c.DisableRules = append([]string{}, neverAtThisScale...)
+		got, err := db.QueryCfg(sql, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Plan != base.Plan {
+			t.Errorf("disabling dormant rules changed the plan:\nbase:\n%s\ngot:\n%s", base.Plan, got.Plan)
+		}
+		if strings.Join(got.Rules, ",") != strings.Join(base.Rules, ",") {
+			t.Errorf("dormant disable changed firing set: %v vs %v", got.Rules, base.Rules)
+		}
+	}
+}
+
+// TestRuleEquivalenceFuzz extends the removability property to random
+// subquery shapes.
+func TestRuleEquivalenceFuzz(t *testing.T) {
+	db := sharedDB(t)
+	cfg := baselineRuleCfg()
+	cfg.MaxSteps = 200
+	r := rand.New(rand.NewSource(41))
+	run := 0
+	for i := 0; i < 12; i++ {
+		sql := randQuery(r)
+		base, err := db.QueryCfg(sql, cfg)
+		if err != nil {
+			t.Fatalf("query %d: %v\nsql: %s", i, err, sql)
+		}
+		for _, rule := range base.Rules {
+			c := cfg
+			c.DisableRules = []string{rule}
+			if run++; run%2 == 0 {
+				c.Parallelism = 4
+			}
+			got, err := db.QueryCfg(sql, c)
+			if err != nil {
+				t.Fatalf("query %d without %s: %v\nsql: %s", i, rule, err, sql)
+			}
+			if hasRule(got.Rules, rule) {
+				t.Errorf("query %d: disabled rule %s still fired\nsql: %s", i, rule, sql)
+			}
+			if !sameBagApprox(base.Data, got.Data) {
+				t.Errorf("query %d: disabling %s changed the result (%d vs %d rows)\nsql: %s",
+					i, rule, len(base.Data), len(got.Data), sql)
+			}
+		}
+	}
+}
+
+// TestDisableRulesPlanIdentity: the disabled-rule set is part of the
+// plan-cache key (different sets must not share a plan), but the
+// list's order is not (a permuted list hits the same entry).
+func TestDisableRulesPlanIdentity(t *testing.T) {
+	db, err := OpenTPCH(0.001, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := baselineRuleCfg()
+	sql := ruleWitnesses[0].sql // fires ApplyScalarGroupBy et al.
+
+	status := func(c Config) string {
+		r, err := db.QueryCfg(sql, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r.Cache
+	}
+
+	if got := status(cfg); got != "miss" {
+		t.Fatalf("first compile: cache = %q, want miss", got)
+	}
+	if got := status(cfg); got != "hit" {
+		t.Errorf("same config again: cache = %q, want hit", got)
+	}
+	c2 := cfg
+	c2.DisableRules = []string{"ApplyScalarGroupBy", "CommuteJoin"}
+	if got := status(c2); got != "miss" {
+		t.Errorf("new disabled-rule set: cache = %q, want miss (plan identity)", got)
+	}
+	c3 := cfg
+	c3.DisableRules = []string{"CommuteJoin", "ApplyScalarGroupBy"} // permuted
+	if got := status(c3); got != "hit" {
+		t.Errorf("permuted disabled-rule list: cache = %q, want hit (order-insensitive)", got)
+	}
+	if got := status(cfg); got != "hit" {
+		t.Errorf("original config after disabled runs: cache = %q, want hit", got)
+	}
+}
