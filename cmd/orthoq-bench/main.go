@@ -26,12 +26,12 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: figure1|figure8|figure9|ablation|parallel|cache|batch|spill|obs|all")
+	exp := flag.String("exp", "all", "experiment: figure1|figure8|figure9|ablation|parallel|cache|batch|spill|obs|apply|all")
 	sf := flag.Float64("sf", 0.01, "TPC-H scale factor for figure1/figure8/ablation/parallel/batch")
 	sfList := flag.String("sfs", "0.002,0.005,0.01,0.02", "comma-separated scale factors for figure9")
 	seed := flag.Int64("seed", 1, "data generator seed")
 	reps := flag.Int("reps", 3, "repetitions per measurement (median reported)")
-	jsonOut := flag.Bool("json", false, "emit machine-readable JSON lines (parallel/cache/batch experiments)")
+	jsonOut := flag.Bool("json", false, "emit machine-readable JSON lines (parallel/cache/batch/apply experiments)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the experiments to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile after the experiments to this file")
 	flag.Parse()
@@ -94,9 +94,10 @@ func main() {
 	run("batch", func() error { return bench.RunBatch(os.Stdout, openDB(), *reps, *jsonOut) })
 	run("spill", func() error { return bench.RunSpill(os.Stdout, openDB(), *reps, *jsonOut) })
 	run("obs", func() error { return bench.RunObs(os.Stdout, openDB(), *reps, *jsonOut) })
+	run("apply", func() error { return bench.RunApply(os.Stdout, openDB(), *reps, *jsonOut) })
 
 	if !ran {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q (want figure1|figure8|figure9|ablation|parallel|cache|batch|spill|obs|all)\n", *exp)
+		fmt.Fprintf(os.Stderr, "unknown experiment %q (want figure1|figure8|figure9|ablation|parallel|cache|batch|spill|obs|apply|all)\n", *exp)
 		os.Exit(2)
 	}
 

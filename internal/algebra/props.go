@@ -150,6 +150,29 @@ func OuterRefs(r Rel) ColSet {
 	return need
 }
 
+// ApplyBindingCols splits the free column references of an Apply's
+// inner side into the binding signature — the left-output columns the
+// inner expression can actually observe through correlation parameters
+// — and the ambient references bound by enclosing scopes. Two outer
+// rows that agree on the signature columns parameterize the inner
+// expression identically, so the executor's batched Apply deduplicates
+// inner executions on exactly this set (Guravannavar's
+// state-retention invocation, keyed per distinct binding).
+func ApplyBindingCols(a *Apply) (sig, ambient ColSet) {
+	free := OuterRefs(a.Right)
+	leftOut := OutputCols(a.Left)
+	return free.Intersection(leftOut), free.Difference(leftOut)
+}
+
+// HasForeignSegmentRefs reports whether r contains SegmentRef leaves
+// owned by a SegmentApply outside r. Such refs read segment state that
+// is invisible to OuterRefs, so execution strategies that hoist or
+// cache r across scope changes (worker-compiled Apply inners) must not
+// be used.
+func HasForeignSegmentRefs(r Rel) bool {
+	return len(collectSegmentRefs(r)) > 0
+}
+
 // collectSegmentRefs gathers SegmentRef leaves in r without descending
 // into nested SegmentApply scopes (their refs belong to the nested
 // apply).

@@ -34,6 +34,11 @@ type Result struct {
 	// number of spill partition files written.
 	PeakMemBytes int64 `json:"peak_mem_bytes,omitempty"`
 	Spills       int64 `json:"spills,omitempty"`
+	// Bindings and InnerExecs are reported by the apply experiment:
+	// correlation-binding lookups (one per outer row) and actual
+	// inner-side executions of the measured Apply.
+	Bindings   int64 `json:"bindings,omitempty"`
+	InnerExecs int64 `json:"inner_execs,omitempty"`
 }
 
 // ExecuteParallel runs the plan with the given worker count (0/1 =

@@ -27,7 +27,7 @@ func compile(ctx *Context, rel algebra.Rel) (*node, error) {
 			st = &OpStats{}
 			ctx.trace[rel] = st
 		}
-		it = &traceIter{in: it, st: st}
+		it = &traceIter{in: it, st: st, clk: &ctx.clk}
 	}
 	return newNode(&guardIter{in: it, op: opName(rel), ctx: ctx}, n.cols), nil
 }

@@ -43,6 +43,121 @@ func estimateRows(ctx *Context, rel algebra.Rel) int {
 	return 0
 }
 
+// applyStrategy selects how correlated Apply executes its inner side.
+type applyStrategy int
+
+const (
+	// applySequential re-opens the inner per outer row (legacy path).
+	applySequential applyStrategy = iota
+	// applyBatched dedups correlation bindings per batch of outer rows
+	// and executes once per distinct binding.
+	applyBatched
+	// applyParallel additionally spreads a batch's distinct missing
+	// bindings over a worker pool.
+	applyParallel
+)
+
+func (s applyStrategy) String() string {
+	switch s {
+	case applyBatched:
+		return "batched"
+	case applyParallel:
+		return "parallel"
+	default:
+		return "sequential"
+	}
+}
+
+const (
+	// applySeqMaxOuter: with at most this many estimated outer rows,
+	// batching machinery costs more than it saves.
+	applySeqMaxOuter = 8
+	// applyParMinOuter: below this many estimated outer rows the
+	// worker-pool setup is not worth amortizing.
+	applyParMinOuter = 4096
+)
+
+// chooseApplyStrategy picks the execution strategy for an Apply from
+// the Config override (ctx.ApplyStrategy) or, by default, from the
+// estimated outer cardinality.
+func chooseApplyStrategy(ctx *Context, a *algebra.Apply, sig algebra.ColSet) applyStrategy {
+	return pickApplyStrategy(ctx, a, sig, float64(estimateRows(ctx, a.Left)))
+}
+
+// PredictApplyStrategy reports the strategy name an Apply would run
+// under given an outer-cardinality estimate; EXPLAIN uses it to
+// annotate plans without compiling them. outerRows ≤ 0 means unknown.
+func PredictApplyStrategy(ctx *Context, a *algebra.Apply, outerRows float64) string {
+	sig, _ := algebra.ApplyBindingCols(a)
+	return pickApplyStrategy(ctx, a, sig, outerRows).String()
+}
+
+// applyDedupMinRatio is the outer-rows-per-distinct-binding ratio
+// below which batching is pointless: when nearly every binding is
+// unique the cache never hits and the batch machinery is pure
+// overhead, so the selector stays sequential.
+const applyDedupMinRatio = 1.25
+
+func pickApplyStrategy(ctx *Context, a *algebra.Apply, sig algebra.ColSet, outerRows float64) applyStrategy {
+	// An inner side holding SegmentRef leaves bound by an enclosing
+	// SegmentApply cannot be recompiled on a worker context; cap the
+	// strategy at batched.
+	foreign := algebra.HasForeignSegmentRefs(a.Right)
+	switch ctx.ApplyStrategy {
+	case "sequential":
+		return applySequential
+	case "batched":
+		return applyBatched
+	case "parallel":
+		if foreign {
+			return applyBatched
+		}
+		return applyParallel
+	}
+	if sig.Empty() || ctx.DisableBatch {
+		// Uncorrelated inners are spooled on the sequential path;
+		// DisableBatch pins the engine to pure row-at-a-time plans.
+		return applySequential
+	}
+	if outerRows > 0 && outerRows <= applySeqMaxOuter {
+		return applySequential
+	}
+	if d := estimateDistinct(ctx, sig); outerRows > 0 && d > 0 &&
+		outerRows/d < applyDedupMinRatio {
+		// Nearly-unique bindings (e.g. correlation on a key column):
+		// the cache cannot pay for the batching machinery.
+		return applySequential
+	}
+	if ctx.Parallelism > 1 && !foreign && outerRows >= applyParMinOuter {
+		return applyParallel
+	}
+	return applyBatched
+}
+
+// estimateDistinct guesses the number of distinct values the signature
+// columns take from base-column statistics (max across columns — a
+// lower bound on the distinct combination count). 0 means unknown.
+func estimateDistinct(ctx *Context, sig algebra.ColSet) float64 {
+	if ctx.Stats == nil {
+		return 0
+	}
+	d := 0.0
+	for _, col := range sig.Ordered() {
+		meta := ctx.Md.Column(col)
+		if meta.Table == "" {
+			continue
+		}
+		ts := ctx.Stats.Table(meta.Table)
+		if ts == nil || meta.Ord >= len(ts.Columns) {
+			continue
+		}
+		if v := float64(ts.Columns[meta.Ord].Distinct); v > d {
+			d = v
+		}
+	}
+	return d
+}
+
 // estimateGroups guesses the number of distinct groups from base-column
 // distinct counts, capped by the input cardinality.
 func estimateGroups(ctx *Context, gb *algebra.GroupBy, inRows int) int {

@@ -74,6 +74,12 @@ type Context struct {
 	// SpillDir is where spill partition files are created ("" = the
 	// system temp directory).
 	SpillDir string
+	// ApplyStrategy overrides the binding-batch Apply strategy selector:
+	// "sequential", "batched", or "parallel" force that mode for every
+	// Apply in the plan; "" (or "auto") picks per Apply from estimated
+	// outer cardinality. A forced "parallel" still degrades to batched
+	// for inner sides that cannot be recompiled on a worker context.
+	ApplyStrategy string
 	// Faults, when non-nil, is the test-only fault-injection harness
 	// consulted at every operator boundary.
 	Faults *faultinject.Injector
@@ -111,6 +117,11 @@ type Context struct {
 	driverGet *algebra.Get
 	// isWorker marks worker clones; it gates hash-join build sharing.
 	isWorker bool
+
+	// clk is the strand's amortized trace clock: traceIter wrappers on
+	// this strand share it so timing reads hit the real clock only every
+	// few operator calls. Strand-private, zero value ready.
+	clk amortClock
 }
 
 type segmentBinding struct {
@@ -195,24 +206,25 @@ func (c *Context) workerClone() *Context {
 		wt = make(map[algebra.Rel]*OpStats)
 	}
 	return &Context{
-		Store:        c.Store,
-		Md:           c.Md,
-		Stats:        c.Stats,
-		RowBudget:    c.RowBudget,
-		Params:       c.Params,
-		DisableBatch: c.DisableBatch,
-		Ctx:          c.Ctx,
-		MemBudget:    c.MemBudget,
-		DisableSpill: c.DisableSpill,
-		SpillDir:     c.SpillDir,
-		Faults:       c.Faults,
-		Fingerprint:  c.Fingerprint,
-		shared:       c.shared,
-		params:       make(eval.MapEnv),
-		segments:     make(map[*algebra.SegmentApply]*segmentBinding),
-		ev:           &eval.Evaluator{Params: c.Params},
-		trace:        wt,
-		isWorker:     true,
+		Store:         c.Store,
+		Md:            c.Md,
+		Stats:         c.Stats,
+		RowBudget:     c.RowBudget,
+		Params:        c.Params,
+		DisableBatch:  c.DisableBatch,
+		Ctx:           c.Ctx,
+		MemBudget:     c.MemBudget,
+		DisableSpill:  c.DisableSpill,
+		SpillDir:      c.SpillDir,
+		ApplyStrategy: c.ApplyStrategy,
+		Faults:        c.Faults,
+		Fingerprint:   c.Fingerprint,
+		shared:        c.shared,
+		params:        make(eval.MapEnv),
+		segments:      make(map[*algebra.SegmentApply]*segmentBinding),
+		ev:            &eval.Evaluator{Params: c.Params},
+		trace:         wt,
+		isWorker:      true,
 	}
 }
 

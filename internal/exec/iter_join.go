@@ -568,37 +568,20 @@ func (n *nlJoinIter) Next() (types.Row, bool, error) {
 
 func (n *nlJoinIter) Close() error { return n.left.it.Close() }
 
-// compileApply lowers correlated execution: the right side is compiled
-// once and re-opened for every left row with the left row's columns
-// installed as parameters. Inner index seeks pick the parameters up at
-// Open, which is exactly the paper's correlated index-lookup plan.
-func compileApply(ctx *Context, a *algebra.Apply) (*node, error) {
-	left, err := compile(ctx, a.Left)
-	if err != nil {
-		return nil, err
-	}
-	right, err := compile(ctx, a.Right)
-	if err != nil {
-		return nil, err
-	}
-	outCols := joinOutCols(a.Kind, left, right)
-	// An inner side that does not reference the outer row is invariant
-	// across re-opens; spool it (SQL Server's lazy spool does the same
-	// under correlated execution).
-	if !algebra.OuterRefs(a.Right).Intersects(algebra.OutputCols(a.Left)) {
-		right = newNode(&spoolIter{in: right.it}, right.cols)
-	}
-	it := &applyIter{ctx: ctx, a: a, left: left, right: right}
-	return newNode(it, outCols), nil
-}
-
 // spoolIter materializes its input on first Open and replays the
-// buffered rows on every later Open.
+// buffered rows on every later Open. The buffered rows are charged to
+// the per-query memory accountant as they arrive; the owning Apply
+// iterator calls release on its own Close (the spool must survive the
+// per-outer-row Close/Open cycle of the inner side, so its own Close
+// is a no-op), after which a later Open refills.
 type spoolIter struct {
-	in     iterator
-	filled bool
-	rows   []types.Row
-	pos    int
+	ctx     *Context
+	st      *OpStats
+	in      iterator
+	filled  bool
+	rows    []types.Row
+	pos     int
+	charged int64
 }
 
 func (s *spoolIter) Open() error {
@@ -609,19 +592,42 @@ func (s *spoolIter) Open() error {
 	if err := s.in.Open(); err != nil {
 		return err
 	}
+	governed := s.ctx.MemBudget > 0 || s.ctx.Faults != nil
 	for {
 		row, ok, err := s.in.Next()
 		if err != nil {
 			s.in.Close()
+			s.release()
 			return err
 		}
 		if !ok {
 			break
 		}
+		if governed {
+			// The spool cannot spill; over-budget usage stays visible in
+			// the accountant and only aborts under DisableSpill.
+			n := rowBytes(row)
+			if _, err := s.ctx.grantMem(s.st, "Spool", n); err != nil {
+				s.in.Close()
+				s.release()
+				return err
+			}
+			s.charged += n
+		}
 		s.rows = append(s.rows, row)
 	}
 	s.filled = true
 	return s.in.Close()
+}
+
+// release drops the buffered rows and returns their accounted bytes.
+func (s *spoolIter) release() {
+	if s.charged > 0 {
+		s.ctx.releaseMem(s.charged)
+		s.charged = 0
+	}
+	s.rows = nil
+	s.filled = false
 }
 
 func (s *spoolIter) Next() (types.Row, bool, error) {
@@ -639,6 +645,12 @@ type applyIter struct {
 	ctx         *Context
 	a           *algebra.Apply
 	left, right *node
+	// spool is set when the invariant inner side was wrapped in a
+	// spool; the apply owns its teardown (see spoolIter.release).
+	spool *spoolIter
+	// st, when tracing, carries the strategy and binding counters
+	// shared with the traceIter wrapping this operator.
+	st *OpStats
 
 	cenv    combinedEnv
 	lrow    types.Row
@@ -697,6 +709,12 @@ func (ap *applyIter) Next() (types.Row, bool, error) {
 			ap.haveL = true
 			ap.matched = false
 			ap.bindLeft()
+			if ap.st != nil {
+				// Sequential execution runs the inner per outer row:
+				// every binding is its own execution.
+				ap.st.Bindings++
+				ap.st.InnerExecs++
+			}
 			if err := ap.right.it.Open(); err != nil {
 				return nil, false, err
 			}
@@ -766,6 +784,9 @@ func (ap *applyIter) Close() error {
 	if ap.rOpen {
 		ap.right.it.Close()
 		ap.rOpen = false
+	}
+	if ap.spool != nil {
+		ap.spool.release()
 	}
 	return ap.left.it.Close()
 }

@@ -37,6 +37,14 @@ type OpStats struct {
 	// Spills counts spill episodes this operator took (a hash
 	// aggregation or join build crossing the memory budget).
 	Spills int64
+	// Strategy is the Apply execution strategy chosen at compile time
+	// ("sequential", "batched", "parallel"); empty for other operators.
+	Strategy string
+	// Bindings counts correlation-binding lookups (one per outer row of
+	// an Apply); InnerExecs counts actual inner-side executions. Their
+	// ratio is the binding cache's dedup win.
+	Bindings   int64
+	InnerExecs int64
 }
 
 // addFrom folds another operator's counters into this one (worker
@@ -53,6 +61,11 @@ func (st *OpStats) addFrom(src *OpStats) {
 	st.Morsels += src.Morsels
 	st.MemBytes += atomic.LoadInt64(&src.MemBytes)
 	st.Spills += atomic.LoadInt64(&src.Spills)
+	if st.Strategy == "" {
+		st.Strategy = src.Strategy
+	}
+	st.Bindings += src.Bindings
+	st.InnerExecs += src.InnerExecs
 }
 
 // traceStats returns the stats slot for a logical node, creating it
@@ -77,6 +90,44 @@ func (c *Context) EnableTrace() {
 	c.trace = make(map[algebra.Rel]*OpStats)
 }
 
+// traceClockEvery is how many clock reads an amortClock serves from
+// its cached timestamp before refreshing from the real clock. It must
+// be odd: wrappers read twice per call (frame start and end), so an
+// even interval would pin every refresh to the same frame position —
+// with refreshes always landing on starts, every measured delta
+// collapses to zero.
+const traceClockEvery = 15
+
+// amortClock is a tick-amortized monotone clock shared by every
+// traceIter of one execution strand. Row-mode Apply plans re-open
+// their inner tree per outer row, and with a wrapper on every operator
+// each Open/Next/Close paid two time.Now calls — the 3.3x apply-heavy
+// tracing overhead in EXPERIMENTS.md. Serving most reads from a cached
+// timestamp collapses that to ~2/traceClockEvery real reads per call.
+//
+// Correctness: the cached clock is monotone (it only moves forward, on
+// refresh), and every wrapper on the strand reads the same clock, so
+// nested interval deltas still telescope — a child's measured Busy can
+// never exceed its parent's, and the root's Busy never exceeds real
+// elapsed time. Precision, not soundness, is what's amortized: an
+// individual operator's time can be off by up to traceClockEvery call
+// durations, which is noise at the whole-plan level the trace reports.
+type amortClock struct {
+	n    int
+	last time.Time
+}
+
+// read returns the current amortized timestamp, refreshing from the
+// real clock every traceClockEvery reads (and always on first use).
+func (c *amortClock) read() time.Time {
+	if c.n == 0 {
+		c.last = time.Now()
+		c.n = traceClockEvery
+	}
+	c.n--
+	return c.last
+}
+
 // traceIter wraps an iterator and accumulates statistics.
 //
 // Counting contract: every delivered row increments Rows exactly once,
@@ -89,6 +140,8 @@ func (c *Context) EnableTrace() {
 type traceIter struct {
 	in iterator
 	st *OpStats
+	// clk is the strand's shared amortized clock (see amortClock).
+	clk *amortClock
 }
 
 // note is the single counting site for produced rows.
@@ -104,21 +157,21 @@ func (t *traceIter) note(n int, batched bool, elapsed time.Duration) {
 }
 
 func (t *traceIter) Open() error {
-	start := time.Now()
+	start := t.clk.read()
 	err := t.in.Open()
-	t.st.Busy += time.Since(start)
+	t.st.Busy += t.clk.read().Sub(start)
 	t.st.Opens++
 	return err
 }
 
 func (t *traceIter) Next() (row types.Row, ok bool, err error) {
-	start := time.Now()
+	start := t.clk.read()
 	row, ok, err = t.in.Next()
 	n := 0
 	if ok {
 		n = 1
 	}
-	t.note(n, false, time.Since(start))
+	t.note(n, false, t.clk.read().Sub(start))
 	return row, ok, err
 }
 
@@ -126,20 +179,20 @@ func (t *traceIter) Next() (row types.Row, ok bool, err error) {
 // adapter for operators without a native fast path) and accumulates
 // batch counts alongside rows.
 func (t *traceIter) NextBatch(b *Batch) error {
-	start := time.Now()
+	start := t.clk.read()
 	err := nextBatch(t.in, b)
 	n := 0
 	if err == nil {
 		n = b.Len()
 	}
-	t.note(n, true, time.Since(start))
+	t.note(n, true, t.clk.read().Sub(start))
 	return err
 }
 
 func (t *traceIter) Close() error {
-	start := time.Now()
+	start := t.clk.read()
 	err := t.in.Close()
-	t.st.Busy += time.Since(start)
+	t.st.Busy += t.clk.read().Sub(start)
 	return err
 }
 
@@ -187,6 +240,9 @@ func (c *Context) buildSpan(rel algebra.Rel) *obs.Span {
 		sp.Morsels = use.Morsels
 		sp.MemBytes = atomic.LoadInt64(&use.MemBytes)
 		sp.Spills = atomic.LoadInt64(&use.Spills)
+		sp.Strategy = use.Strategy
+		sp.Bindings = use.Bindings
+		sp.InnerExecs = use.InnerExecs
 	}
 	if st != nil && wst != nil {
 		// Exchange collision: the worker subtree's root is the same
@@ -248,6 +304,10 @@ func (c *Context) FormatTrace(rel algebra.Rel) string {
 			}
 			if sp.MemBytes > 0 || sp.Spills > 0 {
 				fmt.Fprintf(&b, " (mem=%d spills=%d)", sp.MemBytes, sp.Spills)
+			}
+			if sp.Strategy != "" {
+				fmt.Fprintf(&b, " (strategy=%s bindings=%d inner-execs=%d)",
+					sp.Strategy, sp.Bindings, sp.InnerExecs)
 			}
 		}
 		b.WriteByte('\n')

@@ -35,7 +35,7 @@ func (f *fakeRows) Close() error { return nil }
 func TestTraceIterMixedModeCountsOnce(t *testing.T) {
 	const n = 2500 // > 2×BatchSize so the batch path runs more than once
 	st := &OpStats{}
-	ti := &traceIter{in: &fakeRows{n: n}, st: st}
+	ti := &traceIter{in: &fakeRows{n: n}, st: st, clk: &amortClock{}}
 	if err := ti.Open(); err != nil {
 		t.Fatal(err)
 	}

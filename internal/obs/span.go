@@ -50,6 +50,14 @@ type Span struct {
 	// WorkerTime is the cumulative worker-side wall time at a parallel
 	// boundary (sums across workers; exceeds Busy when workers overlap).
 	WorkerTime time.Duration `json:"worker_ns,omitempty"`
+	// Strategy is the Apply execution strategy chosen at compile time
+	// ("sequential", "batched", "parallel"); empty for other operators.
+	Strategy string `json:"strategy,omitempty"`
+	// Bindings counts an Apply's correlation-binding lookups (one per
+	// outer row); InnerExecs counts actual inner-side executions. Their
+	// ratio is the binding cache's deduplication win.
+	Bindings   int64 `json:"bindings,omitempty"`
+	InnerExecs int64 `json:"inner_execs,omitempty"`
 	// Children are the operator's input spans in plan order.
 	Children []*Span `json:"children,omitempty"`
 }

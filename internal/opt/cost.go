@@ -236,8 +236,13 @@ func (c *coster) costJoin(j *algebra.Join) estimate {
 	return estimate{rows: math.Max(outRows, 0), cost: cost}
 }
 
-// costApply charges the inner cost once per outer row, with the outer
-// columns bound (enabling seek costing inside).
+// costApply charges the inner cost once per *distinct* correlation
+// binding, with the outer columns bound (enabling seek costing
+// inside): the binding-batch Apply memoizes inner results per binding
+// signature, so repeated bindings replay from the cache. The hash/key
+// work per outer row is charged separately. Without usable column
+// statistics the distinct count falls back to the outer cardinality —
+// the legacy once-per-row charge.
 func (c *coster) costApply(a *algebra.Apply) estimate {
 	l := c.cost(a.Left)
 	saved := c.bound
@@ -245,8 +250,27 @@ func (c *coster) costApply(a *algebra.Apply) estimate {
 	r := c.cost(a.Right)
 	c.bound = saved
 
+	sig, _ := algebra.ApplyBindingCols(a)
+	execs := l.rows
+	if sig.Empty() {
+		// Uncorrelated inner: spooled, executed once.
+		execs = 1
+	} else {
+		// Bindings are at least as distinct as their most distinct
+		// column; trust only real statistics (the rows/10 fallback would
+		// claim a dedup win on every correlated plan).
+		d := 0.0
+		for _, col := range sig.Ordered() {
+			if cs, _, ok := c.colStats(col); ok && cs.Distinct > 0 {
+				d = math.Max(d, float64(cs.Distinct))
+			}
+		}
+		if d > 0 {
+			execs = math.Min(l.rows, d)
+		}
+	}
 	perRow := r.cost + cOpenIter
-	cost := l.cost + l.rows*perRow
+	cost := l.cost + execs*perRow + l.rows*cHashRow
 	var outRows float64
 	switch a.Kind {
 	case algebra.SemiJoin:

@@ -5,14 +5,35 @@ import (
 	"strings"
 
 	"orthoq/internal/algebra"
+	"orthoq/internal/exec"
 	"orthoq/internal/sql/catalog"
 	"orthoq/internal/stats"
 )
 
+// ExecHints carries the execution knobs EXPLAIN needs to predict
+// runtime strategy choices (the optimizer itself never reads them).
+type ExecHints struct {
+	// ApplyStrategy is the Config override for the Apply strategy
+	// selector ("" = auto).
+	ApplyStrategy string
+	// Parallelism is the configured worker count.
+	Parallelism int
+	// DisableBatch pins execution to the row-at-a-time path.
+	DisableBatch bool
+}
+
 // FormatWithEstimates renders a plan with per-node cardinality and
-// cost estimates, for EXPLAIN output and cost-model debugging.
-func FormatWithEstimates(md *algebra.Metadata, cat *catalog.Catalog, st *stats.Collection, r algebra.Rel) string {
+// cost estimates, for EXPLAIN output and cost-model debugging. An
+// optional ExecHints adds runtime strategy predictions (apply=...) to
+// the nodes whose execution strategy depends on configuration.
+func FormatWithEstimates(md *algebra.Metadata, cat *catalog.Catalog, st *stats.Collection, r algebra.Rel, hints ...ExecHints) string {
 	c := &coster{md: md, cat: cat, st: st}
+	ectx := &exec.Context{}
+	if len(hints) > 0 {
+		ectx.ApplyStrategy = hints[0].ApplyStrategy
+		ectx.Parallelism = hints[0].Parallelism
+		ectx.DisableBatch = hints[0].DisableBatch
+	}
 	var b strings.Builder
 	var walk func(algebra.Rel, int)
 	walk = func(n algebra.Rel, depth int) {
@@ -24,7 +45,11 @@ func FormatWithEstimates(md *algebra.Metadata, cat *catalog.Catalog, st *stats.C
 		for i := 0; i < depth; i++ {
 			b.WriteString("  ")
 		}
-		fmt.Fprintf(&b, "%s  [rows≈%.0f cost≈%.0f]\n", line, est.rows, est.cost)
+		extra := ""
+		if ap, ok := n.(*algebra.Apply); ok {
+			extra = fmt.Sprintf(" apply=%s", exec.PredictApplyStrategy(ectx, ap, c.cost(ap.Left).rows))
+		}
+		fmt.Fprintf(&b, "%s  [rows≈%.0f cost≈%.0f%s]\n", line, est.rows, est.cost, extra)
 		// Costing an Apply/SegmentApply inner requires scope bindings;
 		// replicate the scopes while walking.
 		switch t := n.(type) {

@@ -123,6 +123,14 @@ type Config struct {
 	// the baseline knob for the batch benchmarks and equivalence
 	// tests.
 	DisableBatch bool
+	// ApplyStrategy overrides how correlated Apply operators execute
+	// their inner side: "sequential" re-opens per outer row,
+	// "batched" deduplicates correlation bindings per batch and
+	// executes once per distinct binding, "parallel" additionally
+	// spreads distinct bindings over a worker pool. "" or "auto"
+	// (the default) picks per Apply from estimated cardinalities.
+	// Results are identical across strategies; only speed differs.
+	ApplyStrategy string
 	// PlanCache configures the parameterized plan cache consulted by
 	// Query/QueryCfg. The zero value enables it with defaults.
 	PlanCache PlanCacheConfig
@@ -222,10 +230,11 @@ type PlanCacheConfig struct {
 // (or its execution strategy) into the cache key, so plans compiled
 // under different configurations never alias.
 func (c Config) planKey() string {
-	key := fmt.Sprintf("%t%t%t%t%t%t%t%t%t%t|%d|%d",
+	key := fmt.Sprintf("%t%t%t%t%t%t%t%t%t%t|%d|%d|%s",
 		c.Decorrelate, c.RemoveClass2, c.SimplifyOuterJoins, c.CostBased,
 		c.GroupByReorder, c.LocalAgg, c.SegmentApply, c.JoinReorder,
-		c.CorrelatedReintro, c.DisableBatch, c.MaxSteps, c.Parallelism)
+		c.CorrelatedReintro, c.DisableBatch, c.MaxSteps, c.Parallelism,
+		c.normApplyStrategy())
 	if len(c.DisableRules) > 0 {
 		// Sorted so the key is order-insensitive; Trace/QueryLog are
 		// deliberately absent — observability is run state.
@@ -234,6 +243,29 @@ func (c Config) planKey() string {
 		key += "|" + strings.Join(d, ",")
 	}
 	return key
+}
+
+// applyStrategy validates the ApplyStrategy knob and normalizes
+// "auto" to the empty default.
+func (c Config) applyStrategy() (string, error) {
+	switch c.ApplyStrategy {
+	case "", "auto":
+		return "", nil
+	case "sequential", "batched", "parallel":
+		return c.ApplyStrategy, nil
+	}
+	return "", fmt.Errorf("orthoq: unknown ApplyStrategy %q (want auto, sequential, batched, or parallel)", c.ApplyStrategy)
+}
+
+// normApplyStrategy is applyStrategy for cache-key purposes: invalid
+// values keep their spelling (they never reach the cache — prepare
+// rejects them first).
+func (c Config) normApplyStrategy() string {
+	s, err := c.applyStrategy()
+	if err != nil {
+		return c.ApplyStrategy
+	}
+	return s
 }
 
 // RuleNames lists the canonical names of every individually disableable
@@ -774,6 +806,8 @@ type prepared struct {
 	cost     float64
 	par      int
 	noBatch  bool
+	// applyStrat is the normalized ApplyStrategy override ("" = auto).
+	applyStrat string
 	// rules records the rewrite rules that shaped the plan (see
 	// Rows.Rules). Immutable after prepare.
 	rules []string
@@ -801,6 +835,10 @@ func (db *DB) prepare(sql string, cfg Config) (*prepared, error) {
 // algebrize, normalize, and cost-based optimization. params supplies
 // sniffed values for ast.Param slots.
 func (db *DB) prepareAST(q ast.Query, cfg Config, params []types.Datum) (*prepared, error) {
+	strat, err := cfg.applyStrategy()
+	if err != nil {
+		return nil, err
+	}
 	md := algebra.NewMetadata()
 	res, err := algebrize.BuildWithParams(db.store.Catalog, md, q, params)
 	if err != nil {
@@ -814,7 +852,7 @@ func (db *DB) prepareAST(q ast.Query, cfg Config, params []types.Datum) (*prepar
 		return nil, err
 	}
 	p := &prepared{md: md, plan: rel, outCols: res.OutCols, outNames: res.OutNames,
-		par: cfg.Parallelism, noBatch: cfg.DisableBatch}
+		par: cfg.Parallelism, noBatch: cfg.DisableBatch, applyStrat: strat}
 	if cfg.CostBased {
 		o := &opt.Optimizer{Md: md, Cat: db.store.Catalog, Stats: db.statsNow(), Config: cfg.optConfig()}
 		r := o.Optimize(rel, correlatedSeed(md, res.Rel, cfg)...)
@@ -877,6 +915,7 @@ func (p *prepared) execContext(db *DB, params []types.Datum, opts runOpts) (*exe
 	ctx.Parallelism = p.par
 	ctx.Params = params
 	ctx.DisableBatch = p.noBatch
+	ctx.ApplyStrategy = p.applyStrat
 	ctx.RowBudget = opts.rowBudget
 	ctx.MemBudget = opts.memBudget
 	ctx.DisableSpill = opts.disableSpill
@@ -1164,7 +1203,11 @@ func (db *DB) Explain(sql string, cfg Config) (string, error) {
 		o := &opt.Optimizer{Md: md, Cat: db.store.Catalog, Stats: sc, Config: cfg.optConfig()}
 		r := o.Optimize(norm, correlatedSeed(md, res.Rel, cfg)...)
 		fmt.Fprintf(&b, "\n=== cost-based plan (cost %.0f, %d plans explored) ===\n", r.Cost, r.Explored)
-		b.WriteString(opt.FormatWithEstimates(md, db.store.Catalog, sc, r.Plan))
+		b.WriteString(opt.FormatWithEstimates(md, db.store.Catalog, sc, r.Plan, opt.ExecHints{
+			ApplyStrategy: cfg.normApplyStrategy(),
+			Parallelism:   cfg.Parallelism,
+			DisableBatch:  cfg.DisableBatch,
+		}))
 	}
 	return b.String(), nil
 }

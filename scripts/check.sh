@@ -25,6 +25,12 @@ go build ./...
 # before the full suite runs.
 go test -run TestBatchRowEquivalence -race .
 
+# Apply-strategy smoke leg: the binding-batch experiment at a tiny
+# scale factor verifies all three Apply strategies return identical
+# results on the correlated workloads and that the trace counters
+# (bindings/inner-execs) are populated.
+go run ./cmd/orthoq-bench -exp apply -sf 0.002 -reps 1 -json > /dev/null
+
 # Governance leg: the fault-injection property sweep, spill-vs-unbounded
 # equivalence, and the goroutine/spill-file leak checks, under -race.
 # These catch lifecycle bugs (stranded workers, unreleased memory,
