@@ -11,6 +11,7 @@
 //	orthoq-bench -exp batch -sf 0.05 -json
 //	orthoq-bench -exp batch -cpuprofile cpu.out -memprofile mem.out
 //	orthoq-bench -exp obs -json
+//	orthoq-bench -exp concurrency -sessions 32 -ops 10 -json
 package main
 
 import (
@@ -26,12 +27,14 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: figure1|figure8|figure9|ablation|parallel|cache|batch|spill|obs|apply|all")
+	exp := flag.String("exp", "all", "experiment: figure1|figure8|figure9|ablation|parallel|cache|batch|spill|obs|apply|concurrency|all")
 	sf := flag.Float64("sf", 0.01, "TPC-H scale factor for figure1/figure8/ablation/parallel/batch")
 	sfList := flag.String("sfs", "0.002,0.005,0.01,0.02", "comma-separated scale factors for figure9")
 	seed := flag.Int64("seed", 1, "data generator seed")
 	reps := flag.Int("reps", 3, "repetitions per measurement (median reported)")
-	jsonOut := flag.Bool("json", false, "emit machine-readable JSON lines (parallel/cache/batch/apply experiments)")
+	jsonOut := flag.Bool("json", false, "emit machine-readable JSON lines (parallel/cache/batch/apply/concurrency experiments)")
+	sessions := flag.Int("sessions", 32, "concurrent wire sessions for the concurrency experiment")
+	ops := flag.Int("ops", 10, "operations per session for the concurrency experiment")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the experiments to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile after the experiments to this file")
 	flag.Parse()
@@ -95,9 +98,18 @@ func main() {
 	run("spill", func() error { return bench.RunSpill(os.Stdout, openDB(), *reps, *jsonOut) })
 	run("obs", func() error { return bench.RunObs(os.Stdout, openDB(), *reps, *jsonOut) })
 	run("apply", func() error { return bench.RunApply(os.Stdout, openDB(), *reps, *jsonOut) })
+	if *exp == "concurrency" {
+		// Not part of -exp all: it builds its own DB plus an in-process
+		// HTTP server, which would distort the timing experiments.
+		ran = true
+		if err := bench.RunConcurrency(os.Stdout, *sf, *seed, *sessions, *ops, *jsonOut); err != nil {
+			fmt.Fprintf(os.Stderr, "concurrency: %v\n", err)
+			os.Exit(1)
+		}
+	}
 
 	if !ran {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q (want figure1|figure8|figure9|ablation|parallel|cache|batch|spill|obs|apply|all)\n", *exp)
+		fmt.Fprintf(os.Stderr, "unknown experiment %q (want figure1|figure8|figure9|ablation|parallel|cache|batch|spill|obs|apply|concurrency|all)\n", *exp)
 		os.Exit(2)
 	}
 

@@ -1,0 +1,125 @@
+// Command orthoq-server serves an orthoq database over HTTP/JSON:
+// sessions with per-session execution defaults, prepared statements,
+// lightweight read-only transactions, streaming cursors, and global
+// admission control. See the "Server mode" section of README.md for
+// the wire protocol and curl examples.
+//
+// Usage:
+//
+//	orthoq-server -addr :8080 -sf 0.01
+//	orthoq-server -addr :8080 -empty              # start with no data, create tables over the wire
+//	orthoq-server -pool 256MiB -max-concurrent 16 -queue-depth 64
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"orthoq"
+	"orthoq/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	sf := flag.Float64("sf", 0.01, "TPC-H scale factor to generate at startup")
+	seed := flag.Int64("seed", 1, "data generator seed")
+	empty := flag.Bool("empty", false, "start with an empty database instead of TPC-H")
+	pool := flag.String("pool", "0", "global memory pool shared by in-flight queries (e.g. 256MiB; 0 = unlimited)")
+	maxConcurrent := flag.Int("max-concurrent", 0, "max concurrently executing queries (0 = 2x GOMAXPROCS)")
+	queueDepth := flag.Int("queue-depth", 0, "admission queue depth (0 = 64, negative = reject at saturation)")
+	queueTimeout := flag.Duration("queue-timeout", 0, "max admission queue wait (0 = 5s)")
+	sessionCap := flag.Int("session-cap", 0, "per-session concurrent query cap (0 = 8)")
+	cursorIdle := flag.Duration("cursor-idle", 0, "idle timeout before abandoned cursors are reaped (0 = 1m)")
+	queryLog := flag.String("querylog", "", "append JSONL query-log records to this file")
+	flag.Parse()
+
+	poolBytes, err := parseBytes(*pool)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	var db *orthoq.DB
+	if *empty {
+		db = orthoq.NewMemory()
+		fmt.Println("empty database (create tables via POST /exec)")
+	} else {
+		fmt.Printf("generating TPC-H at SF %g (seed %d)...\n", *sf, *seed)
+		db, err = orthoq.OpenTPCH(*sf, *seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+
+	cfg := server.Config{
+		Admission: server.AdmissionConfig{
+			MaxConcurrent: *maxConcurrent,
+			QueueDepth:    *queueDepth,
+			QueueTimeout:  *queueTimeout,
+			PoolBytes:     poolBytes,
+		},
+		Session:           server.SessionConfig{MaxConcurrent: *sessionCap},
+		CursorIdleTimeout: *cursorIdle,
+	}
+	if *queryLog != "" {
+		f, err := os.OpenFile(*queryLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		cfg.QueryLog = f
+	}
+	srv := server.New(db, cfg)
+	defer srv.Close()
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	go func() {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		fmt.Println("\nshutting down...")
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = httpSrv.Shutdown(ctx)
+	}()
+	fmt.Printf("listening on %s\n", *addr)
+	if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+// parseBytes reads sizes like 64MiB, 1GiB, 4096, 256KB.
+func parseBytes(s string) (int64, error) {
+	s = strings.TrimSpace(s)
+	mult := int64(1)
+	upper := strings.ToUpper(s)
+	for _, suf := range []struct {
+		name string
+		mul  int64
+	}{
+		{"GIB", 1 << 30}, {"MIB", 1 << 20}, {"KIB", 1 << 10},
+		{"GB", 1e9}, {"MB", 1e6}, {"KB", 1e3}, {"B", 1},
+	} {
+		if strings.HasSuffix(upper, suf.name) {
+			mult = suf.mul
+			s = strings.TrimSpace(s[:len(s)-len(suf.name)])
+			break
+		}
+	}
+	n, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad size %q: %v", s, err)
+	}
+	return n * mult, nil
+}

@@ -4,6 +4,7 @@
 // Usage:
 //
 //	orthoq-shell [-sf 0.01] [-seed 1]
+//	orthoq-shell -connect http://localhost:8080   # client mode against orthoq-server
 //
 // Shell commands:
 //
@@ -31,7 +32,13 @@ import (
 func main() {
 	sf := flag.Float64("sf", 0.01, "TPC-H scale factor")
 	seed := flag.Int64("seed", 1, "generator seed")
+	connect := flag.String("connect", "", "connect to a running orthoq-server (e.g. http://localhost:8080) instead of embedding the engine")
 	flag.Parse()
+
+	if *connect != "" {
+		remoteShell(*connect)
+		return
+	}
 
 	fmt.Printf("generating TPC-H at SF %g (seed %d)...\n", *sf, *seed)
 	db, err := orthoq.OpenTPCH(*sf, *seed)

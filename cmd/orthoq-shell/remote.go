@@ -1,0 +1,268 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+)
+
+// remoteShell is the -connect client mode: the same REPL surface, but
+// every statement goes to an orthoq-server over HTTP/JSON instead of
+// an embedded engine. It opens one wire session up front (so queries
+// share its defaults and show up under one session= label in the
+// server's query log) and closes it on exit.
+func remoteShell(base string) {
+	base = strings.TrimSuffix(base, "/")
+	client := &http.Client{}
+
+	sid, err := remoteCreateSession(client, base)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "connect %s: %v\n", base, err)
+		os.Exit(1)
+	}
+	defer remoteCloseSession(client, base, sid)
+	fmt.Printf("connected to %s (session %s). \\q to quit, \\tables to list tables, ; to run SQL.\n", base, sid)
+
+	in := bufio.NewScanner(os.Stdin)
+	in.Buffer(make([]byte, 1<<20), 1<<20)
+	var buf strings.Builder
+	prompt := func() {
+		if buf.Len() == 0 {
+			fmt.Print("orthoq> ")
+		} else {
+			fmt.Print("   ...> ")
+		}
+	}
+	prompt()
+	for in.Scan() {
+		line := in.Text()
+		trimmed := strings.TrimSpace(line)
+		if buf.Len() == 0 && strings.HasPrefix(trimmed, "\\") {
+			if !remoteCommand(client, base, sid, trimmed) {
+				return
+			}
+			prompt()
+			continue
+		}
+		buf.WriteString(line)
+		buf.WriteByte('\n')
+		if strings.Contains(line, ";") {
+			sql := strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(buf.String()), ";"))
+			buf.Reset()
+			if sql != "" {
+				remoteRun(client, base, sid, sql)
+			}
+		}
+		prompt()
+	}
+}
+
+// remoteCommand handles one backslash command; false means quit.
+func remoteCommand(client *http.Client, base, sid, line string) bool {
+	fields := strings.Fields(line)
+	switch fields[0] {
+	case "\\q", "\\quit":
+		return false
+	case "\\tables":
+		resp, err := client.Get(base + "/schema")
+		if err != nil {
+			fmt.Println("error:", err)
+			return true
+		}
+		defer resp.Body.Close()
+		var out struct {
+			Tables []struct {
+				Name    string `json:"name"`
+				Columns []any  `json:"columns"`
+				Rows    int    `json:"rows"`
+			} `json:"tables"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			fmt.Println("error:", err)
+			return true
+		}
+		for _, t := range out.Tables {
+			fmt.Printf("  %-14s %10d rows, %d columns\n", t.Name, t.Rows, len(t.Columns))
+		}
+	case "\\explain":
+		sql := strings.TrimSpace(strings.TrimPrefix(line, "\\explain"))
+		sql = strings.TrimSuffix(sql, ";")
+		body, _ := json.Marshal(map[string]string{"session": sid, "sql": sql})
+		resp, err := client.Post(base+"/explain", "application/json", bytes.NewReader(body))
+		if err != nil {
+			fmt.Println("error:", err)
+			return true
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			fmt.Println("error:", remoteErrText(resp))
+			return true
+		}
+		var out struct {
+			Plan string `json:"plan"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			fmt.Println("error:", err)
+			return true
+		}
+		fmt.Println(out.Plan)
+	case "\\metrics":
+		resp, err := client.Get(base + "/metrics")
+		if err != nil {
+			fmt.Println("error:", err)
+			return true
+		}
+		defer resp.Body.Close()
+		var pretty bytes.Buffer
+		raw, _ := io.ReadAll(resp.Body)
+		if json.Indent(&pretty, raw, "", "  ") == nil {
+			fmt.Println(pretty.String())
+		} else {
+			fmt.Println(string(raw))
+		}
+	default:
+		fmt.Println("unknown command (remote mode supports \\q, \\tables, \\explain, \\metrics):", fields[0])
+	}
+	return true
+}
+
+// remoteRun executes one SQL statement over the wire and renders the
+// streamed JSONL result as a table.
+func remoteRun(client *http.Client, base, sid, sql string) {
+	body, _ := json.Marshal(map[string]string{"session": sid, "sql": sql})
+	resp, err := client.Post(base+"/query", "application/json", bytes.NewReader(body))
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		fmt.Println("error:", remoteErrText(resp))
+		return
+	}
+	dec := json.NewDecoder(resp.Body)
+	var cols []string
+	var rows [][]string
+	var trailer map[string]any
+	for {
+		var line map[string]any
+		if err := dec.Decode(&line); err != nil {
+			if err != io.EOF {
+				fmt.Println("error:", err)
+			}
+			break
+		}
+		switch {
+		case line["columns"] != nil:
+			for _, c := range line["columns"].([]any) {
+				cols = append(cols, fmt.Sprint(c))
+			}
+		case line["row"] != nil:
+			raw := line["row"].([]any)
+			row := make([]string, len(raw))
+			for i, v := range raw {
+				if v == nil {
+					row[i] = "NULL"
+				} else {
+					row[i] = fmt.Sprint(v)
+				}
+			}
+			rows = append(rows, row)
+		case line["done"] != nil:
+			trailer = line
+		}
+	}
+	printTable(cols, rows)
+	if trailer != nil {
+		fmt.Printf("(%v rows, %vµs", trailer["rows"], trailer["elapsed_us"])
+		if q, ok := trailer["queued_us"]; ok {
+			fmt.Printf(", queued %vµs", q)
+		}
+		if c, ok := trailer["cache"]; ok {
+			fmt.Printf(", cache %v", c)
+		}
+		fmt.Println(")")
+	}
+}
+
+// printTable renders an aligned text table.
+func printTable(cols []string, rows [][]string) {
+	if len(cols) == 0 {
+		return
+	}
+	widths := make([]int, len(cols))
+	for i, c := range cols {
+		widths[i] = len(c)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	printRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				fmt.Print("  ")
+			}
+			fmt.Print(cell, strings.Repeat(" ", widths[i]-len(cell)))
+		}
+		fmt.Println()
+	}
+	printRow(cols)
+	for i, w := range widths {
+		if i > 0 {
+			fmt.Print("  ")
+		}
+		fmt.Print(strings.Repeat("-", w))
+	}
+	fmt.Println()
+	for _, row := range rows {
+		printRow(row)
+	}
+}
+
+// remoteErrText extracts the server's JSON error body.
+func remoteErrText(resp *http.Response) string {
+	var e struct {
+		Error string `json:"error"`
+		Class string `json:"class"`
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	if json.Unmarshal(raw, &e) == nil && e.Error != "" {
+		return fmt.Sprintf("%s (%s, HTTP %d)", e.Error, e.Class, resp.StatusCode)
+	}
+	return fmt.Sprintf("HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(raw)))
+}
+
+func remoteCreateSession(client *http.Client, base string) (string, error) {
+	resp, err := client.Post(base+"/session", "application/json", strings.NewReader("{}"))
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("%s", remoteErrText(resp))
+	}
+	var out struct {
+		Session string `json:"session"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return "", err
+	}
+	return out.Session, nil
+}
+
+func remoteCloseSession(client *http.Client, base, sid string) {
+	req, _ := http.NewRequest(http.MethodDelete, base+"/session/"+sid, nil)
+	if resp, err := client.Do(req); err == nil {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+}

@@ -1,0 +1,238 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"sync"
+	"time"
+
+	"orthoq"
+	"orthoq/internal/server"
+	"orthoq/internal/sql/types"
+)
+
+// RunConcurrency exercises server mode end to end: it starts an
+// in-process HTTP server over a generated TPC-H database plus a
+// scratch table, then drives `sessions` concurrent wire sessions each
+// issuing `ops` operations — ~90% parameterized point-lookup reads
+// (exercising the plan cache) and ~10% single-row inserts into the
+// scratch table (exercising copy-on-write publication under load).
+// The admission pool is sized deliberately below the offered load so
+// saturation behavior (queueing, then typed rejects) is part of the
+// measurement. Reports per-op latency p50/p99, admission rejects, and
+// the admission pool's peak reservation.
+func RunConcurrency(w io.Writer, sf float64, seed int64, sessions, ops int, jsonOut bool) error {
+	if sessions <= 0 {
+		sessions = 32
+	}
+	if ops <= 0 {
+		ops = 10
+	}
+	db, err := orthoq.OpenTPCH(sf, seed)
+	if err != nil {
+		return err
+	}
+	if err := db.CreateTable(&orthoq.Table{
+		Name: "bench_scratch",
+		Columns: []orthoq.Column{
+			{Name: "id", Type: types.Int},
+			{Name: "val", Type: types.Float},
+		},
+		Key: []int{0},
+	}); err != nil {
+		return err
+	}
+	custRows, _ := db.TableRowCount("customer")
+	if custRows == 0 {
+		custRows = 1
+	}
+
+	// Pool sized below the offered load: with `sessions` concurrent
+	// queries each reserving 4 MiB against a pool that fits a quarter
+	// of them, saturation queues and — past the queue bound — rejects.
+	srv := server.New(db, server.Config{
+		Admission: server.AdmissionConfig{
+			MaxConcurrent:  max(2, sessions/4),
+			PoolBytes:      int64(max(2, sessions/4)) * 4 << 20,
+			DefaultReserve: 4 << 20,
+			QueueDepth:     max(4, sessions/2),
+			QueueTimeout:   10 * time.Second,
+		},
+		Session: server.SessionConfig{MaxConcurrent: 4},
+	})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	client := ts.Client()
+
+	type tally struct {
+		ok, admRejects, capRejects, errs int
+		latencies                        []time.Duration
+	}
+	results := make([]tally, sessions)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for si := 0; si < sessions; si++ {
+		wg.Add(1)
+		go func(si int) {
+			defer wg.Done()
+			t := &results[si]
+			sid, err := wireCreateSession(client, ts.URL)
+			if err != nil {
+				t.errs++
+				return
+			}
+			defer wireCloseSession(client, ts.URL, sid)
+			for op := 0; op < ops; op++ {
+				opStart := time.Now()
+				var status int
+				var err error
+				if op%10 == 9 {
+					// Write leg: one scratch-table insert (ids unique
+					// across all sessions so batches never collide).
+					status, err = wireExecInsert(client, ts.URL, sid, si*ops+op, float64(si))
+				} else {
+					key := 1 + (si*131+op*17)%custRows
+					sql := fmt.Sprintf("select c_name from customer where c_custkey = %d", key)
+					status, err = wireQuery(client, ts.URL, sid, sql)
+				}
+				switch {
+				case err != nil:
+					t.errs++
+				case status == http.StatusOK:
+					t.ok++
+					t.latencies = append(t.latencies, time.Since(opStart))
+				case status == http.StatusServiceUnavailable:
+					t.admRejects++
+				case status == http.StatusTooManyRequests:
+					t.capRejects++
+				default:
+					t.errs++
+				}
+			}
+		}(si)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var all []time.Duration
+	var ok, admRejects, capRejects, errs int
+	for _, t := range results {
+		ok += t.ok
+		admRejects += t.admRejects
+		capRejects += t.capRejects
+		errs += t.errs
+		all = append(all, t.latencies...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	pct := func(p float64) time.Duration {
+		if len(all) == 0 {
+			return 0
+		}
+		i := int(p * float64(len(all)-1))
+		return all[i]
+	}
+	m := srv.Metrics()
+
+	if errs > 0 {
+		return fmt.Errorf("concurrency: %d operations failed outright (ok=%d adm=%d cap=%d)",
+			errs, ok, admRejects, capRejects)
+	}
+	if jsonOut {
+		enc := json.NewEncoder(w)
+		return enc.Encode(map[string]any{
+			"exp":                 "concurrency",
+			"sf":                  sf,
+			"sessions":            sessions,
+			"ops_per_session":     ops,
+			"ok":                  ok,
+			"admission_rejects":   admRejects,
+			"session_cap_rejects": capRejects,
+			"p50_us":              pct(0.50).Microseconds(),
+			"p99_us":              pct(0.99).Microseconds(),
+			"elapsed_ms":          elapsed.Milliseconds(),
+			"queries_queued":      m.Server.QueriesQueued,
+			"pool_peak_bytes":     m.Server.PoolPeak,
+			"cursors_reaped":      m.Server.CursorsReaped,
+		})
+	}
+	fmt.Fprintf(w, "=== concurrency: %d sessions x %d ops, SF %g ===\n", sessions, ops, sf)
+	fmt.Fprintf(w, "%-24s %12d\n", "operations ok", ok)
+	fmt.Fprintf(w, "%-24s %12d\n", "admission rejects", admRejects)
+	fmt.Fprintf(w, "%-24s %12d\n", "session-cap rejects", capRejects)
+	fmt.Fprintf(w, "%-24s %12s\n", "latency p50", pct(0.50).Round(time.Microsecond))
+	fmt.Fprintf(w, "%-24s %12s\n", "latency p99", pct(0.99).Round(time.Microsecond))
+	fmt.Fprintf(w, "%-24s %12d\n", "queries queued", m.Server.QueriesQueued)
+	fmt.Fprintf(w, "%-24s %12d\n", "pool peak bytes", m.Server.PoolPeak)
+	fmt.Fprintf(w, "%-24s %12s\n", "wall time", elapsed.Round(time.Millisecond))
+	return nil
+}
+
+// wireCreateSession opens a server session over HTTP.
+func wireCreateSession(c *http.Client, base string) (string, error) {
+	resp, err := c.Post(base+"/session", "application/json", bytes.NewBufferString("{}"))
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("create session: status %d", resp.StatusCode)
+	}
+	var out struct {
+		Session string `json:"session"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return "", err
+	}
+	return out.Session, nil
+}
+
+func wireCloseSession(c *http.Client, base, sid string) {
+	req, _ := http.NewRequest(http.MethodDelete, base+"/session/"+sid, nil)
+	if resp, err := c.Do(req); err == nil {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+}
+
+// wireQuery posts one inline query and drains its JSONL body,
+// verifying the trailer arrived.
+func wireQuery(c *http.Client, base, sid, sql string) (int, error) {
+	body, _ := json.Marshal(map[string]any{"session": sid, "sql": sql})
+	resp, err := c.Post(base+"/query", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return resp.StatusCode, err
+	}
+	if resp.StatusCode == http.StatusOK && !bytes.Contains(data, []byte(`"done":true`)) {
+		return resp.StatusCode, fmt.Errorf("truncated response (no trailer)")
+	}
+	return resp.StatusCode, nil
+}
+
+// wireExecInsert posts one scratch-table insert.
+func wireExecInsert(c *http.Client, base, sid string, id int, val float64) (int, error) {
+	body, _ := json.Marshal(map[string]any{
+		"session": sid,
+		"insert": map[string]any{
+			"table": "bench_scratch",
+			"rows":  [][]any{{id, val}},
+		},
+	})
+	resp, err := c.Post(base+"/exec", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	return resp.StatusCode, nil
+}

@@ -14,6 +14,7 @@ package exec
 import (
 	"context"
 	"fmt"
+	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -85,6 +86,12 @@ type Context struct {
 	Faults *faultinject.Injector
 	// Fingerprint identifies the plan in contained-panic reports.
 	Fingerprint string
+	// Snap, when non-nil, is an explicit store snapshot the run reads
+	// from (transactional repeatable reads). When nil, the run still
+	// pins each table's published version at first touch, so a single
+	// query always sees one consistent state per table even while
+	// concurrent writers publish new versions.
+	Snap *storage.Snapshot
 
 	// shared is the per-query state common to all worker clones.
 	shared *sharedState
@@ -161,6 +168,12 @@ type sharedState struct {
 	// run still removes every temp file (see releaseSpills).
 	spillMu    sync.Mutex
 	spillFiles map[*spillFile]struct{}
+	// pins holds the table versions this query reads: lazily pinned at
+	// first touch (query-level repeatable reads) and shared by every
+	// worker clone, so all strands — morsel workers, Apply inner
+	// recompiles — resolve a table to the same frozen version.
+	pinMu sync.Mutex
+	pins  map[string]*storage.Version
 }
 
 // buildFor returns the shared build slot for a join node, creating it
@@ -219,6 +232,7 @@ func (c *Context) workerClone() *Context {
 		ApplyStrategy: c.ApplyStrategy,
 		Faults:        c.Faults,
 		Fingerprint:   c.Fingerprint,
+		Snap:          c.Snap,
 		shared:        c.shared,
 		params:        make(eval.MapEnv),
 		segments:      make(map[*algebra.SegmentApply]*segmentBinding),
@@ -260,6 +274,33 @@ func (c *Context) WorkersSpawned() int64 { return c.shared.workers.Load() }
 // MorselsDispatched reports the driver-scan morsels claimed by workers
 // during this run so far.
 func (c *Context) MorselsDispatched() int64 { return c.shared.morsels.Load() }
+
+// table resolves a base table to the version this query reads: the
+// explicit Snapshot when one is installed, else the table's published
+// version pinned at first touch. Every strand of the query resolves a
+// name to the same version for the run's whole lifetime.
+func (c *Context) table(name string) (*storage.Version, bool) {
+	if c.Snap != nil {
+		return c.Snap.Table(name)
+	}
+	key := strings.ToLower(name)
+	s := c.shared
+	s.pinMu.Lock()
+	defer s.pinMu.Unlock()
+	if v, ok := s.pins[key]; ok {
+		return v, true
+	}
+	tbl, ok := c.Store.Table(name)
+	if !ok {
+		return nil, false
+	}
+	v := tbl.Version()
+	if s.pins == nil {
+		s.pins = make(map[string]*storage.Version)
+	}
+	s.pins[key] = v
+	return v, true
+}
 
 // ctxCheckEvery is the number of charged rows between context polls
 // per strand: frequent enough that cancellation lands within

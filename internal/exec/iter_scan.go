@@ -18,7 +18,7 @@ import (
 // parallel execution the plan's designated driver Get instead lowers
 // to a morsel-claiming scan so workers partition the table.
 func compileGet(ctx *Context, g *algebra.Get, filter algebra.Scalar) (*node, error) {
-	tbl, ok := ctx.Store.Table(g.Table)
+	tbl, ok := ctx.table(g.Table)
 	if !ok {
 		return nil, fmt.Errorf("exec: table %q not stored", g.Table)
 	}
@@ -43,7 +43,7 @@ func compileGet(ctx *Context, g *algebra.Get, filter algebra.Scalar) (*node, err
 // are retained for NULL semantics). Pure — shared by compileGet and
 // the parallel-eligibility analysis, which must know whether a serial
 // compile would seek.
-func planSeek(tbl *storage.Table, g *algebra.Get, filter algebra.Scalar) (index string, keyExprs []algebra.Scalar, pred algebra.Scalar) {
+func planSeek(tbl *storage.Version, g *algebra.Get, filter algebra.Scalar) (index string, keyExprs []algebra.Scalar, pred algebra.Scalar) {
 	selfCols := algebra.NewColSet(g.Cols...)
 	type seekKey struct {
 		ord  int // table column ordinal

@@ -158,7 +158,7 @@ func aggMergeable(gb *algebra.GroupBy) bool {
 func streamDriver(ctx *Context, rel algebra.Rel) (*algebra.Get, bool) {
 	switch t := rel.(type) {
 	case *algebra.Get:
-		if _, ok := ctx.Store.Table(t.Table); !ok {
+		if _, ok := ctx.table(t.Table); !ok {
 			return nil, false
 		}
 		return t, true
@@ -167,7 +167,7 @@ func streamDriver(ctx *Context, rel algebra.Rel) (*algebra.Get, bool) {
 			return nil, false
 		}
 		if g, ok := t.Input.(*algebra.Get); ok {
-			tbl, ok := ctx.Store.Table(g.Table)
+			tbl, ok := ctx.table(g.Table)
 			if !ok {
 				return nil, false
 			}
@@ -230,11 +230,11 @@ func compileExchange(ctx *Context, rel algebra.Rel) (*node, error) {
 
 // driverTable resolves the driver Get's stored table.
 func driverTable(ctx *Context, g *algebra.Get) (storageTable, int, bool) {
-	tbl, ok := ctx.Store.Table(g.Table)
+	tbl, ok := ctx.table(g.Table)
 	if !ok {
 		return nil, 0, false
 	}
-	return tbl, len(tbl.Rows), true
+	return tbl, tbl.RowCount(), true
 }
 
 // spawnWorker compiles a private copy of rel for one worker over the

@@ -24,6 +24,19 @@ func Publish(name string, m *Metrics) {
 	expvar.Publish(name, expvar.Func(func() any { return m.Snapshot() }))
 }
 
+// PublishFunc registers an arbitrary snapshot function under name in
+// the process-wide expvar registry, with the same first-wins
+// idempotence as Publish. The server layer uses it to expose its
+// admission/session counters next to the engine's.
+func PublishFunc(name string, f func() any) {
+	pubMu.Lock()
+	defer pubMu.Unlock()
+	if expvar.Get(name) != nil {
+		return
+	}
+	expvar.Publish(name, expvar.Func(f))
+}
+
 // planLabel is the pprof label key carrying the plan fingerprint.
 const planLabel = "orthoq_plan"
 

@@ -21,6 +21,13 @@ type QueryRecord struct {
 	// Cache is how the plan cache served the query: "hit", "miss",
 	// "bypass", or "" for paths that do not consult the cache.
 	Cache string `json:"cache,omitempty"`
+	// Session labels the record with the server session that ran the
+	// query (empty for embedded/library use).
+	Session string `json:"session,omitempty"`
+	// QueuedUS is the time the query waited in the server's admission
+	// queue before execution, in microseconds (0 = admitted
+	// immediately or embedded use).
+	QueuedUS int64 `json:"queued_us,omitempty"`
 	// Rules lists the rewrite rules that produced the plan —
 	// normalization identities and cost-based transformations, in
 	// firing order, deduplicated.

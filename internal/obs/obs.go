@@ -132,6 +132,11 @@ type Snapshot struct {
 	CacheEvictions uint64 `json:"cache_evictions"`
 
 	Durations HistogramSnapshot `json:"durations"`
+
+	// Server holds server-mode counters (sessions, admission control,
+	// the global memory pool, cursor reaping). Nil for embedded use;
+	// filled by the server layer's metrics snapshot.
+	Server *ServerSnapshot `json:"server,omitempty"`
 }
 
 // Snapshot copies the registry. Counters are read individually (not as

@@ -1,0 +1,98 @@
+package obs
+
+import "sync/atomic"
+
+// ServerMetrics is the registry of server-mode counters: session
+// lifecycle, admission-control activity, the global memory pool, and
+// the cursor reaper. Like Metrics it is all atomics — the HTTP front
+// end and the admission controller update it inline with no locks.
+// One instance lives on each server; snapshot via Snapshot(), which
+// the server's /metrics endpoint merges into the engine Snapshot's
+// Server field.
+type ServerMetrics struct {
+	// SessionsOpened/SessionsClosed count session lifecycle events;
+	// SessionsActive is the live gauge.
+	SessionsOpened atomic.Uint64
+	SessionsClosed atomic.Uint64
+	SessionsActive atomic.Int64
+
+	// QueriesAdmitted counts queries that passed admission (with or
+	// without queueing); QueriesQueued counts the subset that waited in
+	// the admission queue first.
+	QueriesAdmitted atomic.Uint64
+	QueriesQueued   atomic.Uint64
+	// AdmissionRejects counts queries turned away at saturation (queue
+	// full, queue-wait expiry, or an impossible reservation);
+	// SessionCapRejects counts queries turned away by a per-session
+	// concurrency cap before reaching global admission.
+	AdmissionRejects  atomic.Uint64
+	SessionCapRejects atomic.Uint64
+
+	// QueueDepth is the live admission-queue depth; InFlight the live
+	// count of admitted, still-running queries.
+	QueueDepth atomic.Int64
+	InFlight   atomic.Int64
+
+	// PoolInUse is the live reserved-bytes gauge of the global memory
+	// pool; PoolPeak its high-water mark.
+	PoolInUse atomic.Int64
+	PoolPeak  atomic.Int64
+
+	// CursorsOpen is the live gauge of server-side streaming cursors;
+	// CursorsReaped counts cursors closed by the idle reaper rather
+	// than their client.
+	CursorsOpen   atomic.Int64
+	CursorsReaped atomic.Uint64
+}
+
+// NotePoolUse raises the pool gauge by delta (negative to release) and
+// maintains the peak high-water mark.
+func (s *ServerMetrics) NotePoolUse(delta int64) {
+	v := s.PoolInUse.Add(delta)
+	for {
+		cur := s.PoolPeak.Load()
+		if v <= cur || s.PoolPeak.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// ServerSnapshot is a point-in-time copy of ServerMetrics.
+type ServerSnapshot struct {
+	SessionsOpened uint64 `json:"sessions_opened"`
+	SessionsClosed uint64 `json:"sessions_closed"`
+	SessionsActive int64  `json:"sessions_active"`
+
+	QueriesAdmitted   uint64 `json:"queries_admitted"`
+	QueriesQueued     uint64 `json:"queries_queued"`
+	AdmissionRejects  uint64 `json:"admission_rejects"`
+	SessionCapRejects uint64 `json:"session_cap_rejects"`
+
+	QueueDepth int64 `json:"queue_depth"`
+	InFlight   int64 `json:"in_flight"`
+
+	PoolInUse int64 `json:"pool_in_use"`
+	PoolPeak  int64 `json:"pool_peak"`
+
+	CursorsOpen   int64  `json:"cursors_open"`
+	CursorsReaped uint64 `json:"cursors_reaped"`
+}
+
+// Snapshot copies the registry (same skew caveats as Metrics.Snapshot).
+func (s *ServerMetrics) Snapshot() ServerSnapshot {
+	return ServerSnapshot{
+		SessionsOpened:    s.SessionsOpened.Load(),
+		SessionsClosed:    s.SessionsClosed.Load(),
+		SessionsActive:    s.SessionsActive.Load(),
+		QueriesAdmitted:   s.QueriesAdmitted.Load(),
+		QueriesQueued:     s.QueriesQueued.Load(),
+		AdmissionRejects:  s.AdmissionRejects.Load(),
+		SessionCapRejects: s.SessionCapRejects.Load(),
+		QueueDepth:        s.QueueDepth.Load(),
+		InFlight:          s.InFlight.Load(),
+		PoolInUse:         s.PoolInUse.Load(),
+		PoolPeak:          s.PoolPeak.Load(),
+		CursorsOpen:       s.CursorsOpen.Load(),
+		CursorsReaped:     s.CursorsReaped.Load(),
+	}
+}

@@ -1,0 +1,244 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"orthoq/internal/obs"
+)
+
+// ErrAdmission is the sentinel for queries turned away by admission
+// control: the queue was full, the queue wait expired, or the
+// reservation can never fit the pool. Classify with errors.Is; the
+// concrete *AdmissionError carries the reason and a Retry-After hint
+// that the HTTP layer maps to a 503 with a Retry-After header.
+var ErrAdmission = errors.New("server: admission rejected")
+
+// AdmissionError is a typed admission rejection.
+type AdmissionError struct {
+	// Reason says which admission limit rejected the query.
+	Reason string
+	// RetryAfter is the suggested client backoff.
+	RetryAfter time.Duration
+}
+
+func (e *AdmissionError) Error() string {
+	return fmt.Sprintf("server: admission rejected: %s (retry after %s)", e.Reason, e.RetryAfter)
+}
+
+func (e *AdmissionError) Unwrap() error { return ErrAdmission }
+
+// AdmissionConfig bounds the server's concurrent execution: a global
+// slot count, a global memory pool shared by every in-flight query,
+// and a bounded FIFO queue absorbing short bursts past saturation.
+// The admission state machine per query is
+//
+//	arrive ──(slot+pool free, queue empty)──▶ running
+//	arrive ──(saturated, queue has room)───▶ queued ──FIFO──▶ running
+//	arrive ──(queue full)──────────────────▶ rejected (ErrAdmission)
+//	queued ──(QueueTimeout or client gone)─▶ rejected (ErrAdmission / canceled)
+//	running ──(done / error / panic / cancel)──▶ released → admit queue head
+type AdmissionConfig struct {
+	// MaxConcurrent caps simultaneously executing queries
+	// (0 = 2×GOMAXPROCS).
+	MaxConcurrent int
+	// QueueDepth caps queries waiting for admission; an arrival past a
+	// full queue is rejected immediately (0 = default 64, negative =
+	// no queue: reject at saturation).
+	QueueDepth int
+	// QueueTimeout bounds the wait in the admission queue; expiry
+	// rejects with ErrAdmission (0 = default 5s).
+	QueueTimeout time.Duration
+	// PoolBytes is the global memory pool shared by all in-flight
+	// queries: each admitted query reserves its session's MemBudget
+	// (or DefaultReserve) from it, so total engine working memory is
+	// bounded no matter how many sessions are active. 0 = unlimited.
+	PoolBytes int64
+	// DefaultReserve is the per-query reservation for sessions without
+	// an explicit MemBudget (0 = PoolBytes/MaxConcurrent, or 16 MiB
+	// when the pool is unlimited).
+	DefaultReserve int64
+	// RetryAfter is the backoff hint attached to rejections
+	// (0 = default 1s).
+	RetryAfter time.Duration
+}
+
+func (c AdmissionConfig) withDefaults() AdmissionConfig {
+	if c.MaxConcurrent == 0 {
+		c.MaxConcurrent = 2 * runtime.GOMAXPROCS(0)
+	}
+	switch {
+	case c.QueueDepth == 0:
+		c.QueueDepth = 64
+	case c.QueueDepth < 0:
+		c.QueueDepth = 0
+	}
+	if c.QueueTimeout == 0 {
+		c.QueueTimeout = 5 * time.Second
+	}
+	if c.DefaultReserve == 0 {
+		if c.PoolBytes > 0 {
+			c.DefaultReserve = c.PoolBytes / int64(c.MaxConcurrent)
+		} else {
+			c.DefaultReserve = 16 << 20
+		}
+	}
+	if c.RetryAfter == 0 {
+		c.RetryAfter = time.Second
+	}
+	return c
+}
+
+// waiter is one queued admission request.
+type waiter struct {
+	mem   int64
+	ready chan struct{} // closed when admitted
+}
+
+// admission is the controller. All admission decisions happen under
+// one mutex; waiting happens outside it on the waiter's channel.
+type admission struct {
+	cfg AdmissionConfig
+	sm  *obs.ServerMetrics
+
+	mu       sync.Mutex
+	inflight int
+	used     int64 // pool bytes reserved by running queries
+	queue    []*waiter
+}
+
+func newAdmission(cfg AdmissionConfig, sm *obs.ServerMetrics) *admission {
+	return &admission{cfg: cfg.withDefaults(), sm: sm}
+}
+
+// canLocked reports whether a query reserving mem bytes can run now.
+func (a *admission) canLocked(mem int64) bool {
+	if a.inflight >= a.cfg.MaxConcurrent {
+		return false
+	}
+	return a.cfg.PoolBytes == 0 || a.used+mem <= a.cfg.PoolBytes
+}
+
+// grantLocked marks one query running and reserves its pool bytes.
+func (a *admission) grantLocked(mem int64) {
+	a.inflight++
+	a.used += mem
+	a.sm.InFlight.Add(1)
+	a.sm.NotePoolUse(mem)
+	a.sm.QueriesAdmitted.Add(1)
+}
+
+// dispatchLocked admits queued queries strictly in FIFO order while
+// capacity allows. The head waiter blocks everyone behind it even if a
+// later, smaller reservation would fit — that head-of-line discipline
+// is what makes admission fair across sessions.
+func (a *admission) dispatchLocked() {
+	for len(a.queue) > 0 {
+		w := a.queue[0]
+		if !a.canLocked(w.mem) {
+			break
+		}
+		a.queue = a.queue[1:]
+		a.grantLocked(w.mem)
+		close(w.ready)
+	}
+	a.sm.QueueDepth.Store(int64(len(a.queue)))
+}
+
+// release returns an idempotent func undoing one grant and admitting
+// any now-eligible queue head. Callers defer it on every exit path —
+// success, error, panic, cancellation — so the pool can never leak.
+func (a *admission) release(mem int64) func() {
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			a.mu.Lock()
+			a.inflight--
+			a.used -= mem
+			a.sm.InFlight.Add(-1)
+			a.sm.NotePoolUse(-mem)
+			a.dispatchLocked()
+			a.mu.Unlock()
+		})
+	}
+}
+
+// abandon removes w from the queue; false means w was already
+// admitted (the caller owns a grant and must release it).
+func (a *admission) abandon(w *waiter) bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for i, q := range a.queue {
+		if q == w {
+			a.queue = append(a.queue[:i], a.queue[i+1:]...)
+			a.sm.QueueDepth.Store(int64(len(a.queue)))
+			return true
+		}
+	}
+	return false
+}
+
+// Admit reserves one concurrency slot plus mem pool bytes, queueing
+// FIFO when saturated. It returns the release func (call exactly
+// once; safe to call more), the time spent queued, and an error when
+// rejected — *AdmissionError for admission limits, the context's
+// error when the caller vanished while queued.
+func (a *admission) Admit(ctx context.Context, mem int64) (release func(), queued time.Duration, err error) {
+	if mem < 0 {
+		mem = 0
+	}
+	if a.cfg.PoolBytes > 0 && mem > a.cfg.PoolBytes {
+		a.sm.AdmissionRejects.Add(1)
+		return nil, 0, &AdmissionError{
+			Reason:     fmt.Sprintf("reservation %d bytes exceeds pool %d", mem, a.cfg.PoolBytes),
+			RetryAfter: a.cfg.RetryAfter,
+		}
+	}
+	a.mu.Lock()
+	if len(a.queue) == 0 && a.canLocked(mem) {
+		a.grantLocked(mem)
+		a.mu.Unlock()
+		return a.release(mem), 0, nil
+	}
+	if len(a.queue) >= a.cfg.QueueDepth {
+		a.sm.AdmissionRejects.Add(1)
+		a.mu.Unlock()
+		return nil, 0, &AdmissionError{Reason: "admission queue full", RetryAfter: a.cfg.RetryAfter}
+	}
+	w := &waiter{mem: mem, ready: make(chan struct{})}
+	a.queue = append(a.queue, w)
+	a.sm.QueueDepth.Store(int64(len(a.queue)))
+	a.mu.Unlock()
+	a.sm.QueriesQueued.Add(1)
+
+	start := time.Now()
+	timer := time.NewTimer(a.cfg.QueueTimeout)
+	defer timer.Stop()
+	var done <-chan struct{}
+	if ctx != nil {
+		done = ctx.Done()
+	}
+	select {
+	case <-w.ready:
+		return a.release(mem), time.Since(start), nil
+	case <-timer.C:
+		if a.abandon(w) {
+			a.sm.AdmissionRejects.Add(1)
+			return nil, time.Since(start), &AdmissionError{
+				Reason:     fmt.Sprintf("queued longer than %s", a.cfg.QueueTimeout),
+				RetryAfter: a.cfg.RetryAfter,
+			}
+		}
+		// Raced with dispatch: the grant landed first, keep it.
+		return a.release(mem), time.Since(start), nil
+	case <-done:
+		if a.abandon(w) {
+			return nil, time.Since(start), ctx.Err()
+		}
+		return a.release(mem), time.Since(start), nil
+	}
+}

@@ -1,0 +1,236 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"orthoq/internal/obs"
+)
+
+func newTestAdmission(cfg AdmissionConfig) (*admission, *obs.ServerMetrics) {
+	sm := &obs.ServerMetrics{}
+	return newAdmission(cfg, sm), sm
+}
+
+func TestAdmitImmediate(t *testing.T) {
+	a, sm := newTestAdmission(AdmissionConfig{MaxConcurrent: 2, PoolBytes: 100, DefaultReserve: 10})
+	rel, queued, err := a.Admit(context.Background(), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if queued != 0 {
+		t.Errorf("immediate admit reported queue time %v", queued)
+	}
+	if got := sm.InFlight.Load(); got != 1 {
+		t.Errorf("InFlight = %d, want 1", got)
+	}
+	if got := sm.PoolInUse.Load(); got != 10 {
+		t.Errorf("PoolInUse = %d, want 10", got)
+	}
+	rel()
+	rel() // idempotent
+	if got := sm.InFlight.Load(); got != 0 {
+		t.Errorf("InFlight after release = %d, want 0", got)
+	}
+	if got := sm.PoolInUse.Load(); got != 0 {
+		t.Errorf("PoolInUse after release = %d, want 0", got)
+	}
+	if got := sm.PoolPeak.Load(); got != 10 {
+		t.Errorf("PoolPeak = %d, want 10", got)
+	}
+}
+
+func TestAdmitQueueThenReject(t *testing.T) {
+	// One slot, queue depth two: the first query runs, the next two
+	// queue, the fourth is rejected — and when the slot frees, the
+	// queued queries are admitted in FIFO order.
+	a, sm := newTestAdmission(AdmissionConfig{MaxConcurrent: 1, QueueDepth: 2, QueueTimeout: 5 * time.Second})
+	rel1, _, err := a.Admit(context.Background(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type outcome struct {
+		idx int
+		rel func()
+		err error
+	}
+	admitted := make(chan outcome, 2)
+	for i := 0; i < 2; i++ {
+		go func(i int) {
+			rel, _, err := a.Admit(context.Background(), 0)
+			admitted <- outcome{i, rel, err}
+		}(i)
+		// Wait until this waiter is actually queued before starting the
+		// next, so FIFO order is deterministic.
+		waitFor(t, func() bool { return sm.QueueDepth.Load() == int64(i+1) })
+	}
+
+	// Queue is full: the next arrival is rejected immediately.
+	_, _, err = a.Admit(context.Background(), 0)
+	if !errors.Is(err, ErrAdmission) {
+		t.Fatalf("saturated admit: err = %v, want ErrAdmission", err)
+	}
+	var admErr *AdmissionError
+	if !errors.As(err, &admErr) || admErr.RetryAfter <= 0 {
+		t.Fatalf("rejection lacks Retry-After hint: %v", err)
+	}
+	if got := sm.AdmissionRejects.Load(); got != 1 {
+		t.Errorf("AdmissionRejects = %d, want 1", got)
+	}
+
+	// Release the slot twice; the two queued queries admit in order.
+	rel1()
+	first := <-admitted
+	if first.err != nil || first.idx != 0 {
+		t.Fatalf("first admitted = #%d err=%v, want #0", first.idx, first.err)
+	}
+	first.rel()
+	second := <-admitted
+	if second.err != nil || second.idx != 1 {
+		t.Fatalf("second admitted = #%d err=%v, want #1", second.idx, second.err)
+	}
+	second.rel()
+	if got := sm.InFlight.Load(); got != 0 {
+		t.Errorf("InFlight = %d, want 0", got)
+	}
+	if got := sm.QueriesQueued.Load(); got != 2 {
+		t.Errorf("QueriesQueued = %d, want 2", got)
+	}
+}
+
+func TestAdmitFIFOAcrossMany(t *testing.T) {
+	// Ten queued queries admit strictly in enqueue order.
+	a, sm := newTestAdmission(AdmissionConfig{MaxConcurrent: 1, QueueDepth: 16, QueueTimeout: 5 * time.Second})
+	rel0, _, err := a.Admit(context.Background(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 10
+	order := make(chan int, n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			rel, _, err := a.Admit(context.Background(), 0)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			order <- i
+			rel()
+		}(i)
+		waitFor(t, func() bool { return sm.QueueDepth.Load() == int64(i+1) })
+	}
+	rel0()
+	for want := 0; want < n; want++ {
+		if got := <-order; got != want {
+			t.Fatalf("admission order: got #%d, want #%d", got, want)
+		}
+	}
+}
+
+func TestAdmitPoolBound(t *testing.T) {
+	// The pool, not the slot count, is the binding limit here.
+	a, _ := newTestAdmission(AdmissionConfig{MaxConcurrent: 10, PoolBytes: 100, QueueDepth: -1})
+	rel1, _, err := a.Admit(context.Background(), 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := a.Admit(context.Background(), 60); !errors.Is(err, ErrAdmission) {
+		t.Fatalf("over-pool admit: err = %v, want ErrAdmission", err)
+	}
+	rel1()
+	rel2, _, err := a.Admit(context.Background(), 60)
+	if err != nil {
+		t.Fatalf("admit after release: %v", err)
+	}
+	rel2()
+
+	// A reservation that can never fit is rejected outright, even with
+	// the pool idle.
+	if _, _, err := a.Admit(context.Background(), 200); !errors.Is(err, ErrAdmission) {
+		t.Fatalf("impossible reservation: err = %v, want ErrAdmission", err)
+	}
+}
+
+func TestAdmitQueueTimeout(t *testing.T) {
+	a, sm := newTestAdmission(AdmissionConfig{MaxConcurrent: 1, QueueDepth: 4, QueueTimeout: 20 * time.Millisecond})
+	rel, _, err := a.Admit(context.Background(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rel()
+	_, queued, err := a.Admit(context.Background(), 0)
+	if !errors.Is(err, ErrAdmission) {
+		t.Fatalf("timed-out wait: err = %v, want ErrAdmission", err)
+	}
+	if queued < 20*time.Millisecond {
+		t.Errorf("queued = %v, want >= queue timeout", queued)
+	}
+	if got := sm.QueueDepth.Load(); got != 0 {
+		t.Errorf("QueueDepth after timeout = %d, want 0 (waiter removed)", got)
+	}
+}
+
+func TestAdmitContextCanceledWhileQueued(t *testing.T) {
+	a, sm := newTestAdmission(AdmissionConfig{MaxConcurrent: 1, QueueDepth: 4, QueueTimeout: 5 * time.Second})
+	rel, _, err := a.Admit(context.Background(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rel()
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		_, _, err := a.Admit(ctx, 0)
+		errc <- err
+	}()
+	waitFor(t, func() bool { return sm.QueueDepth.Load() == 1 })
+	cancel()
+	if err := <-errc; !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled wait: err = %v, want context.Canceled", err)
+	}
+	if got := sm.QueueDepth.Load(); got != 0 {
+		t.Errorf("QueueDepth after cancel = %d, want 0", got)
+	}
+}
+
+func TestReleaseRunsOnPanic(t *testing.T) {
+	// The deferred release pattern survives a panicking query: the pool
+	// reservation and slot come back even when execution blows up.
+	a, sm := newTestAdmission(AdmissionConfig{MaxConcurrent: 1, PoolBytes: 100})
+	func() {
+		defer func() { recover() }()
+		rel, _, err := a.Admit(context.Background(), 40)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer rel()
+		panic("contained operator panic")
+	}()
+	if got := sm.InFlight.Load(); got != 0 {
+		t.Errorf("InFlight after panic = %d, want 0", got)
+	}
+	if got := sm.PoolInUse.Load(); got != 0 {
+		t.Errorf("PoolInUse after panic = %d, want 0", got)
+	}
+	// The slot is genuinely free again.
+	rel, _, err := a.Admit(context.Background(), 100)
+	if err != nil {
+		t.Fatalf("admit after panic-release: %v", err)
+	}
+	rel()
+}
+
+// waitFor polls cond until true or the test deadline budget expires.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition never became true")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -1,0 +1,243 @@
+// Package server is orthoq's server mode: a session layer (per-session
+// execution defaults, prepared statements, lightweight read-only
+// transactions over pinned snapshots), admission control (global
+// concurrency slots, a shared memory pool, and a bounded FIFO queue),
+// and an HTTP/JSON wire front end (http.go) over an embedded
+// orthoq.DB. See DESIGN.md §13.
+package server
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"orthoq"
+	"orthoq/internal/obs"
+)
+
+// Config tunes a Server. The zero value is usable: every field has a
+// default applied by New.
+type Config struct {
+	// Session holds the server-wide per-session execution defaults; a
+	// session's own SessionConfig overrides them field by field.
+	Session SessionConfig
+	// Admission tunes the global admission controller.
+	Admission AdmissionConfig
+	// MaxSessions caps concurrently open sessions (0 = default 256).
+	MaxSessions int
+	// SessionIdleTimeout closes sessions with no activity and no
+	// running queries (0 = default 10m; negative = never).
+	SessionIdleTimeout time.Duration
+	// CursorIdleTimeout closes cursors their client stopped fetching
+	// (0 = default 1m; negative = never). Reaping a cursor releases its
+	// session slot and admission reservation — the backstop against
+	// abandoned-stream resource leaks.
+	CursorIdleTimeout time.Duration
+	// ReapInterval is the reaper's scan period (0 = default 5s).
+	ReapInterval time.Duration
+	// QueryLog, when non-nil, receives the engine's JSONL query-log
+	// records for every query run through the server (with session=
+	// and queued_us labels).
+	QueryLog io.Writer
+}
+
+func (c Config) withDefaults() Config {
+	if c.Session.MaxConcurrent == 0 {
+		c.Session.MaxConcurrent = 8
+	}
+	if c.MaxSessions == 0 {
+		c.MaxSessions = 256
+	}
+	if c.SessionIdleTimeout == 0 {
+		c.SessionIdleTimeout = 10 * time.Minute
+	}
+	if c.CursorIdleTimeout == 0 {
+		c.CursorIdleTimeout = time.Minute
+	}
+	if c.ReapInterval == 0 {
+		c.ReapInterval = 5 * time.Second
+	}
+	return c
+}
+
+// Server wraps an orthoq.DB with sessions, admission control, and the
+// HTTP front end. Create with New, serve its Handler(), Close when
+// done. All methods are safe for concurrent use.
+type Server struct {
+	db  *orthoq.DB
+	cfg Config
+	adm *admission
+	sm  obs.ServerMetrics
+
+	mu       sync.Mutex
+	sessions map[string]*Session
+	seq      atomic.Uint64
+
+	closed    chan struct{}
+	closeOnce sync.Once
+	wg        sync.WaitGroup
+}
+
+// New creates a server over db and starts its idle reaper.
+func New(db *orthoq.DB, cfg Config) *Server {
+	s := &Server{
+		db:       db,
+		cfg:      cfg.withDefaults(),
+		sessions: make(map[string]*Session),
+		closed:   make(chan struct{}),
+	}
+	s.adm = newAdmission(s.cfg.Admission, &s.sm)
+	obs.PublishFunc("orthoq_server", func() any { return s.sm.Snapshot() })
+	s.wg.Add(1)
+	go s.reapLoop()
+	return s
+}
+
+// DB returns the embedded engine handle.
+func (s *Server) DB() *orthoq.DB { return s.db }
+
+// Metrics snapshots the engine counters with the server-mode section
+// filled in.
+func (s *Server) Metrics() orthoq.MetricsSnapshot {
+	m := s.db.Metrics()
+	sn := s.sm.Snapshot()
+	m.Server = &sn
+	return m
+}
+
+// Close stops the reaper and closes every session (which closes every
+// cursor, releasing all admission reservations). Idempotent.
+func (s *Server) Close() {
+	s.closeOnce.Do(func() {
+		close(s.closed)
+		s.wg.Wait()
+		s.mu.Lock()
+		open := make([]*Session, 0, len(s.sessions))
+		for _, sess := range s.sessions {
+			open = append(open, sess)
+		}
+		s.sessions = make(map[string]*Session)
+		s.mu.Unlock()
+		for _, sess := range open {
+			sess.close()
+			s.sm.SessionsClosed.Add(1)
+			s.sm.SessionsActive.Add(-1)
+		}
+	})
+}
+
+// CreateSession opens a session with the given overrides (zero fields
+// take the server-wide defaults).
+func (s *Server) CreateSession(cfg SessionConfig) (*Session, error) {
+	select {
+	case <-s.closed:
+		return nil, ErrServerClosed
+	default:
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.sessions) >= s.cfg.MaxSessions {
+		return nil, &AdmissionError{
+			Reason:     fmt.Sprintf("session limit %d reached", s.cfg.MaxSessions),
+			RetryAfter: s.adm.cfg.RetryAfter,
+		}
+	}
+	sess := &Session{
+		id:      fmt.Sprintf("s-%d", s.seq.Add(1)),
+		srv:     s,
+		cfg:     cfg.merge(s.cfg.Session),
+		lastUse: time.Now(),
+	}
+	s.sessions[sess.id] = sess
+	s.sm.SessionsOpened.Add(1)
+	s.sm.SessionsActive.Add(1)
+	return sess, nil
+}
+
+// Session looks a session up by handle.
+func (s *Server) Session(id string) (*Session, error) {
+	s.mu.Lock()
+	sess, ok := s.sessions[id]
+	s.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: session %s", ErrNotFound, id)
+	}
+	return sess, nil
+}
+
+// CloseSession closes and unregisters a session; all its cursors
+// close with it.
+func (s *Server) CloseSession(id string) error {
+	s.mu.Lock()
+	sess, ok := s.sessions[id]
+	if ok {
+		delete(s.sessions, id)
+	}
+	s.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: session %s", ErrNotFound, id)
+	}
+	sess.close()
+	s.sm.SessionsClosed.Add(1)
+	s.sm.SessionsActive.Add(-1)
+	return nil
+}
+
+// reapLoop periodically closes idle cursors and idle sessions. It is
+// the goroutine/cursor-leak backstop: a client that opened a streaming
+// cursor and vanished would otherwise pin a session slot, an admission
+// reservation, and the stream's execution resources forever.
+func (s *Server) reapLoop() {
+	defer s.wg.Done()
+	t := time.NewTicker(s.cfg.ReapInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.closed:
+			return
+		case <-t.C:
+			s.reap(time.Now())
+		}
+	}
+}
+
+// reap closes cursors idle past CursorIdleTimeout and sessions idle
+// past SessionIdleTimeout (skipping sessions with running queries,
+// open cursors, or an open transaction).
+func (s *Server) reap(now time.Time) {
+	s.mu.Lock()
+	sessions := make([]*Session, 0, len(s.sessions))
+	for _, sess := range s.sessions {
+		sessions = append(sessions, sess)
+	}
+	s.mu.Unlock()
+
+	for _, sess := range sessions {
+		if s.cfg.CursorIdleTimeout > 0 {
+			sess.mu.Lock()
+			stale := make([]*cursor, 0, len(sess.cursors))
+			for _, cu := range sess.cursors {
+				cu.mu.Lock()
+				if !cu.closed && now.Sub(cu.lastUse) > s.cfg.CursorIdleTimeout {
+					stale = append(stale, cu)
+				}
+				cu.mu.Unlock()
+			}
+			sess.mu.Unlock()
+			for _, cu := range stale {
+				cu.close(true)
+			}
+		}
+		if s.cfg.SessionIdleTimeout > 0 {
+			sess.mu.Lock()
+			idle := !sess.closed && sess.inflight == 0 && len(sess.cursors) == 0 &&
+				sess.snap == nil && now.Sub(sess.lastUse) > s.cfg.SessionIdleTimeout
+			sess.mu.Unlock()
+			if idle {
+				_ = s.CloseSession(sess.id)
+			}
+		}
+	}
+}

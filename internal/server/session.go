@@ -1,0 +1,369 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"orthoq"
+)
+
+// Typed session-layer errors. The HTTP layer maps them onto status
+// codes (see classify in http.go).
+var (
+	// ErrSessionCap is returned when a session already runs its
+	// configured maximum of concurrent queries (HTTP 429).
+	ErrSessionCap = errors.New("server: session concurrency cap reached")
+	// ErrNotFound is returned for unknown session, statement, and
+	// cursor handles (HTTP 404).
+	ErrNotFound = errors.New("server: not found")
+	// ErrTxnWrite is returned when a write arrives inside an open
+	// transaction — transactions are read-only snapshots (HTTP 409).
+	ErrTxnWrite = errors.New("server: writes are not allowed inside a transaction")
+	// ErrServerClosed is returned for requests arriving after Close.
+	ErrServerClosed = errors.New("server: closed")
+)
+
+// SessionConfig carries the per-session execution defaults a client
+// sets at session creation. The zero value of each field defers to the
+// server-wide default; fields mirror the engine's Config governance
+// knobs (see orthoq.Config).
+type SessionConfig struct {
+	// TimeoutMS bounds each query of the session, in milliseconds.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// MemBudget caps operator working memory per query, in bytes. It is
+	// also the session's admission-pool reservation.
+	MemBudget int64 `json:"mem_budget,omitempty"`
+	// RowBudget aborts queries after this many operator-row productions.
+	RowBudget int64 `json:"row_budget,omitempty"`
+	// Parallelism is the morsel-driven worker count per query.
+	Parallelism int `json:"parallelism,omitempty"`
+	// MaxConcurrent caps the session's simultaneously running queries
+	// (0 = server default; applied before global admission).
+	MaxConcurrent int `json:"max_concurrent,omitempty"`
+}
+
+// merge overlays the session's explicit settings on the server-wide
+// defaults.
+func (c SessionConfig) merge(def SessionConfig) SessionConfig {
+	if c.TimeoutMS == 0 {
+		c.TimeoutMS = def.TimeoutMS
+	}
+	if c.MemBudget == 0 {
+		c.MemBudget = def.MemBudget
+	}
+	if c.RowBudget == 0 {
+		c.RowBudget = def.RowBudget
+	}
+	if c.Parallelism == 0 {
+		c.Parallelism = def.Parallelism
+	}
+	if c.MaxConcurrent == 0 {
+		c.MaxConcurrent = def.MaxConcurrent
+	}
+	return c
+}
+
+// Session is one client's server-side state: execution defaults,
+// prepared statements, open streaming cursors, and (between BEGIN and
+// COMMIT/ROLLBACK) the pinned read snapshot of its transaction. All
+// methods are safe for concurrent use — one client may multiplex
+// requests over many connections.
+type Session struct {
+	id  string
+	srv *Server
+	cfg SessionConfig
+
+	mu       sync.Mutex
+	stmts    map[string]*orthoq.Stmt
+	cursors  map[string]*cursor
+	snap     *orthoq.Snapshot // non-nil while a transaction is open
+	inflight int
+	nextID   uint64
+	closed   bool
+	lastUse  time.Time
+}
+
+// ID returns the session handle.
+func (s *Session) ID() string { return s.id }
+
+// touch refreshes the idle clock.
+func (s *Session) touch() {
+	s.mu.Lock()
+	s.lastUse = time.Now()
+	s.mu.Unlock()
+}
+
+// config builds the engine Config for one run of this session: the
+// full technique set, the session's governance knobs, and the
+// session label for the query log.
+func (s *Session) config() orthoq.Config {
+	cfg := orthoq.DefaultConfig()
+	cfg.Timeout = time.Duration(s.cfg.TimeoutMS) * time.Millisecond
+	cfg.MemBudget = s.cfg.MemBudget
+	cfg.RowBudget = s.cfg.RowBudget
+	cfg.Parallelism = s.cfg.Parallelism
+	cfg.Session = s.id
+	cfg.QueryLog = s.srv.cfg.QueryLog
+	return cfg
+}
+
+// reserve is the session's admission-pool reservation per query: its
+// MemBudget when set, else the server's default reserve.
+func (s *Session) reserve() int64 {
+	if s.cfg.MemBudget > 0 {
+		return s.cfg.MemBudget
+	}
+	return s.srv.adm.cfg.DefaultReserve
+}
+
+// acquire claims one of the session's concurrency slots; the returned
+// func releases it. A session keeps a slot for the whole life of a
+// query — including a cursor's, until the cursor closes.
+func (s *Session) acquire() (func(), error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, fmt.Errorf("%w: session %s", ErrNotFound, s.id)
+	}
+	if s.cfg.MaxConcurrent > 0 && s.inflight >= s.cfg.MaxConcurrent {
+		s.srv.sm.SessionCapRejects.Add(1)
+		return nil, fmt.Errorf("%w (%d running)", ErrSessionCap, s.inflight)
+	}
+	s.inflight++
+	s.lastUse = time.Now()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			s.mu.Lock()
+			s.inflight--
+			s.lastUse = time.Now()
+			s.mu.Unlock()
+		})
+	}, nil
+}
+
+// snapshot returns the transaction snapshot when one is open, else nil
+// (nil means "read live data").
+func (s *Session) snapshot() *orthoq.Snapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.snap
+}
+
+// inTxn reports whether a transaction is open.
+func (s *Session) inTxn() bool { return s.snapshot() != nil }
+
+// Begin opens a lightweight read-only transaction: it pins a snapshot
+// of every table, and every query of the session reads from it until
+// Commit/Rollback. Nested Begin is an error.
+func (s *Session) Begin() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("%w: session %s", ErrNotFound, s.id)
+	}
+	if s.snap != nil {
+		return errors.New("server: transaction already open")
+	}
+	s.snap = s.srv.db.Snapshot()
+	s.lastUse = time.Now()
+	return nil
+}
+
+// Commit closes the open transaction (there are no writes to publish —
+// transactions are read-only; Commit and Rollback differ only in name).
+func (s *Session) Commit() error { return s.endTxn("commit") }
+
+// Rollback closes the open transaction.
+func (s *Session) Rollback() error { return s.endTxn("rollback") }
+
+func (s *Session) endTxn(what string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.snap == nil {
+		return fmt.Errorf("server: %s without open transaction", what)
+	}
+	s.snap = nil
+	s.lastUse = time.Now()
+	return nil
+}
+
+// Prepare compiles SQL under the session's defaults and stores it
+// under a fresh statement handle.
+func (s *Session) Prepare(sql string) (string, error) {
+	stmt, err := s.srv.db.Prepare(sql, s.config())
+	if err != nil {
+		return "", err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return "", fmt.Errorf("%w: session %s", ErrNotFound, s.id)
+	}
+	s.nextID++
+	id := fmt.Sprintf("stmt-%d", s.nextID)
+	if s.stmts == nil {
+		s.stmts = make(map[string]*orthoq.Stmt)
+	}
+	s.stmts[id] = stmt
+	s.lastUse = time.Now()
+	return id, nil
+}
+
+// stmt looks up a prepared statement by handle.
+func (s *Session) stmt(id string) (*orthoq.Stmt, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.stmts[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: statement %s", ErrNotFound, id)
+	}
+	return st, nil
+}
+
+// cursor is a server-side streaming query: the engine Stream plus the
+// session slot and admission reservation it holds until closed. Its
+// context is detached from the creating HTTP request so the stream
+// survives between fetches; the idle reaper closes cursors whose
+// client stopped fetching.
+type cursor struct {
+	id   string
+	sess *Session
+
+	mu      sync.Mutex
+	stream  *orthoq.Stream
+	cancel  context.CancelFunc
+	slot    func() // session concurrency slot
+	release func() // admission reservation
+	cols    []string
+	lastUse time.Time
+	closed  bool
+}
+
+// addCursor registers a freshly opened stream as a cursor.
+func (s *Session) addCursor(st *orthoq.Stream, cancel context.CancelFunc, slot, release func()) (*cursor, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, fmt.Errorf("%w: session %s", ErrNotFound, s.id)
+	}
+	s.nextID++
+	cu := &cursor{
+		id:      fmt.Sprintf("cur-%d", s.nextID),
+		sess:    s,
+		stream:  st,
+		cancel:  cancel,
+		slot:    slot,
+		release: release,
+		cols:    st.Columns(),
+		lastUse: time.Now(),
+	}
+	if s.cursors == nil {
+		s.cursors = make(map[string]*cursor)
+	}
+	s.cursors[cu.id] = cu
+	s.srv.sm.CursorsOpen.Add(1)
+	s.lastUse = time.Now()
+	return cu, nil
+}
+
+// cursor looks up an open cursor by handle.
+func (s *Session) cursor(id string) (*cursor, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cu, ok := s.cursors[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: cursor %s", ErrNotFound, id)
+	}
+	return cu, nil
+}
+
+// fetch pulls up to limit rows (limit <= 0 means a default batch).
+// done=true means the stream is exhausted (or failed) and the cursor
+// has been closed.
+func (cu *cursor) fetch(limit int) (rows []orthoq.Row, done bool, err error) {
+	cu.mu.Lock()
+	if cu.closed {
+		cu.mu.Unlock()
+		return nil, true, fmt.Errorf("%w: cursor %s", ErrNotFound, cu.id)
+	}
+	if limit <= 0 {
+		limit = 1024
+	}
+	cu.lastUse = time.Now()
+	for len(rows) < limit {
+		row, ok, nerr := cu.stream.Next()
+		if nerr != nil {
+			err = nerr
+			break
+		}
+		if !ok {
+			done = true
+			break
+		}
+		rows = append(rows, row)
+	}
+	cu.lastUse = time.Now()
+	cu.mu.Unlock()
+	if done || err != nil {
+		cu.close(false)
+		done = true
+	}
+	return rows, done, err
+}
+
+// close tears the cursor down: engine stream, detached context,
+// session slot, admission reservation, and registry entry. Idempotent.
+func (cu *cursor) close(reaped bool) {
+	cu.mu.Lock()
+	if cu.closed {
+		cu.mu.Unlock()
+		return
+	}
+	cu.closed = true
+	cu.mu.Unlock()
+
+	_ = cu.stream.Close()
+	if cu.cancel != nil {
+		cu.cancel()
+	}
+	if cu.slot != nil {
+		cu.slot()
+	}
+	if cu.release != nil {
+		cu.release()
+	}
+	s := cu.sess
+	s.mu.Lock()
+	delete(s.cursors, cu.id)
+	s.mu.Unlock()
+	s.srv.sm.CursorsOpen.Add(-1)
+	if reaped {
+		s.srv.sm.CursorsReaped.Add(1)
+	}
+}
+
+// close shuts the session down: all cursors closed (releasing their
+// slots and reservations), statements dropped, any transaction
+// snapshot released. Idempotent.
+func (s *Session) close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	cursors := make([]*cursor, 0, len(s.cursors))
+	for _, cu := range s.cursors {
+		cursors = append(cursors, cu)
+	}
+	s.stmts = nil
+	s.snap = nil
+	s.mu.Unlock()
+	for _, cu := range cursors {
+		cu.close(false)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"orthoq/internal/sql/types"
 )
@@ -75,8 +76,12 @@ func (t *Table) IndexOn(cols []int) *Index {
 	return nil
 }
 
-// Catalog is a named collection of tables.
+// Catalog is a named collection of tables. Lookup and registration
+// are safe for concurrent use (server-mode DDL runs alongside query
+// compilation); the registered *Table schemas themselves are
+// immutable by convention once added.
 type Catalog struct {
+	mu     sync.RWMutex
 	tables map[string]*Table
 	order  []string
 }
@@ -89,6 +94,8 @@ func New() *Catalog {
 // Add registers a table. It returns an error on duplicate names or
 // invalid schemas (empty column list, bad key/index ordinals).
 func (c *Catalog) Add(t *Table) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	name := strings.ToLower(t.Name)
 	if _, ok := c.tables[name]; ok {
 		return fmt.Errorf("catalog: table %q already exists", t.Name)
@@ -130,12 +137,16 @@ func (c *Catalog) Add(t *Table) error {
 
 // Table looks up a table by case-insensitive name.
 func (c *Catalog) Table(name string) (*Table, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	t, ok := c.tables[strings.ToLower(name)]
 	return t, ok
 }
 
 // Tables returns all tables in registration order.
 func (c *Catalog) Tables() []*Table {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	out := make([]*Table, 0, len(c.order))
 	for _, n := range c.order {
 		out = append(out, c.tables[n])

@@ -3,147 +3,81 @@
 // indexes declared in the catalog. The store is the engine's substrate:
 // the execution engine scans and seeks through it, and the statistics
 // module profiles it.
+//
+// Concurrency model (server mode): every table publishes an immutable
+// Version — the row slice plus the index structures valid for it —
+// through an atomic pointer. Readers load a Version once and see a
+// frozen point-in-time state for as long as they hold it; writers
+// (Insert, InsertAll, BuildIndexes) serialize on a per-table mutex,
+// extend a private working slice, and publish a fresh Version in one
+// atomic store. Published row prefixes share their backing array with
+// the working slice — safe, because writers only ever append past the
+// published length and never mutate published elements — so
+// publication is O(1) and reads are lock-free. Store.Snapshot pins the
+// current Version of every table, giving a transaction a consistent
+// repeatable-read view of the whole database.
 package storage
 
 import (
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"orthoq/internal/sql/catalog"
 	"orthoq/internal/sql/types"
 )
 
-// Table is the stored form of one catalog table.
-type Table struct {
+// Version is one immutable published state of a table: a frozen row
+// slice and the indexes built over (a prefix of) it. All methods are
+// safe for concurrent use by any number of readers; nothing reachable
+// from a Version is ever mutated after publication.
+//
+// Index staleness semantics are unchanged from the pre-versioned
+// store: indexes cover the rows present at the last BuildIndexes, so
+// rows inserted afterwards are visible to scans but not to index
+// lookups until the next BuildIndexes (Analyze).
+type Version struct {
+	// Schema is the catalog schema of the table (immutable).
 	Schema *catalog.Table
-	Rows   []types.Row
 
+	rows    []types.Row
 	hashIdx map[string]*hashIndex // index name -> hash index
 	ordIdx  map[string]*orderedIndex
 }
 
 type hashIndex struct {
 	cols    []int
-	buckets map[uint64][]int // hash -> row ordinals
+	rows    []types.Row // rows the index was built over
+	buckets map[uint64][]int
 }
 
 type orderedIndex struct {
 	cols []int
-	perm []int // row ordinals sorted by cols
-	rows *[]types.Row
+	rows []types.Row // rows the index was built over
+	perm []int       // row ordinals sorted by cols
 }
 
-// Store is a database instance: catalog plus stored tables.
-type Store struct {
-	Catalog *catalog.Catalog
-	tables  map[string]*Table
-}
+// AllRows exposes the version's rows. The slice and its elements are
+// immutable; callers must not modify them.
+func (v *Version) AllRows() []types.Row { return v.rows }
 
-// New creates an empty store over the catalog.
-func New(cat *catalog.Catalog) *Store {
-	return &Store{Catalog: cat, tables: make(map[string]*Table)}
-}
+// RowCount returns the number of rows in this version.
+func (v *Version) RowCount() int { return len(v.rows) }
 
-// CreateTable registers schema in the catalog and allocates storage.
-func (s *Store) CreateTable(schema *catalog.Table) (*Table, error) {
-	if err := s.Catalog.Add(schema); err != nil {
-		return nil, err
-	}
-	t := &Table{Schema: schema}
-	s.tables[lower(schema.Name)] = t
-	return t, nil
-}
-
-func lower(s string) string {
-	b := []byte(s)
-	for i, c := range b {
-		if c >= 'A' && c <= 'Z' {
-			b[i] = c + 32
-		}
-	}
-	return string(b)
-}
-
-// Table returns the stored table by name.
-func (s *Store) Table(name string) (*Table, bool) {
-	t, ok := s.tables[lower(name)]
-	return t, ok
-}
-
-// Insert appends a row after validating arity and types. NULLs are
-// rejected in non-nullable columns.
-func (t *Table) Insert(row types.Row) error {
-	if len(row) != len(t.Schema.Columns) {
-		return fmt.Errorf("storage: table %s expects %d columns, got %d",
-			t.Schema.Name, len(t.Schema.Columns), len(row))
-	}
-	for i, d := range row {
-		col := t.Schema.Columns[i]
-		if d.IsNull() {
-			if !col.Nullable {
-				return fmt.Errorf("storage: NULL in non-nullable column %s.%s", t.Schema.Name, col.Name)
-			}
-			continue
-		}
-		if d.Kind() != col.Type && !(d.Kind().Numeric() && col.Type.Numeric()) {
-			return fmt.Errorf("storage: column %s.%s wants %s, got %s",
-				t.Schema.Name, col.Name, col.Type, d.Kind())
-		}
-	}
-	t.Rows = append(t.Rows, row)
-	return nil
-}
-
-// InsertAll bulk-inserts rows, stopping at the first error.
-func (t *Table) InsertAll(rows []types.Row) error {
-	for _, r := range rows {
-		if err := t.Insert(r); err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
-// BuildIndexes (re)builds all indexes declared in the schema. Call after
-// bulk load; loading then indexing is how the TPC-H generator populates
-// the store.
-func (t *Table) BuildIndexes() {
-	t.hashIdx = make(map[string]*hashIndex)
-	t.ordIdx = make(map[string]*orderedIndex)
-	for _, decl := range t.Schema.Indexes {
-		if decl.Ordered {
-			oi := &orderedIndex{cols: decl.Cols, rows: &t.Rows}
-			oi.perm = make([]int, len(t.Rows))
-			for i := range oi.perm {
-				oi.perm[i] = i
-			}
-			cols := decl.Cols
-			sort.SliceStable(oi.perm, func(a, b int) bool {
-				ra, rb := t.Rows[oi.perm[a]], t.Rows[oi.perm[b]]
-				for _, c := range cols {
-					if cmp := types.Compare(ra[c], rb[c]); cmp != 0 {
-						return cmp < 0
-					}
-				}
-				return false
-			})
-			t.ordIdx[decl.Name] = oi
-		} else {
-			hi := &hashIndex{cols: decl.Cols, buckets: make(map[uint64][]int)}
-			for i, r := range t.Rows {
-				h := types.HashRow(r, decl.Cols)
-				hi.buckets[h] = append(hi.buckets[h], i)
-			}
-			t.hashIdx[decl.Name] = hi
-		}
-	}
+// HasIndex reports whether an index with the name was built in this
+// version.
+func (v *Version) HasIndex(name string) bool {
+	_, h := v.hashIdx[name]
+	_, o := v.ordIdx[name]
+	return h || o
 }
 
 // Lookup returns the ordinals of rows whose index columns equal the
 // given key datums, using the named index. The index must exist (the
 // optimizer only emits lookups against catalog indexes).
-func (t *Table) Lookup(indexName string, key []types.Datum) []int {
-	if hi, ok := t.hashIdx[indexName]; ok {
+func (v *Version) Lookup(indexName string, key []types.Datum) []int {
+	if hi, ok := v.hashIdx[indexName]; ok {
 		probe := types.Row(key)
 		kOrds := make([]int, len(key))
 		for i := range kOrds {
@@ -152,22 +86,26 @@ func (t *Table) Lookup(indexName string, key []types.Datum) []int {
 		h := types.HashRow(probe, kOrds)
 		var out []int
 		for _, ord := range hi.buckets[h] {
-			if types.EqualRows(t.Rows[ord], hi.cols, probe, kOrds) {
+			if types.EqualRows(hi.rows[ord], hi.cols, probe, kOrds) {
 				out = append(out, ord)
 			}
 		}
 		return out
 	}
-	if oi, ok := t.ordIdx[indexName]; ok {
+	if oi, ok := v.ordIdx[indexName]; ok {
 		return oi.lookup(key)
 	}
 	return nil
 }
 
+// LookupOrds is Lookup under the execution engine's interface name.
+func (v *Version) LookupOrds(index string, key []types.Datum) []int {
+	return v.Lookup(index, key)
+}
+
 func (oi *orderedIndex) lookup(key []types.Datum) []int {
-	rows := *oi.rows
 	cmpAt := func(i int) int {
-		r := rows[oi.perm[i]]
+		r := oi.rows[oi.perm[i]]
 		for j, kd := range key {
 			if c := types.Compare(r[oi.cols[j]], kd); c != 0 {
 				return c
@@ -185,14 +123,13 @@ func (oi *orderedIndex) lookup(key []types.Datum) []int {
 
 // RangeScan returns row ordinals with lo <= indexCols < hi (nil bound =
 // unbounded), via the named ordered index.
-func (t *Table) RangeScan(indexName string, lo, hi []types.Datum) []int {
-	oi, ok := t.ordIdx[indexName]
+func (v *Version) RangeScan(indexName string, lo, hi []types.Datum) []int {
+	oi, ok := v.ordIdx[indexName]
 	if !ok {
 		return nil
 	}
-	rows := *oi.rows
 	cmpKey := func(i int, key []types.Datum) int {
-		r := rows[oi.perm[i]]
+		r := oi.rows[oi.perm[i]]
 		for j, kd := range key {
 			if c := types.Compare(r[oi.cols[j]], kd); c != 0 {
 				return c
@@ -215,28 +152,263 @@ func (t *Table) RangeScan(indexName string, lo, hi []types.Datum) []int {
 	return out
 }
 
-// HasIndex reports whether an index with the name has been built.
-func (t *Table) HasIndex(name string) bool {
-	_, h := t.hashIdx[name]
-	_, o := t.ordIdx[name]
-	return h || o
+// Table is the stored form of one catalog table: a writer side (the
+// working row slice, guarded by mu) and the atomically published
+// current Version read by queries.
+type Table struct {
+	Schema *catalog.Table
+
+	// Rows is the writer's working slice. It is exported for
+	// single-threaded tooling and tests; concurrent readers must go
+	// through Version()/AllRows() instead, which return the published
+	// immutable state. Writers (Insert, InsertAll, BuildIndexes)
+	// serialize on mu and republish after every mutation.
+	Rows []types.Row
+
+	mu  sync.Mutex
+	cur atomic.Pointer[Version]
 }
 
-// AllRows exposes the stored rows (read-only by convention); it
+func newTable(schema *catalog.Table) *Table {
+	t := &Table{Schema: schema}
+	t.cur.Store(&Version{Schema: schema})
+	return t
+}
+
+// Version returns the current published version of the table. The
+// result is immutable: loading it once and using it for a whole query
+// yields repeatable reads regardless of concurrent inserts.
+func (t *Table) Version() *Version {
+	return t.cur.Load()
+}
+
+// publish freezes the current working slice (plus the given indexes)
+// as the new published version. Callers must hold t.mu. The published
+// prefix aliases the working array — writers only append past the
+// published length, so readers of the frozen prefix never observe a
+// mutation.
+func (t *Table) publish(hashIdx map[string]*hashIndex, ordIdx map[string]*orderedIndex) {
+	v := &Version{
+		Schema:  t.Schema,
+		rows:    t.Rows[:len(t.Rows):len(t.Rows)],
+		hashIdx: hashIdx,
+		ordIdx:  ordIdx,
+	}
+	t.cur.Store(v)
+}
+
+// checkRow validates arity and types against the schema. NULLs are
+// rejected in non-nullable columns.
+func (t *Table) checkRow(row types.Row) error {
+	if len(row) != len(t.Schema.Columns) {
+		return fmt.Errorf("storage: table %s expects %d columns, got %d",
+			t.Schema.Name, len(t.Schema.Columns), len(row))
+	}
+	for i, d := range row {
+		col := t.Schema.Columns[i]
+		if d.IsNull() {
+			if !col.Nullable {
+				return fmt.Errorf("storage: NULL in non-nullable column %s.%s", t.Schema.Name, col.Name)
+			}
+			continue
+		}
+		if d.Kind() != col.Type && !(d.Kind().Numeric() && col.Type.Numeric()) {
+			return fmt.Errorf("storage: column %s.%s wants %s, got %s",
+				t.Schema.Name, col.Name, col.Type, d.Kind())
+		}
+	}
+	return nil
+}
+
+// Insert appends a row after validating arity and types, publishing
+// the new state atomically.
+func (t *Table) Insert(row types.Row) error {
+	return t.InsertAll([]types.Row{row})
+}
+
+// InsertAll bulk-inserts rows, stopping before the first invalid row
+// (all-or-nothing: a failed batch publishes no rows). The batch
+// becomes visible to readers in a single publication — a concurrent
+// snapshot sees either none or all of it.
+func (t *Table) InsertAll(rows []types.Row) error {
+	return t.InsertAllThen(rows, nil)
+}
+
+// InsertAllThen is InsertAll with a post-publish hook that runs while
+// the writer lock is still held, so the hook's effects (e.g. the DB
+// layer's stats-epoch bump) and the row publication form one atomic
+// step with respect to other writers: no second writer can publish in
+// between.
+func (t *Table) InsertAllThen(rows []types.Row, then func(total int)) error {
+	for _, r := range rows {
+		if err := t.checkRow(r); err != nil {
+			return err
+		}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.Rows = append(t.Rows, rows...)
+	prev := t.cur.Load()
+	t.publish(prev.hashIdx, prev.ordIdx)
+	if then != nil {
+		then(len(t.Rows))
+	}
+	return nil
+}
+
+// BuildIndexes (re)builds all indexes declared in the schema over the
+// current rows and publishes the indexed version. Call after bulk
+// load; loading then indexing is how the TPC-H generator populates the
+// store.
+func (t *Table) BuildIndexes() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	frozen := t.Rows[:len(t.Rows):len(t.Rows)]
+	hashIdx := make(map[string]*hashIndex)
+	ordIdx := make(map[string]*orderedIndex)
+	for _, decl := range t.Schema.Indexes {
+		if decl.Ordered {
+			oi := &orderedIndex{cols: decl.Cols, rows: frozen}
+			oi.perm = make([]int, len(frozen))
+			for i := range oi.perm {
+				oi.perm[i] = i
+			}
+			cols := decl.Cols
+			sort.SliceStable(oi.perm, func(a, b int) bool {
+				ra, rb := frozen[oi.perm[a]], frozen[oi.perm[b]]
+				for _, c := range cols {
+					if cmp := types.Compare(ra[c], rb[c]); cmp != 0 {
+						return cmp < 0
+					}
+				}
+				return false
+			})
+			ordIdx[decl.Name] = oi
+		} else {
+			hi := &hashIndex{cols: decl.Cols, rows: frozen, buckets: make(map[uint64][]int)}
+			for i, r := range frozen {
+				h := types.HashRow(r, decl.Cols)
+				hi.buckets[h] = append(hi.buckets[h], i)
+			}
+			hashIdx[decl.Name] = hi
+		}
+	}
+	t.publish(hashIdx, ordIdx)
+}
+
+// Lookup returns matching row ordinals via the current published
+// version (see Version.Lookup).
+func (t *Table) Lookup(indexName string, key []types.Datum) []int {
+	return t.Version().Lookup(indexName, key)
+}
+
+// RangeScan returns row ordinals with lo <= indexCols < hi via the
+// current published version.
+func (t *Table) RangeScan(indexName string, lo, hi []types.Datum) []int {
+	return t.Version().RangeScan(indexName, lo, hi)
+}
+
+// HasIndex reports whether an index with the name has been built.
+func (t *Table) HasIndex(name string) bool { return t.Version().HasIndex(name) }
+
+// AllRows exposes the currently published rows (immutable); it
 // satisfies the execution engine's table access interface.
-func (t *Table) AllRows() []types.Row { return t.Rows }
+func (t *Table) AllRows() []types.Row { return t.Version().AllRows() }
 
 // LookupOrds is Lookup under the execution engine's interface name.
 func (t *Table) LookupOrds(index string, key []types.Datum) []int {
 	return t.Lookup(index, key)
 }
 
+// Store is a database instance: catalog plus stored tables. Table
+// lookup is lock-free (the table map is copy-on-write); CreateTable
+// serializes writers on an internal mutex.
+type Store struct {
+	Catalog *catalog.Catalog
+
+	mu     sync.Mutex // serializes CreateTable
+	tables atomic.Pointer[map[string]*Table]
+}
+
+// New creates an empty store over the catalog.
+func New(cat *catalog.Catalog) *Store {
+	s := &Store{Catalog: cat}
+	m := make(map[string]*Table)
+	s.tables.Store(&m)
+	return s
+}
+
+// CreateTable registers schema in the catalog and allocates storage,
+// publishing the extended table map atomically so concurrent readers
+// never observe a torn map.
+func (s *Store) CreateTable(schema *catalog.Table) (*Table, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.Catalog.Add(schema); err != nil {
+		return nil, err
+	}
+	t := newTable(schema)
+	old := *s.tables.Load()
+	next := make(map[string]*Table, len(old)+1)
+	for k, v := range old {
+		next[k] = v
+	}
+	next[lower(schema.Name)] = t
+	s.tables.Store(&next)
+	return t, nil
+}
+
+func lower(s string) string {
+	b := []byte(s)
+	for i, c := range b {
+		if c >= 'A' && c <= 'Z' {
+			b[i] = c + 32
+		}
+	}
+	return string(b)
+}
+
+// Table returns the stored table by name.
+func (s *Store) Table(name string) (*Table, bool) {
+	t, ok := (*s.tables.Load())[lower(name)]
+	return t, ok
+}
+
+// Snapshot is a consistent point-in-time view of the whole store:
+// the Version of every table as of the moment Snapshot() was called.
+// Reads through a Snapshot are repeatable — concurrent inserts,
+// index rebuilds, and even CreateTable are invisible to it. Snapshots
+// are cheap (one pointer load per table, no copying) and need no
+// release; dropping the reference frees them.
+type Snapshot struct {
+	versions map[string]*Version
+}
+
+// Snapshot pins the current version of every stored table.
+func (s *Store) Snapshot() *Snapshot {
+	tables := *s.tables.Load()
+	sn := &Snapshot{versions: make(map[string]*Version, len(tables))}
+	for name, t := range tables {
+		sn.versions[name] = t.Version()
+	}
+	return sn
+}
+
+// Table returns the pinned version of the named table. Tables created
+// after the snapshot was taken do not exist in it.
+func (sn *Snapshot) Table(name string) (*Version, bool) {
+	v, ok := sn.versions[lower(name)]
+	return v, ok
+}
+
 // NewFromCatalog creates a store with (empty) table storage allocated
 // for every table already registered in the catalog.
 func NewFromCatalog(cat *catalog.Catalog) *Store {
-	s := &Store{Catalog: cat, tables: make(map[string]*Table)}
+	s := &Store{Catalog: cat}
+	m := make(map[string]*Table)
 	for _, t := range cat.Tables() {
-		s.tables[lower(t.Name)] = &Table{Schema: t}
+		m[lower(t.Name)] = newTable(t)
 	}
+	s.tables.Store(&m)
 	return s
 }

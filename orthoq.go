@@ -155,6 +155,16 @@ type Config struct {
 	// handle, each line in a single Write call. Run state.
 	QueryLog io.Writer
 
+	// Session, when non-empty, labels this run's query-log record and
+	// metrics with a session identifier. Set by servers embedding the
+	// engine (one label per wire session); pure run state, never part
+	// of the plan identity.
+	Session string
+	// Queued records how long this run waited in an admission queue
+	// before execution; it is surfaced as queued_us in the query log.
+	// Set by servers embedding the engine; run state.
+	Queued time.Duration
+
 	// Timeout, when positive, bounds each query execution; expiry
 	// surfaces as an error wrapping ErrTimeout. Combine with
 	// QueryContext for caller-driven cancellation.
@@ -197,6 +207,9 @@ type runOpts struct {
 	faults       *faultinject.Injector
 	trace        bool
 	queryLog     io.Writer
+	session      string
+	queued       time.Duration
+	snap         *storage.Snapshot
 }
 
 func (c Config) execOpts(ctx context.Context) runOpts {
@@ -210,6 +223,8 @@ func (c Config) execOpts(ctx context.Context) runOpts {
 		faults:       c.faults,
 		trace:        c.Trace,
 		queryLog:     c.QueryLog,
+		session:      c.Session,
+		queued:       c.Queued,
 	}
 }
 
@@ -445,23 +460,27 @@ func (db *DB) CreateTable(t *Table) error {
 // accumulate a drift counter; once drift exceeds max(64, 12.5% of the
 // rows last analyzed) the epoch is bumped so cached plans re-optimize
 // rather than running against badly stale cardinalities.
+//
+// The whole batch publishes atomically: a concurrent reader (or
+// snapshot) sees either none or all of the rows, and the drift
+// accounting plus any stats-epoch bump happen inside the same
+// publication step — no window where another writer's publish can
+// interleave between the new rows appearing and the epoch moving.
 func (db *DB) Insert(table string, rows ...Row) error {
 	tbl, ok := db.store.Table(table)
 	if !ok {
 		return fmt.Errorf("orthoq: unknown table %q", table)
 	}
-	if err := tbl.InsertAll(rows); err != nil {
-		return err
-	}
-	threshold := db.analyzedRows.Load() / 8
-	if threshold < 64 {
-		threshold = 64
-	}
-	if d := db.drift.Add(int64(len(rows))); d >= threshold {
-		db.drift.Add(-d)
-		db.epoch.Add(1)
-	}
-	return nil
+	return tbl.InsertAllThen(rows, func(int) {
+		threshold := db.analyzedRows.Load() / 8
+		if threshold < 64 {
+			threshold = 64
+		}
+		if d := db.drift.Add(int64(len(rows))); d >= threshold {
+			db.drift.Add(-d)
+			db.epoch.Add(1)
+		}
+	})
 }
 
 // Analyze rebuilds indexes and statistics; run it after loading data.
@@ -508,6 +527,16 @@ func (db *DB) CacheStats() plancache.Stats {
 
 // Catalog exposes the schema catalog.
 func (db *DB) Catalog() *Catalog { return db.store.Catalog }
+
+// TableRowCount returns the row count of the named table's currently
+// published version (false for unknown tables).
+func (db *DB) TableRowCount(name string) (int, bool) {
+	tbl, ok := db.store.Table(name)
+	if !ok {
+		return 0, false
+	}
+	return tbl.Version().RowCount(), true
+}
 
 // Rows is a materialized query result.
 type Rows struct {
@@ -643,6 +672,16 @@ func (s *Stmt) RunContext(ctx context.Context) (*Rows, error) {
 	return s.prep.run(s.db, nil, "", s.cfg.execOpts(ctx))
 }
 
+// RunSnapshot executes the prepared plan reading from a pinned
+// snapshot (see DB.Snapshot); a nil snap behaves like RunContext.
+func (s *Stmt) RunSnapshot(ctx context.Context, snap *Snapshot) (*Rows, error) {
+	opts := s.cfg.execOpts(ctx)
+	if snap != nil {
+		opts.snap = snap.sn
+	}
+	return s.prep.run(s.db, nil, "", opts)
+}
+
 // Stale reports whether the database epoch moved since Prepare
 // (statistics refresh, DDL, or significant insert drift), i.e. whether
 // the plan was chosen under assumptions that no longer hold. Running a
@@ -682,7 +721,40 @@ func (db *DB) QueryCfg(sql string, cfg Config) (*Rows, error) {
 // affect the cached plan or its key, so the same cached plan serves
 // runs with different budgets and deadlines.
 func (db *DB) QueryCfgContext(goCtx context.Context, sql string, cfg Config) (*Rows, error) {
+	return db.queryOpts(sql, cfg, cfg.execOpts(goCtx))
+}
+
+// Snapshot is a pinned, consistent point-in-time view of every table:
+// queries run against it see the data exactly as of DB.Snapshot(),
+// regardless of concurrent Insert/CreateTable/Analyze traffic
+// (repeatable reads). Snapshots are cheap — one pointer per table, no
+// copying — and need no explicit release.
+type Snapshot struct {
+	sn *storage.Snapshot
+}
+
+// Snapshot pins the current version of every table. It is the read
+// side of the engine's lightweight transactions: take one at BEGIN,
+// run any number of queries against it, drop it at COMMIT/ROLLBACK.
+func (db *DB) Snapshot() *Snapshot {
+	return &Snapshot{sn: db.store.Snapshot()}
+}
+
+// QuerySnapshot runs SQL under cfg reading from the pinned snapshot
+// instead of the live table versions. Plan compilation (and the plan
+// cache) is shared with the live path — only data access is pinned. A
+// nil snap behaves exactly like QueryCfgContext.
+func (db *DB) QuerySnapshot(goCtx context.Context, sql string, cfg Config, snap *Snapshot) (*Rows, error) {
 	opts := cfg.execOpts(goCtx)
+	if snap != nil {
+		opts.snap = snap.sn
+	}
+	return db.queryOpts(sql, cfg, opts)
+}
+
+// queryOpts is the shared cached-query path behind QueryCfgContext and
+// QuerySnapshot.
+func (db *DB) queryOpts(sql string, cfg Config, opts runOpts) (*Rows, error) {
 	if cfg.PlanCache.Disabled {
 		db.disabledBypasses.Add(1)
 		prep, err := db.prepare(sql, cfg)
@@ -922,6 +994,7 @@ func (p *prepared) execContext(db *DB, params []types.Datum, opts runOpts) (*exe
 	ctx.SpillDir = opts.spillDir
 	ctx.Faults = opts.faults
 	ctx.Fingerprint = p.fingerprint
+	ctx.Snap = opts.snap
 	goCtx := opts.ctx
 	var cancel context.CancelFunc
 	if opts.timeout > 0 {
@@ -964,7 +1037,7 @@ func (p *prepared) runTraced(db *DB, params []types.Datum, cacheStatus string, t
 	}
 	db.noteRun(p, cacheStatus, elapsed, nrows, err,
 		ctx.PeakMem(), ctx.Spills(), ctx.WorkersSpawned(), ctx.MorselsDispatched(),
-		opts.queryLog)
+		opts)
 	if err != nil {
 		return nil, err
 	}
@@ -1018,8 +1091,9 @@ func errClass(err error) string {
 // Close) funnels through here, which is what keeps DB.Metrics() deltas
 // consistent with per-query observations.
 func (db *DB) noteRun(p *prepared, cacheStatus string, elapsed time.Duration,
-	rows int64, runErr error, peakMem, spills, workers, morsels int64, logw io.Writer) {
+	rows int64, runErr error, peakMem, spills, workers, morsels int64, opts runOpts) {
 
+	logw := opts.queryLog
 	class := errClass(runErr)
 	db.metrics.RecordRun(elapsed, rows, class)
 	db.metrics.NotePeakMem(peakMem)
@@ -1038,6 +1112,8 @@ func (db *DB) noteRun(p *prepared, cacheStatus string, elapsed time.Duration,
 	rec := obs.QueryRecord{
 		Fingerprint:  p.fingerprint,
 		Cache:        cacheStatus,
+		Session:      opts.session,
+		QueuedUS:     opts.queued.Microseconds(),
 		Rules:        p.rules,
 		DurationUS:   elapsed.Microseconds(),
 		Rows:         rows,
@@ -1073,7 +1149,7 @@ type Stream struct {
 	// caller think-time between Next calls.
 	db      *DB
 	prep    *prepared
-	logw    io.Writer
+	opts    runOpts
 	start   time.Time
 	nrows   int64
 	lastErr error
@@ -1091,11 +1167,26 @@ func (db *DB) QueryStream(sql string, cfg Config) (*Stream, error) {
 // canceling it makes the next Next return an error wrapping
 // ErrCanceled.
 func (db *DB) QueryStreamContext(goCtx context.Context, sql string, cfg Config) (*Stream, error) {
+	return db.streamOpts(sql, cfg, cfg.execOpts(goCtx))
+}
+
+// QueryStreamSnapshot is QueryStreamContext reading from a pinned
+// snapshot: the stream sees the data exactly as of the snapshot even
+// if it is consumed slowly while writers publish new versions. A nil
+// snap behaves like QueryStreamContext.
+func (db *DB) QueryStreamSnapshot(goCtx context.Context, sql string, cfg Config, snap *Snapshot) (*Stream, error) {
+	opts := cfg.execOpts(goCtx)
+	if snap != nil {
+		opts.snap = snap.sn
+	}
+	return db.streamOpts(sql, cfg, opts)
+}
+
+func (db *DB) streamOpts(sql string, cfg Config, opts runOpts) (*Stream, error) {
 	prep, err := db.prepare(sql, cfg)
 	if err != nil {
 		return nil, err
 	}
-	opts := cfg.execOpts(goCtx)
 	start := time.Now()
 	ctx, cancel := prep.execContext(db, nil, opts)
 	cu, err := exec.RunCursor(ctx, prep.plan, prep.outCols)
@@ -1105,12 +1196,12 @@ func (db *DB) QueryStreamContext(goCtx context.Context, sql string, cfg Config) 
 		}
 		db.noteRun(prep, "bypass", time.Since(start), 0, err,
 			ctx.PeakMem(), ctx.Spills(), ctx.WorkersSpawned(), ctx.MorselsDispatched(),
-			opts.queryLog)
+			opts)
 		return nil, err
 	}
 	return &Stream{cu: cu, cancel: cancel,
 		names: append([]string(nil), prep.outNames...),
-		db:    db, prep: prep, logw: opts.queryLog, start: start}, nil
+		db:    db, prep: prep, opts: opts, start: start}, nil
 }
 
 // Columns returns the result column names.
@@ -1149,7 +1240,7 @@ func (s *Stream) Close() error {
 	if !s.noted {
 		s.noted = true
 		s.db.noteRun(s.prep, "bypass", time.Since(s.start), s.nrows, s.lastErr,
-			s.cu.PeakMem(), s.cu.Spills(), s.cu.Workers(), s.cu.Morsels(), s.logw)
+			s.cu.PeakMem(), s.cu.Spills(), s.cu.Workers(), s.cu.Morsels(), s.opts)
 	}
 	return err
 }

@@ -37,6 +37,20 @@ go run ./cmd/orthoq-bench -exp apply -sf 0.002 -reps 1 -json > /dev/null
 # orphaned spill partitions) that the equivalence suites can't see.
 go test -run 'TestTypedErrors|TestFaultInjection|TestSpill|TestStream|TestCancel|TestCacheSurvivesFailedRuns|TestStmtReusableAfterFailure' -race .
 
+# Server leg: admission control, session/cursor lifecycle, and the
+# wire front end under -race, plus the concurrent-writer publication
+# tests (storage COW + the root Insert/Analyze-vs-Query hammer and
+# snapshot serial-equivalence checks). The full ./... race run below
+# covers these again; this leg fails fast with a focused signal.
+go test -race ./internal/server ./internal/storage
+go test -run 'TestInsertQueryRace|TestSnapshotSerialEquivalence|TestStmtRunSnapshot' -race .
+
+# Concurrency smoke leg: the full wire stack — 32 sessions of mixed
+# read/write over HTTP with the admission pool sized below the offered
+# load — must complete with zero errors (rejects are expected and
+# counted, errors are not).
+go run ./cmd/orthoq-bench -exp concurrency -sf 0.002 -sessions 32 -ops 5 -json > /dev/null
+
 # Full suite under -race. Run separately from coverage: the root and
 # bench packages execute the whole TPC-H property corpus, and stacking
 # cross-package coverage instrumentation on top of the race detector
