@@ -12,6 +12,7 @@
 //	orthoq-bench -exp batch -cpuprofile cpu.out -memprofile mem.out
 //	orthoq-bench -exp obs -json
 //	orthoq-bench -exp concurrency -sessions 32 -ops 10 -json
+//	orthoq-bench -exp resultcache -sessions 8 -ops 20 -json -artifacts .
 package main
 
 import (
@@ -27,14 +28,15 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: figure1|figure8|figure9|ablation|parallel|cache|batch|spill|obs|apply|concurrency|all")
+	exp := flag.String("exp", "all", "experiment: figure1|figure8|figure9|ablation|parallel|cache|batch|spill|obs|apply|concurrency|resultcache|all")
 	sf := flag.Float64("sf", 0.01, "TPC-H scale factor for figure1/figure8/ablation/parallel/batch")
 	sfList := flag.String("sfs", "0.002,0.005,0.01,0.02", "comma-separated scale factors for figure9")
 	seed := flag.Int64("seed", 1, "data generator seed")
 	reps := flag.Int("reps", 3, "repetitions per measurement (median reported)")
 	jsonOut := flag.Bool("json", false, "emit machine-readable JSON lines (parallel/cache/batch/apply/concurrency experiments)")
-	sessions := flag.Int("sessions", 32, "concurrent wire sessions for the concurrency experiment")
-	ops := flag.Int("ops", 10, "operations per session for the concurrency experiment")
+	sessions := flag.Int("sessions", 32, "concurrent wire sessions for the concurrency/resultcache experiments")
+	ops := flag.Int("ops", 10, "operations per session for the concurrency/resultcache experiments")
+	artifacts := flag.String("artifacts", "", "directory for unified BENCH_<exp>.json artifacts (empty = off)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the experiments to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile after the experiments to this file")
 	flag.Parse()
@@ -102,14 +104,22 @@ func main() {
 		// Not part of -exp all: it builds its own DB plus an in-process
 		// HTTP server, which would distort the timing experiments.
 		ran = true
-		if err := bench.RunConcurrency(os.Stdout, *sf, *seed, *sessions, *ops, *jsonOut); err != nil {
+		if err := bench.RunConcurrency(os.Stdout, *sf, *seed, *sessions, *ops, *jsonOut, *artifacts); err != nil {
 			fmt.Fprintf(os.Stderr, "concurrency: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if *exp == "resultcache" {
+		// Like concurrency: its own DB + HTTP server, kept out of -exp all.
+		ran = true
+		if err := bench.RunResultCache(os.Stdout, *sf, *seed, *sessions, *ops, *jsonOut, *artifacts); err != nil {
+			fmt.Fprintf(os.Stderr, "resultcache: %v\n", err)
 			os.Exit(1)
 		}
 	}
 
 	if !ran {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q (want figure1|figure8|figure9|ablation|parallel|cache|batch|spill|obs|apply|concurrency|all)\n", *exp)
+		fmt.Fprintf(os.Stderr, "unknown experiment %q (want figure1|figure8|figure9|ablation|parallel|cache|batch|spill|obs|apply|concurrency|resultcache|all)\n", *exp)
 		os.Exit(2)
 	}
 

@@ -1,0 +1,44 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// Artifact is the unified machine-readable record an experiment leaves
+// behind: one BENCH_<name>.json per experiment, same shape across PRs,
+// so the perf trajectory can be diffed mechanically.
+type Artifact struct {
+	// Name is the experiment name (the -exp value).
+	Name string `json:"name"`
+	// Written is the RFC3339 completion timestamp.
+	Written string `json:"written"`
+	// Config records the knobs the experiment ran under.
+	Config map[string]any `json:"config"`
+	// Medians holds the experiment's headline numbers (medians and
+	// counters; keys are experiment-specific but stable across runs).
+	Medians map[string]any `json:"medians"`
+}
+
+// WriteArtifact writes BENCH_<name>.json into dir (creating it as
+// needed). An empty dir disables artifact emission.
+func WriteArtifact(dir string, a Artifact) error {
+	if dir == "" {
+		return nil
+	}
+	if a.Written == "" {
+		a.Written = time.Now().UTC().Format(time.RFC3339)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(a, "", "  ")
+	if err != nil {
+		return err
+	}
+	path := filepath.Join(dir, fmt.Sprintf("BENCH_%s.json", a.Name))
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

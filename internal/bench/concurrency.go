@@ -26,7 +26,7 @@ import (
 // saturation behavior (queueing, then typed rejects) is part of the
 // measurement. Reports per-op latency p50/p99, admission rejects, and
 // the admission pool's peak reservation.
-func RunConcurrency(w io.Writer, sf float64, seed int64, sessions, ops int, jsonOut bool) error {
+func RunConcurrency(w io.Writer, sf float64, seed int64, sessions, ops int, jsonOut bool, artifactDir string) error {
 	if sessions <= 0 {
 		sessions = 32
 	}
@@ -142,6 +142,22 @@ func RunConcurrency(w io.Writer, sf float64, seed int64, sessions, ops int, json
 	if errs > 0 {
 		return fmt.Errorf("concurrency: %d operations failed outright (ok=%d adm=%d cap=%d)",
 			errs, ok, admRejects, capRejects)
+	}
+	if err := WriteArtifact(artifactDir, Artifact{
+		Name: "concurrency",
+		Config: map[string]any{
+			"sf": sf, "seed": seed, "sessions": sessions, "ops_per_session": ops,
+		},
+		Medians: map[string]any{
+			"p50_us":              pct(0.50).Microseconds(),
+			"p99_us":              pct(0.99).Microseconds(),
+			"ok":                  ok,
+			"admission_rejects":   admRejects,
+			"session_cap_rejects": capRejects,
+			"elapsed_ms":          elapsed.Milliseconds(),
+		},
+	}); err != nil {
+		return err
 	}
 	if jsonOut {
 		enc := json.NewEncoder(w)

@@ -1,0 +1,349 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"sync"
+	"time"
+
+	"orthoq"
+	"orthoq/internal/server"
+	"orthoq/internal/sql/types"
+)
+
+// resultCacheQueries is the near-duplicate wire workload: a handful of
+// distinct query texts (TPC-H benchmark queries plus literal-variant
+// shapes) that warm traffic repeats over and over — the shape server
+// mode sees in practice. A mix of heavy aggregation/decorrelation
+// queries and cheap point aggregations, like real traffic.
+func resultCacheQueries() []string {
+	qs := []string{
+		"select count(*), sum(o_totalprice) from orders where o_custkey < 500",
+		"select c_custkey from customer where 100000 < (select sum(o_totalprice) from orders where o_custkey = c_custkey)",
+		"select c_custkey from customer where 150000 < (select sum(o_totalprice) from orders where o_custkey = c_custkey)",
+	}
+	for _, name := range []string{"Q1", "Q6", "Q17", "Q18", "Q22"} {
+		if q, ok := orthoq.TPCHQuery(name); ok {
+			qs = append(qs, q)
+		}
+	}
+	return qs
+}
+
+// RunResultCache measures the semantic result cache at the wire level
+// under concurrency-style mixed load. Two phases drive the identical
+// concurrent workload — `sessions` wire sessions each issuing `ops`
+// near-duplicate queries round-robin — first with the result cache
+// disabled per session (cold: every request executes), then with the
+// cache enabled and pre-warmed (warm: every request is a whole-result
+// hit). Alongside the warm phase a writer session hammers a scratch
+// table — insert one row, immediately read count(*) back — verifying
+// the copy-on-write version keys serve zero stale reads under
+// concurrent invalidation. Reports the cold and warm per-request
+// medians and their ratio; the acceptance bar is warm >= 5x faster.
+func RunResultCache(w io.Writer, sf float64, seed int64, sessions, ops int, jsonOut bool, artifactDir string) error {
+	if sessions <= 0 {
+		sessions = 8
+	}
+	if ops <= 0 {
+		ops = 10
+	}
+	db, err := orthoq.OpenTPCH(sf, seed)
+	if err != nil {
+		return err
+	}
+	if err := db.CreateTable(&orthoq.Table{
+		Name: "bench_scratch",
+		Columns: []orthoq.Column{
+			{Name: "id", Type: types.Int},
+			{Name: "val", Type: types.Float},
+		},
+		Key: []int{0},
+	}); err != nil {
+		return err
+	}
+
+	srv := server.New(db, server.Config{
+		Admission: server.AdmissionConfig{
+			MaxConcurrent: max(4, sessions) + 1, // readers + the writer
+			PoolBytes:     int64(max(4, sessions)+1) * 8 << 20,
+			QueueDepth:    sessions * 2,
+			QueueTimeout:  60 * time.Second,
+		},
+	})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	client := ts.Client()
+
+	queries := resultCacheQueries()
+
+	// drive runs the concurrent workload once and returns per-request
+	// latencies. sessCfg is the /session create body (the cold phase
+	// opts out of the result cache per session).
+	drive := func(sessCfg string) ([]time.Duration, error) {
+		var (
+			mu   sync.Mutex
+			lats []time.Duration
+			errs int
+		)
+		var wg sync.WaitGroup
+		for si := 0; si < sessions; si++ {
+			wg.Add(1)
+			go func(si int) {
+				defer wg.Done()
+				sid, err := wireCreateSessionCfg(client, ts.URL, sessCfg)
+				if err != nil {
+					mu.Lock()
+					errs++
+					mu.Unlock()
+					return
+				}
+				defer wireCloseSession(client, ts.URL, sid)
+				for op := 0; op < ops; op++ {
+					q := queries[(si+op)%len(queries)]
+					start := time.Now()
+					status, _, _, err := wireQueryParsed(client, ts.URL, sid, q)
+					lat := time.Since(start)
+					mu.Lock()
+					if err != nil || status != http.StatusOK {
+						errs++
+					} else {
+						lats = append(lats, lat)
+					}
+					mu.Unlock()
+				}
+			}(si)
+		}
+		wg.Wait()
+		if errs > 0 {
+			return nil, fmt.Errorf("resultcache: %d wire queries failed", errs)
+		}
+		return lats, nil
+	}
+
+	// Cold phase: identical traffic, result cache off per session.
+	coldLats, err := drive(`{"result_cache": false}`)
+	if err != nil {
+		return err
+	}
+
+	// Pre-warm: one default session populates the cache (every text
+	// misses once here), so the warm phase measures pure hits.
+	sid, err := wireCreateSessionCfg(client, ts.URL, "{}")
+	if err != nil {
+		return err
+	}
+	for _, q := range queries {
+		if status, _, _, err := wireQueryParsed(client, ts.URL, sid, q); err != nil || status != http.StatusOK {
+			wireCloseSession(client, ts.URL, sid)
+			return fmt.Errorf("resultcache warmup failed: status=%d err=%v", status, err)
+		}
+	}
+	wireCloseSession(client, ts.URL, sid)
+
+	// Warm phase: same traffic with the cache hot, while a writer
+	// session does insert-then-read-count round trips against the
+	// scratch table, counting stale reads (there must be none).
+	var (
+		wmu        sync.Mutex
+		staleReads int
+		writerErr  error
+		writerOps  int
+	)
+	writerDone := make(chan struct{})
+	go func() {
+		defer close(writerDone)
+		sid, err := wireCreateSessionCfg(client, ts.URL, "{}")
+		if err != nil {
+			wmu.Lock()
+			writerErr = err
+			wmu.Unlock()
+			return
+		}
+		defer wireCloseSession(client, ts.URL, sid)
+		inserted := 0
+		for i := 0; i < sessions*ops/4+4; i++ {
+			if status, err := wireExecInsert(client, ts.URL, sid, i, float64(i)); err != nil || status != http.StatusOK {
+				wmu.Lock()
+				writerErr = fmt.Errorf("writer insert %d: status=%d err=%v", i, status, err)
+				wmu.Unlock()
+				return
+			}
+			inserted++
+			status, rows, _, err := wireQueryParsed(client, ts.URL, sid,
+				"select count(*) from bench_scratch")
+			if err != nil || status != http.StatusOK || len(rows) != 1 || len(rows[0]) != 1 {
+				wmu.Lock()
+				writerErr = fmt.Errorf("writer count after %d: status=%d rows=%v err=%v", i, status, rows, err)
+				wmu.Unlock()
+				return
+			}
+			// JSON numbers decode as float64; the single writer knows the
+			// exact expected count — anything lower is a stale cached read.
+			if got, ok := rows[0][0].(float64); !ok || int(got) != inserted {
+				wmu.Lock()
+				staleReads++
+				wmu.Unlock()
+			}
+			wmu.Lock()
+			writerOps = inserted
+			wmu.Unlock()
+		}
+	}()
+	warmLats, err := drive("{}")
+	<-writerDone
+	if err != nil {
+		return err
+	}
+	if writerErr != nil {
+		return writerErr
+	}
+	if staleReads > 0 {
+		return fmt.Errorf("resultcache: %d stale reads under concurrent inserts", staleReads)
+	}
+
+	coldMed := median(coldLats)
+	warmMed := median(warmLats)
+	speedup := 0.0
+	if warmMed > 0 {
+		speedup = float64(coldMed) / float64(warmMed)
+	}
+	m := srv.Metrics()
+	var hits, misses, shared uint64
+	var entries, bytesLive int64
+	if m.ResultCache != nil {
+		hits, misses, shared = m.ResultCache.Hits, m.ResultCache.Misses, m.ResultCache.Shared
+		entries, bytesLive = m.ResultCache.Entries, m.ResultCache.Bytes
+	}
+
+	if err := WriteArtifact(artifactDir, Artifact{
+		Name: "resultcache",
+		Config: map[string]any{
+			"sf": sf, "seed": seed, "sessions": sessions, "ops_per_session": ops,
+			"distinct_queries": len(queries),
+		},
+		Medians: map[string]any{
+			"cold_median_us": coldMed.Microseconds(),
+			"warm_median_us": warmMed.Microseconds(),
+			"speedup":        speedup,
+			"hits":           hits,
+			"misses":         misses,
+			"shared":         shared,
+			"stale_reads":    staleReads,
+			"writer_ops":     writerOps,
+		},
+	}); err != nil {
+		return err
+	}
+
+	if jsonOut {
+		return json.NewEncoder(w).Encode(map[string]any{
+			"exp":              "resultcache",
+			"sf":               sf,
+			"sessions":         sessions,
+			"ops_per_session":  ops,
+			"distinct_queries": len(queries),
+			"cold_median_us":   coldMed.Microseconds(),
+			"warm_median_us":   warmMed.Microseconds(),
+			"speedup":          speedup,
+			"cache_hits":       hits,
+			"cache_misses":     misses,
+			"cache_shared":     shared,
+			"cache_entries":    entries,
+			"cache_bytes":      bytesLive,
+			"stale_reads":      staleReads,
+			"writer_ops":       writerOps,
+		})
+	}
+	fmt.Fprintf(w, "=== resultcache: %d sessions x %d ops over %d distinct queries, SF %g ===\n",
+		sessions, ops, len(queries), sf)
+	fmt.Fprintf(w, "%-24s %12s\n", "cold median", coldMed.Round(time.Microsecond))
+	fmt.Fprintf(w, "%-24s %12s\n", "warm median", warmMed.Round(time.Microsecond))
+	fmt.Fprintf(w, "%-24s %11.1fx\n", "speedup", speedup)
+	fmt.Fprintf(w, "%-24s %12d\n", "cache hits", hits)
+	fmt.Fprintf(w, "%-24s %12d\n", "cache misses", misses)
+	fmt.Fprintf(w, "%-24s %12d\n", "single-flight shared", shared)
+	fmt.Fprintf(w, "%-24s %12d\n", "writer ops", writerOps)
+	fmt.Fprintf(w, "%-24s %12d\n", "stale reads", staleReads)
+	return nil
+}
+
+func median(ds []time.Duration) time.Duration {
+	if len(ds) == 0 {
+		return 0
+	}
+	s := append([]time.Duration(nil), ds...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	return s[len(s)/2]
+}
+
+// wireCreateSessionCfg opens a server session with an explicit
+// SessionConfig JSON body.
+func wireCreateSessionCfg(c *http.Client, base, cfg string) (string, error) {
+	resp, err := c.Post(base+"/session", "application/json", bytes.NewBufferString(cfg))
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("create session: status %d", resp.StatusCode)
+	}
+	var out struct {
+		Session string `json:"session"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return "", err
+	}
+	return out.Session, nil
+}
+
+// wireQueryParsed posts one inline query and decodes the JSONL body:
+// row values, the trailer's cache status, and the HTTP status.
+func wireQueryParsed(c *http.Client, base, sid, sql string) (int, [][]any, string, error) {
+	body, _ := json.Marshal(map[string]any{"session": sid, "sql": sql})
+	resp, err := c.Post(base+"/query", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, nil, "", err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return resp.StatusCode, nil, "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return resp.StatusCode, nil, "", nil
+	}
+	var rows [][]any
+	cache := ""
+	done := false
+	for _, line := range bytes.Split(data, []byte("\n")) {
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		var rec struct {
+			Row   []any  `json:"row"`
+			Done  bool   `json:"done"`
+			Cache string `json:"cache"`
+		}
+		if err := json.Unmarshal(line, &rec); err != nil {
+			return resp.StatusCode, nil, "", err
+		}
+		if rec.Row != nil {
+			rows = append(rows, rec.Row)
+		}
+		if rec.Done {
+			done = true
+			cache = rec.Cache
+		}
+	}
+	if !done {
+		return resp.StatusCode, nil, "", fmt.Errorf("truncated response (no trailer)")
+	}
+	return resp.StatusCode, rows, cache, nil
+}

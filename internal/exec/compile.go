@@ -152,8 +152,9 @@ func compileNode(ctx *Context, rel algebra.Rel) (*node, error) {
 			cols = append(cols, a.Col)
 		}
 		hint := estimateGroups(ctx, t, estimateRows(ctx, t.Input))
-		return newNode(&hashAggIter{ctx: ctx, in: in, gb: t, cols: cols,
-			sizeHint: hint, st: ctx.traceStats(t)}, cols), nil
+		agg := iterator(&hashAggIter{ctx: ctx, in: in, gb: t, cols: cols,
+			sizeHint: hint, st: ctx.traceStats(t)})
+		return newNode(maybeCacheSub(ctx, t, agg), cols), nil
 
 	case *algebra.SegmentApply:
 		return compileSegmentApply(ctx, t)

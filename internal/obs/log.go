@@ -18,8 +18,11 @@ type QueryRecord struct {
 	// the same identifier used in contained-panic reports and pprof
 	// labels, so log lines, bug reports, and profiles join on it.
 	Fingerprint string `json:"fingerprint"`
-	// Cache is how the plan cache served the query: "hit", "miss",
-	// "bypass", or "" for paths that do not consult the cache.
+	// Cache is how the caches served the query: "hit", "miss", or
+	// "bypass" from the plan cache, "result" when the semantic result
+	// cache returned the materialized result without executing (or
+	// shared a concurrent identical execution via single-flight), or ""
+	// for paths that consult no cache.
 	Cache string `json:"cache,omitempty"`
 	// Session labels the record with the server session that ran the
 	// query (empty for embedded/library use).

@@ -137,6 +137,29 @@ type Snapshot struct {
 	// the global memory pool, cursor reaping). Nil for embedded use;
 	// filled by the server layer's metrics snapshot.
 	Server *ServerSnapshot `json:"server,omitempty"`
+
+	// ResultCache holds semantic result-cache counters. Nil until a run
+	// enables the cache; filled by the DB layer from the cache's own
+	// counters.
+	ResultCache *ResultCacheSnapshot `json:"result_cache,omitempty"`
+}
+
+// ResultCacheSnapshot is the point-in-time copy of the semantic result
+// cache's effectiveness counters. Whole-result and sub-expression
+// traffic are counted separately; Shared counts single-flight waiters
+// served by a concurrent leader's execution.
+type ResultCacheSnapshot struct {
+	Hits          uint64 `json:"hits"`
+	Misses        uint64 `json:"misses"`
+	Shared        uint64 `json:"shared"`
+	SubHits       uint64 `json:"sub_hits"`
+	SubMisses     uint64 `json:"sub_misses"`
+	Inserts       uint64 `json:"inserts"`
+	Rejected      uint64 `json:"rejected"`
+	Evictions     uint64 `json:"evictions"`
+	Invalidations uint64 `json:"invalidations"`
+	Entries       int64  `json:"entries"`
+	Bytes         int64  `json:"bytes"`
 }
 
 // Snapshot copies the registry. Counters are read individually (not as

@@ -1,0 +1,271 @@
+package resultcache
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestLookupPutInvalidate(t *testing.T) {
+	c := New(Config{})
+	if _, ok := c.Lookup("k1"); ok {
+		t.Fatal("lookup on empty cache hit")
+	}
+	if !c.Put("k1", []string{"orders"}, "v1", 100) {
+		t.Fatal("put rejected")
+	}
+	v, ok := c.Lookup("k1")
+	if !ok || v.(string) != "v1" {
+		t.Fatalf("lookup = %v, %v", v, ok)
+	}
+	c.Put("k2", []string{"orders", "customer"}, "v2", 50)
+	c.Put("k3", []string{"customer"}, "v3", 25)
+
+	c.InvalidateTables("orders")
+	if _, ok := c.Lookup("k1"); ok {
+		t.Fatal("k1 survived invalidation of orders")
+	}
+	if _, ok := c.Lookup("k2"); ok {
+		t.Fatal("k2 survived invalidation of orders")
+	}
+	if _, ok := c.Lookup("k3"); !ok {
+		t.Fatal("k3 dropped by invalidation of unrelated table")
+	}
+	st := c.CacheStats()
+	if st.Invalidations != 2 || st.Entries != 1 || st.Bytes != 25 {
+		t.Fatalf("stats after invalidate = %+v", st)
+	}
+	c.Purge()
+	if st := c.CacheStats(); st.Entries != 0 || st.Bytes != 0 {
+		t.Fatalf("stats after purge = %+v", st)
+	}
+}
+
+func TestPutReplaceAccounting(t *testing.T) {
+	c := New(Config{})
+	c.Put("k", []string{"t"}, "a", 100)
+	c.Put("k", []string{"t"}, "b", 40)
+	st := c.CacheStats()
+	if st.Entries != 1 || st.Bytes != 40 {
+		t.Fatalf("replace accounting = %+v", st)
+	}
+	v, _ := c.Lookup("k")
+	if v.(string) != "b" {
+		t.Fatalf("replace kept old value %v", v)
+	}
+}
+
+func TestOversizeRejected(t *testing.T) {
+	c := New(Config{MaxBytes: 1000, MaxEntryBytes: 100})
+	if c.Put("big", nil, "x", 101) {
+		t.Fatal("oversize entry admitted")
+	}
+	if st := c.CacheStats(); st.Rejected != 1 || st.Entries != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestEvictionLRU(t *testing.T) {
+	c := New(Config{MaxBytes: 1 << 30, MaxEntries: 4, MaxEntryBytes: 1 << 20})
+	for _, k := range []string{"a", "b", "c", "d"} {
+		c.Put(k, nil, k, 10)
+	}
+	// Touch everything so recency is defined, then overflow.
+	for _, k := range []string{"a", "b", "c", "d"} {
+		c.Lookup(k)
+	}
+	c.Put("e", nil, "e", 10)
+	st := c.CacheStats()
+	if st.Entries != 4 {
+		t.Fatalf("entries after overflow = %d", st.Entries)
+	}
+	if st.Evictions == 0 {
+		t.Fatal("no eviction counted")
+	}
+}
+
+func TestByteCapEviction(t *testing.T) {
+	c := New(Config{MaxBytes: 100, MaxEntries: 1000, MaxEntryBytes: 100})
+	c.Put("a", nil, "a", 60)
+	c.Put("b", nil, "b", 60) // same shard or not, totals must converge <= 100
+	st := c.CacheStats()
+	if st.Bytes > 100 {
+		// Eviction works per-shard; inserting into the shard again must
+		// reclaim. Force it by inserting a third entry.
+		c.Put("c", nil, "c", 60)
+		st = c.CacheStats()
+	}
+	if st.Bytes > 120 {
+		t.Fatalf("bytes stayed over cap: %+v", st)
+	}
+}
+
+func TestPinHoldsBytes(t *testing.T) {
+	c := New(Config{})
+	c.Put("k", []string{"t"}, "v", 100)
+	e, ok := c.Pin("k")
+	if !ok {
+		t.Fatal("pin miss")
+	}
+	c.InvalidateTables("t")
+	if _, ok := c.Lookup("k"); ok {
+		t.Fatal("invalidated entry still reachable")
+	}
+	if st := c.CacheStats(); st.Bytes != 100 {
+		t.Fatalf("pinned bytes released early: %+v", st)
+	}
+	if e.Val.(string) != "v" {
+		t.Fatal("pinned payload changed")
+	}
+	c.Unpin(e)
+	if st := c.CacheStats(); st.Bytes != 0 || st.Entries != 0 {
+		t.Fatalf("bytes not released on last unpin: %+v", st)
+	}
+}
+
+func TestDoSingleFlight(t *testing.T) {
+	c := New(Config{})
+	var execs atomic.Int32
+	var wg sync.WaitGroup
+	release := make(chan struct{})
+	const n = 8
+	srcs := make([]Source, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, src, err := c.Do(context.Background(), "k", []string{"t"}, func() (any, int64, error) {
+				execs.Add(1)
+				<-release
+				return "result", 10, nil
+			})
+			if err != nil || v.(string) != "result" {
+				t.Errorf("do = %v, %v", v, err)
+			}
+			srcs[i] = src
+		}(i)
+	}
+	// Let the leader start and waiters queue up behind it.
+	time.Sleep(20 * time.Millisecond)
+	close(release)
+	wg.Wait()
+	if got := execs.Load(); got != 1 {
+		t.Fatalf("executed %d times, want 1", got)
+	}
+	var miss, shared int
+	for _, s := range srcs {
+		switch s {
+		case SrcMiss:
+			miss++
+		case SrcShared:
+			shared++
+		}
+	}
+	if miss != 1 || shared != n-1 {
+		t.Fatalf("miss=%d shared=%d, want 1/%d", miss, shared, n-1)
+	}
+	// Follow-up call is a plain hit.
+	if _, src, _ := c.Do(context.Background(), "k", nil, nil); src != SrcHit {
+		t.Fatalf("follow-up source = %v, want hit", src)
+	}
+}
+
+func TestDoLeaderErrorWaiterRetries(t *testing.T) {
+	c := New(Config{})
+	boom := errors.New("boom")
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var leaderDone sync.WaitGroup
+	leaderDone.Add(1)
+	go func() {
+		defer leaderDone.Done()
+		_, _, err := c.Do(context.Background(), "k", nil, func() (any, int64, error) {
+			close(started)
+			<-release
+			return nil, 0, boom
+		})
+		if err != boom {
+			t.Errorf("leader err = %v", err)
+		}
+	}()
+	<-started
+	var waiterDone sync.WaitGroup
+	waiterDone.Add(1)
+	go func() {
+		defer waiterDone.Done()
+		v, src, err := c.Do(context.Background(), "k", nil, func() (any, int64, error) {
+			return "fallback", 5, nil
+		})
+		if err != nil || v.(string) != "fallback" || src != SrcMiss {
+			t.Errorf("waiter after leader error: v=%v src=%v err=%v", v, src, err)
+		}
+	}()
+	close(release)
+	leaderDone.Wait()
+	waiterDone.Wait()
+	// The waiter's independent run populated the cache.
+	if _, ok := c.Lookup("k"); !ok {
+		t.Fatal("waiter fallback did not populate")
+	}
+}
+
+func TestDoWaiterCancel(t *testing.T) {
+	c := New(Config{})
+	started := make(chan struct{})
+	release := make(chan struct{})
+	go c.Do(context.Background(), "k", nil, func() (any, int64, error) {
+		close(started)
+		<-release
+		return "v", 1, nil
+	})
+	<-started
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, _, err := c.Do(ctx, "k", nil, func() (any, int64, error) {
+		t.Error("canceled waiter executed fn")
+		return nil, 0, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("waiter err = %v, want context.Canceled", err)
+	}
+	close(release)
+}
+
+func TestConcurrentMixedOps(t *testing.T) {
+	c := New(Config{MaxBytes: 10000, MaxEntries: 64, MaxEntryBytes: 500})
+	var wg sync.WaitGroup
+	keys := []string{"a", "b", "c", "d", "e", "f"}
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				k := keys[(g+i)%len(keys)]
+				switch i % 5 {
+				case 0:
+					c.Put(k, []string{"t" + k}, i, 50)
+				case 1:
+					c.Lookup(k)
+				case 2:
+					if e, ok := c.Pin(k); ok {
+						c.Unpin(e)
+					}
+				case 3:
+					c.InvalidateTables("t" + k)
+				case 4:
+					c.Do(context.Background(), k, []string{"t" + k}, func() (any, int64, error) {
+						return i, 50, nil
+					})
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := c.CacheStats()
+	if st.Bytes < 0 || st.Entries < 0 {
+		t.Fatalf("negative gauges after churn: %+v", st)
+	}
+}

@@ -41,6 +41,18 @@ type Config struct {
 	// records for every query run through the server (with session=
 	// and queued_us labels).
 	QueryLog io.Writer
+	// DisableResultCache turns the semantic result cache off
+	// server-wide (sessions cannot re-enable it). By default server
+	// mode enables the cache for every session — wire traffic is where
+	// near-duplicate queries concentrate; a session opts out with
+	// SessionConfig.ResultCache=false.
+	DisableResultCache bool
+	// ResultCacheBytes caps the result cache footprint. 0 draws a
+	// quarter of the admission memory pool (Admission.PoolBytes) when
+	// one is configured, else the engine default (32 MiB). Whatever the
+	// cache is granted is subtracted from the admission pool: cached
+	// materializations are engine memory too.
+	ResultCacheBytes int64
 }
 
 func (c Config) withDefaults() Config {
@@ -70,6 +82,9 @@ type Server struct {
 	cfg Config
 	adm *admission
 	sm  obs.ServerMetrics
+	// rcBytes is the result-cache byte cap carved out of the admission
+	// pool at New (0 = engine default sizing).
+	rcBytes int64
 
 	mu       sync.Mutex
 	sessions map[string]*Session
@@ -88,7 +103,23 @@ func New(db *orthoq.DB, cfg Config) *Server {
 		sessions: make(map[string]*Session),
 		closed:   make(chan struct{}),
 	}
-	s.adm = newAdmission(s.cfg.Admission, &s.sm)
+	adm := s.cfg.Admission
+	if !s.cfg.DisableResultCache {
+		s.rcBytes = s.cfg.ResultCacheBytes
+		if s.rcBytes == 0 && adm.PoolBytes > 0 {
+			s.rcBytes = adm.PoolBytes / 4
+		}
+		// The cache's bytes come out of the same global pool that bounds
+		// query working memory, so enabling the cache never raises the
+		// server's total memory ceiling.
+		if adm.PoolBytes > 0 && s.rcBytes > 0 {
+			if s.rcBytes >= adm.PoolBytes {
+				s.rcBytes = adm.PoolBytes / 2
+			}
+			adm.PoolBytes -= s.rcBytes
+		}
+	}
+	s.adm = newAdmission(adm, &s.sm)
 	obs.PublishFunc("orthoq_server", func() any { return s.sm.Snapshot() })
 	s.wg.Add(1)
 	go s.reapLoop()

@@ -43,6 +43,11 @@ type SessionConfig struct {
 	// MaxConcurrent caps the session's simultaneously running queries
 	// (0 = server default; applied before global admission).
 	MaxConcurrent int `json:"max_concurrent,omitempty"`
+	// ResultCache overrides the server's result-cache default for this
+	// session: nil defers to the server (enabled unless
+	// Config.DisableResultCache), false opts this session out, true is
+	// explicit opt-in (still subject to the server-wide disable).
+	ResultCache *bool `json:"result_cache,omitempty"`
 }
 
 // merge overlays the session's explicit settings on the server-wide
@@ -62,6 +67,9 @@ func (c SessionConfig) merge(def SessionConfig) SessionConfig {
 	}
 	if c.MaxConcurrent == 0 {
 		c.MaxConcurrent = def.MaxConcurrent
+	}
+	if c.ResultCache == nil {
+		c.ResultCache = def.ResultCache
 	}
 	return c
 }
@@ -107,6 +115,10 @@ func (s *Session) config() orthoq.Config {
 	cfg.Parallelism = s.cfg.Parallelism
 	cfg.Session = s.id
 	cfg.QueryLog = s.srv.cfg.QueryLog
+	if !s.srv.cfg.DisableResultCache && (s.cfg.ResultCache == nil || *s.cfg.ResultCache) {
+		cfg.ResultCache.Enabled = true
+		cfg.ResultCache.MaxBytes = s.srv.rcBytes
+	}
 	return cfg
 }
 

@@ -41,10 +41,23 @@ type Version struct {
 	// Schema is the catalog schema of the table (immutable).
 	Schema *catalog.Table
 
+	id      uint64
 	rows    []types.Row
 	hashIdx map[string]*hashIndex // index name -> hash index
 	ordIdx  map[string]*orderedIndex
 }
+
+// versionIDs hands out process-unique identifiers for published
+// versions. IDs are never reused, so (table name, version ID) pairs are
+// exact equality tokens: two reads against the same ID are guaranteed
+// to observe the same rows, and any write — however small — mints a
+// fresh ID. The semantic result cache keys on these.
+var versionIDs atomic.Uint64
+
+// ID returns the version's process-unique identifier. A new ID is
+// minted at every publication (insert batch, index rebuild, table
+// creation), so equal IDs imply identical visible state.
+func (v *Version) ID() uint64 { return v.id }
 
 type hashIndex struct {
 	cols    []int
@@ -171,7 +184,7 @@ type Table struct {
 
 func newTable(schema *catalog.Table) *Table {
 	t := &Table{Schema: schema}
-	t.cur.Store(&Version{Schema: schema})
+	t.cur.Store(&Version{Schema: schema, id: versionIDs.Add(1)})
 	return t
 }
 
@@ -190,6 +203,7 @@ func (t *Table) Version() *Version {
 func (t *Table) publish(hashIdx map[string]*hashIndex, ordIdx map[string]*orderedIndex) {
 	v := &Version{
 		Schema:  t.Schema,
+		id:      versionIDs.Add(1),
 		rows:    t.Rows[:len(t.Rows):len(t.Rows)],
 		hashIdx: hashIdx,
 		ordIdx:  ordIdx,

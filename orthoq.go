@@ -38,6 +38,7 @@ import (
 	"orthoq/internal/obs"
 	"orthoq/internal/opt"
 	"orthoq/internal/plancache"
+	"orthoq/internal/resultcache"
 	"orthoq/internal/sql/ast"
 	"orthoq/internal/sql/catalog"
 	"orthoq/internal/sql/parser"
@@ -134,6 +135,13 @@ type Config struct {
 	// PlanCache configures the parameterized plan cache consulted by
 	// Query/QueryCfg. The zero value enables it with defaults.
 	PlanCache PlanCacheConfig
+	// ResultCache configures the semantic result cache: whole-result
+	// reuse keyed on (plan fingerprint, bound values, table versions)
+	// with single-flight deduplication, plus shared sub-expression
+	// materialization. The zero value disables it (see
+	// ResultCacheConfig); enablement is run state, never part of the
+	// plan identity.
+	ResultCache ResultCacheConfig
 	// DisableRules suppresses individual rewrite rules by canonical
 	// name (see RuleNames): normalization identities stay correlated,
 	// cost-based transformations are never generated. Unlike the
@@ -210,6 +218,13 @@ type runOpts struct {
 	session      string
 	queued       time.Duration
 	snap         *storage.Snapshot
+
+	// Result-cache arming (withResultCache): the cache instance, the
+	// sub-plan toggle, and the plan-affecting config fragment of the
+	// result key. nil rcache = result caching off for this run.
+	rcache   *resultcache.Cache
+	rcSub    bool
+	rcCfgKey string
 }
 
 func (c Config) execOpts(ctx context.Context) runOpts {
@@ -360,6 +375,11 @@ type DB struct {
 
 	cacheMu sync.Mutex
 	cache   *plancache.Cache
+
+	// rcache is the semantic result cache, created on first run under a
+	// Config with ResultCache.Enabled (see resultcache.go).
+	rcMu   sync.Mutex
+	rcache *resultcache.Cache
 	// disabledBypasses counts cache bypasses taken before/without a
 	// cache instance (PlanCache.Disabled configs).
 	disabledBypasses atomic.Uint64
@@ -415,6 +435,25 @@ func (db *DB) Metrics() MetricsSnapshot {
 	s.CacheMisses = cs.Misses
 	s.CacheBypasses = cs.Bypasses
 	s.CacheEvictions = cs.Evictions
+	db.rcMu.Lock()
+	rc := db.rcache
+	db.rcMu.Unlock()
+	if rc != nil {
+		rs := rc.CacheStats()
+		s.ResultCache = &obs.ResultCacheSnapshot{
+			Hits:          rs.Hits,
+			Misses:        rs.Misses,
+			Shared:        rs.Shared,
+			SubHits:       rs.SubHits,
+			SubMisses:     rs.SubMisses,
+			Inserts:       rs.Inserts,
+			Rejected:      rs.Rejected,
+			Evictions:     rs.Evictions,
+			Invalidations: rs.Invalidations,
+			Entries:       rs.Entries,
+			Bytes:         rs.Bytes,
+		}
+	}
 	return s
 }
 
@@ -471,7 +510,7 @@ func (db *DB) Insert(table string, rows ...Row) error {
 	if !ok {
 		return fmt.Errorf("orthoq: unknown table %q", table)
 	}
-	return tbl.InsertAllThen(rows, func(int) {
+	err := tbl.InsertAllThen(rows, func(int) {
 		threshold := db.analyzedRows.Load() / 8
 		if threshold < 64 {
 			threshold = 64
@@ -481,6 +520,14 @@ func (db *DB) Insert(table string, rows ...Row) error {
 			db.epoch.Add(1)
 		}
 	})
+	if err == nil {
+		// GC cached results keyed on this table's now-superseded
+		// versions. Correctness does not depend on this: the publish
+		// above already minted a new version ID, so stale keys can never
+		// match again.
+		db.invalidateResultCache(table)
+	}
+	return err
 }
 
 // Analyze rebuilds indexes and statistics; run it after loading data.
@@ -497,6 +544,9 @@ func (db *DB) Analyze() {
 	db.analyzedRows.Store(totalRows(sc, db.store))
 	db.drift.Store(0)
 	db.epoch.Add(1)
+	// BuildIndexes republished every table with fresh version IDs, so
+	// the entire result cache just became unreachable; reclaim it now.
+	db.purgeResultCache()
 }
 
 // planCache returns the cache, creating it from cfg's sizing on first
@@ -553,9 +603,12 @@ type Rows struct {
 	// Trace is the per-operator execution statistics rendering; only
 	// set by QueryAnalyze.
 	Trace string
-	// Cache reports how the plan cache served this query: "hit"
-	// (reused a cached plan, re-binding literals), "miss" (compiled and
-	// cached), or "bypass" (cache disabled or shape uncacheable).
+	// Cache reports how the caches served this query: "hit" (reused a
+	// cached plan, re-binding literals), "miss" (compiled and cached),
+	// "bypass" (plan cache disabled or shape uncacheable), or "result"
+	// (the semantic result cache returned the materialized result —
+	// execution was skipped entirely, or shared with a concurrent
+	// identical query via single-flight).
 	Cache string
 	// PeakMemBytes is the high-water mark of accounted operator working
 	// memory (hash tables, sort buffers, exchange buffers) during
@@ -662,24 +715,28 @@ func (db *DB) Prepare(sql string, cfg Config) (*Stmt, error) {
 
 // Run executes the prepared plan.
 func (s *Stmt) Run() (*Rows, error) {
-	return s.prep.run(s.db, nil, "", s.cfg.execOpts(nil))
+	return s.prep.runCached(s.db, nil, "", s.db.withResultCache(s.cfg, s.cfg.execOpts(nil)))
 }
 
 // RunContext executes the prepared plan under a caller-supplied
 // context: cancellation surfaces as an error wrapping ErrCanceled,
 // deadline expiry as ErrTimeout.
 func (s *Stmt) RunContext(ctx context.Context) (*Rows, error) {
-	return s.prep.run(s.db, nil, "", s.cfg.execOpts(ctx))
+	return s.prep.runCached(s.db, nil, "", s.db.withResultCache(s.cfg, s.cfg.execOpts(ctx)))
 }
 
 // RunSnapshot executes the prepared plan reading from a pinned
 // snapshot (see DB.Snapshot); a nil snap behaves like RunContext.
+// With the result cache enabled the key is built from the snapshot's
+// own table versions, so an old pinned snapshot can never be served a
+// result computed over newer data (and vice versa) — it version-
+// matches or misses.
 func (s *Stmt) RunSnapshot(ctx context.Context, snap *Snapshot) (*Rows, error) {
 	opts := s.cfg.execOpts(ctx)
 	if snap != nil {
 		opts.snap = snap.sn
 	}
-	return s.prep.run(s.db, nil, "", opts)
+	return s.prep.runCached(s.db, nil, "", s.db.withResultCache(s.cfg, opts))
 }
 
 // Stale reports whether the database epoch moved since Prepare
@@ -755,13 +812,18 @@ func (db *DB) QuerySnapshot(goCtx context.Context, sql string, cfg Config, snap 
 // queryOpts is the shared cached-query path behind QueryCfgContext and
 // QuerySnapshot.
 func (db *DB) queryOpts(sql string, cfg Config, opts runOpts) (*Rows, error) {
+	// The result cache is orthogonal to the plan cache: the plan cache
+	// saves compilation, the result cache saves execution, and every
+	// branch below — including plan-cache bypasses — may still serve or
+	// populate cached results.
+	opts = db.withResultCache(cfg, opts)
 	if cfg.PlanCache.Disabled {
 		db.disabledBypasses.Add(1)
 		prep, err := db.prepare(sql, cfg)
 		if err != nil {
 			return nil, err
 		}
-		return prep.run(db, nil, "bypass", opts)
+		return prep.runCached(db, nil, "bypass", opts)
 	}
 	c := db.planCache(cfg)
 	shape, lits, err := plancache.Fingerprint(sql)
@@ -773,7 +835,7 @@ func (db *DB) queryOpts(sql string, cfg Config, opts runOpts) (*Rows, error) {
 		if perr != nil {
 			return nil, perr
 		}
-		return prep.run(db, nil, "bypass", opts)
+		return prep.runCached(db, nil, "bypass", opts)
 	}
 	key := shape + "\x00" + cfg.planKey()
 	epoch := db.epoch.Load()
@@ -784,14 +846,14 @@ func (db *DB) queryOpts(sql string, cfg Config, opts runOpts) (*Rows, error) {
 			if perr != nil {
 				return nil, perr
 			}
-			return prep.run(db, nil, "bypass", opts)
+			return prep.runCached(db, nil, "bypass", opts)
 		}
 		if params, vkey, ok := plancache.Bind(fam.Positions, lits); ok {
 			if v := fam.Variant(vkey); v != nil {
 				bkey := plancache.BucketKey(v.Descs, db.statsNow(), params)
 				if p, found := v.Plan(bkey); found {
 					c.CountHit()
-					return p.(*prepared).run(db, params, "hit", opts)
+					return p.(*prepared).runCached(db, params, "hit", opts)
 				}
 			}
 			// Known shape, new variant or bucket: compile with the new
@@ -805,7 +867,7 @@ func (db *DB) queryOpts(sql string, cfg Config, opts runOpts) (*Rows, error) {
 			if perr != nil {
 				return nil, perr
 			}
-			return prep.run(db, nil, "bypass", opts)
+			return prep.runCached(db, nil, "bypass", opts)
 		}
 	}
 	c.CountMiss()
@@ -826,7 +888,7 @@ func (db *DB) compileStoreRun(sql string, cfg Config, c *plancache.Cache,
 		if err != nil {
 			return nil, err
 		}
-		return prep.run(db, nil, "miss", opts)
+		return prep.runCached(db, nil, "miss", opts)
 	}
 
 	q, err := parser.Parse(sql)
@@ -850,7 +912,7 @@ func (db *DB) compileStoreRun(sql string, cfg Config, c *plancache.Cache,
 		approxPlanBytes(prep), func(authoritative []plancache.Descriptor) string {
 			return plancache.BucketKey(authoritative, sc, pz.Params)
 		})
-	return prep.run(db, pz.Params, "miss", opts)
+	return prep.runCached(db, pz.Params, "miss", opts)
 }
 
 // approxPlanBytes estimates a prepared plan's memory footprint for the
@@ -995,6 +1057,9 @@ func (p *prepared) execContext(db *DB, params []types.Datum, opts runOpts) (*exe
 	ctx.Faults = opts.faults
 	ctx.Fingerprint = p.fingerprint
 	ctx.Snap = opts.snap
+	if opts.rcache != nil && opts.rcSub {
+		ctx.SubCache = opts.rcache
+	}
 	goCtx := opts.ctx
 	var cancel context.CancelFunc
 	if opts.timeout > 0 {
@@ -1143,6 +1208,16 @@ type Stream struct {
 	cancel context.CancelFunc
 	names  []string
 
+	// Result-cache replay: when the stream was served from the result
+	// cache, rows come from the pinned entry's materialization (cu is
+	// nil) and the entry stays pinned — its bytes accounted — until
+	// Close unpins it. Cold streams never populate the cache: they
+	// exist for results too large to materialize.
+	rc     *resultcache.Cache
+	entry  *resultcache.Entry
+	replay []Row
+	rpos   int
+
 	// Observability: the stream's query-log record and metrics update
 	// are emitted once, at Close, when the row count is known. The
 	// logged duration spans open-to-Close, which for a stream includes
@@ -1183,11 +1258,24 @@ func (db *DB) QueryStreamSnapshot(goCtx context.Context, sql string, cfg Config,
 }
 
 func (db *DB) streamOpts(sql string, cfg Config, opts runOpts) (*Stream, error) {
+	opts = db.withResultCache(cfg, opts)
 	prep, err := db.prepare(sql, cfg)
 	if err != nil {
 		return nil, err
 	}
 	start := time.Now()
+	if opts.rcache != nil {
+		if key, _, ok := resultKey(prep, nil, opts); ok {
+			if e, found := opts.rcache.Pin(key); found {
+				opts.rcache.CountHit()
+				cr := e.Val.(*cachedResult)
+				return &Stream{rc: opts.rcache, entry: e, replay: cr.rows.Data,
+					names: append([]string(nil), prep.outNames...),
+					db:    db, prep: prep, opts: opts, start: start}, nil
+			}
+			opts.rcache.CountMiss()
+		}
+	}
 	ctx, cancel := prep.execContext(db, nil, opts)
 	cu, err := exec.RunCursor(ctx, prep.plan, prep.outCols)
 	if err != nil {
@@ -1210,6 +1298,15 @@ func (s *Stream) Columns() []string { return s.names }
 // Next returns the next row; ok=false at end of stream. After an
 // error, Close, or exhaustion it keeps returning ok=false.
 func (s *Stream) Next() (Row, bool, error) {
+	if s.cu == nil {
+		if s.replay == nil || s.rpos >= len(s.replay) {
+			return nil, false, nil
+		}
+		row := s.replay[s.rpos]
+		s.rpos++
+		s.nrows++
+		return row, true, nil
+	}
 	row, ok, err := s.cu.Next()
 	if ok {
 		s.nrows++
@@ -1221,17 +1318,42 @@ func (s *Stream) Next() (Row, bool, error) {
 }
 
 // PeakMemBytes reports the high-water mark of accounted operator
-// memory so far.
-func (s *Stream) PeakMemBytes() int64 { return s.cu.PeakMem() }
+// memory so far (zero for a cache-served stream: nothing executed).
+func (s *Stream) PeakMemBytes() int64 {
+	if s.cu == nil {
+		return 0
+	}
+	return s.cu.PeakMem()
+}
 
 // Spills reports spill partition files written so far.
-func (s *Stream) Spills() int64 { return s.cu.Spills() }
+func (s *Stream) Spills() int64 {
+	if s.cu == nil {
+		return 0
+	}
+	return s.cu.Spills()
+}
 
 // Close releases all execution resources, then folds the stream into
 // the engine metrics and query log (rows actually streamed; a stream
 // abandoned mid-result logs what it delivered). Safe to call at any
 // point, any number of times.
 func (s *Stream) Close() error {
+	if s.cu == nil {
+		// Cache-served stream: unpin the entry (releasing its accounted
+		// bytes if it was evicted or invalidated while we streamed) and
+		// log the replay.
+		if s.entry != nil {
+			s.rc.Unpin(s.entry)
+			s.entry, s.replay = nil, nil
+		}
+		if !s.noted {
+			s.noted = true
+			s.db.noteRun(s.prep, "result", time.Since(s.start), s.nrows, nil,
+				0, 0, 0, 0, s.opts)
+		}
+		return nil
+	}
 	err := s.cu.Close()
 	if s.cancel != nil {
 		s.cancel()
@@ -1289,10 +1411,12 @@ func (db *DB) Explain(sql string, cfg Config) (string, error) {
 	b.WriteString("\n=== normalized (correlations removed, outerjoins simplified) ===\n")
 	b.WriteString(algebra.FormatRel(md, norm))
 
+	finalPlan := norm
 	if cfg.CostBased {
 		sc := db.statsNow()
 		o := &opt.Optimizer{Md: md, Cat: db.store.Catalog, Stats: sc, Config: cfg.optConfig()}
 		r := o.Optimize(norm, correlatedSeed(md, res.Rel, cfg)...)
+		finalPlan = r.Plan
 		fmt.Fprintf(&b, "\n=== cost-based plan (cost %.0f, %d plans explored) ===\n", r.Cost, r.Explored)
 		b.WriteString(opt.FormatWithEstimates(md, db.store.Catalog, sc, r.Plan, opt.ExecHints{
 			ApplyStrategy: cfg.normApplyStrategy(),
@@ -1300,6 +1424,7 @@ func (db *DB) Explain(sql string, cfg Config) (string, error) {
 			DisableBatch:  cfg.DisableBatch,
 		}))
 	}
+	fmt.Fprintf(&b, "\nresult cache: %s\n", db.resultCacheStatus(md, finalPlan, cfg))
 	return b.String(), nil
 }
 

@@ -45,6 +45,18 @@ go test -run 'TestTypedErrors|TestFaultInjection|TestSpill|TestStream|TestCancel
 go test -race ./internal/server ./internal/storage
 go test -run 'TestInsertQueryRace|TestSnapshotSerialEquivalence|TestStmtRunSnapshot' -race .
 
+# Result-cache leg: cached-vs-uncached equivalence over TPC-H and the
+# fuzz corpus, the snapshot/version-key interplay, and the concurrent-
+# writer invalidation hammer, under -race — a cache hit must be
+# byte-identical to re-execution and a published write must make every
+# older entry unreachable.
+go test -run 'TestResultCache' -race .
+
+# Result-cache wire smoke: identical concurrent traffic uncached vs
+# cached through the HTTP front end with a writer hammering a scratch
+# table — zero stale reads required (the run fails itself otherwise).
+go run ./cmd/orthoq-bench -exp resultcache -sf 0.002 -sessions 8 -ops 5 -json > /dev/null
+
 # Concurrency smoke leg: the full wire stack — 32 sessions of mixed
 # read/write over HTTP with the admission pool sized below the offered
 # load — must complete with zero errors (rejects are expected and
