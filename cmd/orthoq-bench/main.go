@@ -13,6 +13,7 @@
 //	orthoq-bench -exp obs -json
 //	orthoq-bench -exp concurrency -sessions 32 -ops 10 -json
 //	orthoq-bench -exp resultcache -sessions 8 -ops 20 -json -artifacts .
+//	orthoq-bench -exp recovery -reps 3 -json -artifacts .
 package main
 
 import (
@@ -28,7 +29,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: figure1|figure8|figure9|ablation|parallel|cache|batch|spill|obs|apply|concurrency|resultcache|all")
+	exp := flag.String("exp", "all", "experiment: figure1|figure8|figure9|ablation|parallel|cache|batch|spill|obs|apply|concurrency|resultcache|recovery|all")
 	sf := flag.Float64("sf", 0.01, "TPC-H scale factor for figure1/figure8/ablation/parallel/batch")
 	sfList := flag.String("sfs", "0.002,0.005,0.01,0.02", "comma-separated scale factors for figure9")
 	seed := flag.Int64("seed", 1, "data generator seed")
@@ -117,9 +118,19 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	if *exp == "recovery" {
+		// Durability experiment: real temp directories, forced kills, and
+		// log replay — kept out of -exp all like the other server-shaped
+		// experiments.
+		ran = true
+		if err := bench.RunRecovery(os.Stdout, *reps, *jsonOut, *artifacts); err != nil {
+			fmt.Fprintf(os.Stderr, "recovery: %v\n", err)
+			os.Exit(1)
+		}
+	}
 
 	if !ran {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q (want figure1|figure8|figure9|ablation|parallel|cache|batch|spill|obs|apply|concurrency|resultcache|all)\n", *exp)
+		fmt.Fprintf(os.Stderr, "unknown experiment %q (want figure1|figure8|figure9|ablation|parallel|cache|batch|spill|obs|apply|concurrency|resultcache|recovery|all)\n", *exp)
 		os.Exit(2)
 	}
 

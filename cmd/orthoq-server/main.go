@@ -4,10 +4,19 @@
 // admission control. See the "Server mode" section of README.md for
 // the wire protocol and curl examples.
 //
+// With -data-dir the database is durable: every write is journaled to
+// a write-ahead log before acknowledgement, checkpoints run in the
+// background, and a restart recovers the directory's state. The server
+// binds immediately but answers 503 not_ready on the data path (and on
+// /readyz) until recovery finishes; /healthz reports liveness
+// throughout. Graceful shutdown drains, flushes the log, and takes a
+// final checkpoint.
+//
 // Usage:
 //
 //	orthoq-server -addr :8080 -sf 0.01
 //	orthoq-server -addr :8080 -empty              # start with no data, create tables over the wire
+//	orthoq-server -addr :8080 -data-dir /var/lib/orthoq -sync interval
 //	orthoq-server -pool 256MiB -max-concurrent 16 -queue-depth 64
 package main
 
@@ -15,6 +24,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -32,6 +42,10 @@ func main() {
 	sf := flag.Float64("sf", 0.01, "TPC-H scale factor to generate at startup")
 	seed := flag.Int64("seed", 1, "data generator seed")
 	empty := flag.Bool("empty", false, "start with an empty database instead of TPC-H")
+	dataDir := flag.String("data-dir", "", "durable data directory (write-ahead log + checkpoints; empty = in-memory)")
+	syncPolicy := flag.String("sync", "interval", "WAL sync policy: always, interval, or off")
+	syncInterval := flag.Duration("sync-interval", 0, "group-commit flush interval under -sync interval (0 = 2ms)")
+	ckptBytes := flag.String("checkpoint-bytes", "64MiB", "checkpoint when the un-checkpointed log exceeds this (0 = only at shutdown)")
 	pool := flag.String("pool", "0", "global memory pool shared by in-flight queries (e.g. 256MiB; 0 = unlimited)")
 	maxConcurrent := flag.Int("max-concurrent", 0, "max concurrently executing queries (0 = 2x GOMAXPROCS)")
 	queueDepth := flag.Int("queue-depth", 0, "admission queue depth (0 = 64, negative = reject at saturation)")
@@ -46,18 +60,10 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-
-	var db *orthoq.DB
-	if *empty {
-		db = orthoq.NewMemory()
-		fmt.Println("empty database (create tables via POST /exec)")
-	} else {
-		fmt.Printf("generating TPC-H at SF %g (seed %d)...\n", *sf, *seed)
-		db, err = orthoq.OpenTPCH(*sf, *seed)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
+	checkpointBytes, err := parseBytes(*ckptBytes)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
 	}
 
 	cfg := server.Config{
@@ -70,32 +76,94 @@ func main() {
 		Session:           server.SessionConfig{MaxConcurrent: *sessionCap},
 		CursorIdleTimeout: *cursorIdle,
 	}
+	var logFile *os.File
 	if *queryLog != "" {
-		f, err := os.OpenFile(*queryLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		logFile, err = os.OpenFile(*queryLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		defer f.Close()
-		cfg.QueryLog = f
+		defer logFile.Close()
+		cfg.QueryLog = logFile
 	}
-	srv := server.New(db, cfg)
+
+	// open produces the database. With -data-dir it runs recovery, which
+	// can take a while on a large log — so the durable path opens in the
+	// background behind the server's readiness gate.
+	open := func() (*orthoq.DB, error) {
+		if *dataDir != "" {
+			dcfg := orthoq.DurableConfig{
+				DataDir:         *dataDir,
+				SyncPolicy:      *syncPolicy,
+				SyncInterval:    *syncInterval,
+				CheckpointBytes: checkpointBytes,
+			}
+			if logFile != nil {
+				dcfg.RecoveryLog = logFile
+			}
+			if *empty {
+				return orthoq.OpenDurable(dcfg)
+			}
+			return orthoq.OpenDurableTPCH(*sf, *seed, dcfg)
+		}
+		if *empty {
+			return orthoq.NewMemory(), nil
+		}
+		return orthoq.OpenTPCH(*sf, *seed)
+	}
+
+	var srv *server.Server
+	if *dataDir != "" {
+		fmt.Printf("opening %s (recovery may replay the log)...\n", *dataDir)
+		srv = server.NewOpening(open, cfg)
+	} else {
+		if *empty {
+			fmt.Println("empty database (create tables via POST /exec)")
+		} else {
+			fmt.Printf("generating TPC-H at SF %g (seed %d)...\n", *sf, *seed)
+		}
+		db, err := open()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		srv = server.New(db, cfg)
+	}
 	defer srv.Close()
 
-	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	// Bind before recovery finishes so probes can reach /healthz and
+	// /readyz; the bound address is printed for tooling that listens on
+	// an ephemeral port (-addr 127.0.0.1:0).
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
 	go func() {
 		sig := make(chan os.Signal, 1)
 		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 		<-sig
 		fmt.Println("\nshutting down...")
+		// Graceful shutdown: stop advertising readiness, let in-flight
+		// requests finish, then flush + checkpoint the database on Close.
+		srv.Drain()
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		_ = httpSrv.Shutdown(ctx)
 	}()
-	fmt.Printf("listening on %s\n", *addr)
-	if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
-		fmt.Fprintln(os.Stderr, err)
+	fmt.Printf("listening on %s\n", ln.Addr())
+	serveErr := httpSrv.Serve(ln)
+	if serveErr != nil && serveErr != http.ErrServerClosed {
+		fmt.Fprintln(os.Stderr, serveErr)
 		os.Exit(1)
+	}
+	srv.Close()
+	if db := srv.DB(); db != nil {
+		if err := db.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "close:", err)
+			os.Exit(1)
+		}
 	}
 }
 

@@ -1,0 +1,166 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestKill9RestartSmoke is the end-to-end durability smoke: build the
+// real binary, run it against a data directory, write over the wire,
+// kill -9 the process, restart it, and check every acknowledged write
+// is still there.
+func TestKill9RestartSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and execs the server binary")
+	}
+	bin := filepath.Join(t.TempDir(), "orthoq-server")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	dataDir := t.TempDir()
+
+	// First life: create a table and insert acknowledged rows.
+	proc, addr := startServer(t, bin, dataDir)
+	postJSON(t, addr, "/exec", `{"create_table":{"name":"t","columns":[{"name":"id","type":"int"},{"name":"v","type":"int"}],"key":[0]}}`)
+	postJSON(t, addr, "/exec", `{"insert":{"table":"t","rows":[[1,10],[2,20],[3,30]]}}`)
+	if n := queryCount(t, addr); n != 3 {
+		t.Fatalf("pre-kill count = %d, want 3", n)
+	}
+	// kill -9: no drain, no final checkpoint, no log close.
+	if err := proc.Process.Kill(); err != nil {
+		t.Fatalf("kill: %v", err)
+	}
+	_ = proc.Wait()
+
+	// Second life: recovery must replay the log.
+	proc2, addr2 := startServer(t, bin, dataDir)
+	if n := queryCount(t, addr2); n != 3 {
+		t.Fatalf("post-restart count = %d, want 3 (acked writes lost)", n)
+	}
+	postJSON(t, addr2, "/exec", `{"insert":{"table":"t","rows":[[4,40]]}}`)
+	if n := queryCount(t, addr2); n != 4 {
+		t.Fatalf("post-restart insert: count = %d, want 4", n)
+	}
+	// Graceful shutdown this time: drain, flush, final checkpoint.
+	if err := proc2.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatalf("SIGTERM: %v", err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- proc2.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("graceful shutdown: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		_ = proc2.Process.Kill()
+		t.Fatal("graceful shutdown timed out")
+	}
+
+	// Third life: the clean shutdown's checkpoint carries everything.
+	proc3, addr3 := startServer(t, bin, dataDir)
+	defer func() { _ = proc3.Process.Kill(); _ = proc3.Wait() }()
+	if n := queryCount(t, addr3); n != 4 {
+		t.Fatalf("post-checkpoint count = %d, want 4", n)
+	}
+}
+
+// startServer launches the binary on an ephemeral port with the given
+// data directory and waits until /readyz reports ready.
+func startServer(t *testing.T, bin, dataDir string) (*exec.Cmd, string) {
+	t.Helper()
+	cmd := exec.Command(bin,
+		"-addr", "127.0.0.1:0", "-empty",
+		"-data-dir", dataDir, "-sync", "always")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatalf("stdout pipe: %v", err)
+	}
+	cmd.Stderr = cmd.Stdout
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("start server: %v", err)
+	}
+	t.Cleanup(func() { _ = cmd.Process.Kill(); _ = cmd.Wait() })
+
+	// The binary prints its bound address for exactly this use.
+	addrC := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			line := sc.Text()
+			if rest, ok := strings.CutPrefix(line, "listening on "); ok {
+				addrC <- strings.TrimSpace(rest)
+			}
+		}
+	}()
+	var addr string
+	select {
+	case addr = <-addrC:
+	case <-time.After(15 * time.Second):
+		t.Fatal("server never printed its listen address")
+	}
+
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		resp, err := http.Get("http://" + addr + "/readyz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return cmd, addr
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("server at %s never became ready (last: %v)", addr, err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+func postJSON(t *testing.T, addr, path, body string) {
+	t.Helper()
+	resp, err := http.Post("http://"+addr+path, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	_, _ = buf.ReadFrom(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST %s: %d %s", path, resp.StatusCode, buf.String())
+	}
+}
+
+// queryCount runs select count(*) over the wire and parses the JSONL
+// response.
+func queryCount(t *testing.T, addr string) int64 {
+	t.Helper()
+	resp, err := http.Post("http://"+addr+"/query", "application/json",
+		strings.NewReader(`{"sql":"select count(*) as n from t"}`))
+	if err != nil {
+		t.Fatalf("POST /query: %v", err)
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		var line struct {
+			Row []json.Number `json:"row"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &line); err == nil && len(line.Row) == 1 {
+			n, err := line.Row[0].Int64()
+			if err != nil {
+				t.Fatalf("count row %q: %v", sc.Text(), err)
+			}
+			return n
+		}
+	}
+	t.Fatalf("no row line in /query response")
+	return 0
+}

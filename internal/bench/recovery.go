@@ -1,0 +1,214 @@
+// Recovery experiment: write throughput under each WAL sync policy,
+// then a forced kill and the measured cost of replaying the log back
+// to the acknowledged state. This is the durability trade-off table —
+// fsync-per-write vs group commit vs no write-path fsync — with the
+// recovery bill attached.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"orthoq"
+	"orthoq/internal/sql/types"
+)
+
+// recoveryPolicies are benchmarked in order.
+var recoveryPolicies = []string{"always", "interval", "off"}
+
+const (
+	recoveryBatches   = 400
+	recoveryBatchRows = 16
+)
+
+// recoveryResult is one policy's measurements.
+type recoveryResult struct {
+	Policy       string  `json:"policy"`
+	Batches      int     `json:"batches"`
+	Rows         int     `json:"rows"`
+	InsertMS     float64 `json:"insert_ms"`
+	RowsPerSec   float64 `json:"rows_per_sec"`
+	Fsyncs       uint64  `json:"fsyncs"`
+	LogBytes     uint64  `json:"log_bytes"`
+	ReplayRecs   uint64  `json:"replay_records"`
+	ReplayBytes  uint64  `json:"replay_bytes"`
+	ReplayMS     float64 `json:"replay_ms"`
+	RecoveredOK  bool    `json:"recovered_ok"`
+	LostUnsynced bool    `json:"lost_unsynced,omitempty"`
+}
+
+// RunRecovery measures, per sync policy: acknowledged-write throughput
+// into the write-ahead log, then a forced kill (DB.Kill — the
+// in-process kill -9) and the replay cost of the next open. reps picks
+// the median insert run; the kill/replay leg runs once on the last
+// rep's directory.
+func RunRecovery(w io.Writer, reps int, jsonOut bool, artifactDir string) error {
+	if reps < 1 {
+		reps = 1
+	}
+	fmt.Fprintf(w, "recovery: %d batches x %d rows per policy, forced kill, replay on reopen\n",
+		recoveryBatches, recoveryBatchRows)
+	fmt.Fprintf(w, "%-10s %12s %14s %10s %12s %14s %12s\n",
+		"policy", "insert_ms", "rows/s", "fsyncs", "log_bytes", "replay_recs", "replay_ms")
+
+	medians := map[string]any{}
+	var results []recoveryResult
+	for _, policy := range recoveryPolicies {
+		res, err := runRecoveryPolicy(policy, reps)
+		if err != nil {
+			return fmt.Errorf("policy %s: %w", policy, err)
+		}
+		results = append(results, res)
+		fmt.Fprintf(w, "%-10s %12.1f %14.0f %10d %12d %14d %12.2f\n",
+			res.Policy, res.InsertMS, res.RowsPerSec, res.Fsyncs, res.LogBytes,
+			res.ReplayRecs, res.ReplayMS)
+		if jsonOut {
+			fmt.Fprintf(w, `{"exp":"recovery","policy":%q,"insert_ms":%.2f,"rows_per_sec":%.0f,"fsyncs":%d,"log_bytes":%d,"replay_records":%d,"replay_ms":%.2f,"recovered_ok":%t}`+"\n",
+				res.Policy, res.InsertMS, res.RowsPerSec, res.Fsyncs, res.LogBytes,
+				res.ReplayRecs, res.ReplayMS, res.RecoveredOK)
+		}
+		medians[res.Policy+"_insert_ms"] = res.InsertMS
+		medians[res.Policy+"_rows_per_sec"] = res.RowsPerSec
+		medians[res.Policy+"_fsyncs"] = res.Fsyncs
+		medians[res.Policy+"_log_bytes"] = res.LogBytes
+		medians[res.Policy+"_replay_records"] = res.ReplayRecs
+		medians[res.Policy+"_replay_ms"] = res.ReplayMS
+	}
+	for _, res := range results {
+		if !res.RecoveredOK {
+			return fmt.Errorf("policy %s: recovery lost acknowledged rows", res.Policy)
+		}
+	}
+	return WriteArtifact(artifactDir, Artifact{
+		Name: "recovery",
+		Config: map[string]any{
+			"batches":    recoveryBatches,
+			"batch_rows": recoveryBatchRows,
+			"reps":       reps,
+			"policies":   recoveryPolicies,
+		},
+		Medians: medians,
+	})
+}
+
+// runRecoveryPolicy loads one policy's workload reps times (median
+// insert time), kills the last instance without flushing, and times
+// the replay on reopen.
+func runRecoveryPolicy(policy string, reps int) (recoveryResult, error) {
+	res := recoveryResult{
+		Policy:  policy,
+		Batches: recoveryBatches,
+		Rows:    recoveryBatches * recoveryBatchRows,
+	}
+	schema := &orthoq.Table{
+		Name: "kv",
+		Columns: []orthoq.Column{
+			{Name: "id", Type: types.Int},
+			{Name: "payload", Type: types.String},
+		},
+		Key: []int{0},
+	}
+
+	var insertTimes []time.Duration
+	var lastDir string
+	for rep := 0; rep < reps; rep++ {
+		dir, err := os.MkdirTemp("", "orthoq-recovery-*")
+		if err != nil {
+			return res, err
+		}
+		db, err := orthoq.OpenDurable(orthoq.DurableConfig{DataDir: dir, SyncPolicy: policy})
+		if err != nil {
+			os.RemoveAll(dir)
+			return res, err
+		}
+		if err := db.CreateTable(schema); err != nil {
+			db.Kill()
+			os.RemoveAll(dir)
+			return res, err
+		}
+		start := time.Now()
+		for b := 0; b < recoveryBatches; b++ {
+			rows := make([]orthoq.Row, recoveryBatchRows)
+			for k := range rows {
+				id := int64(b*recoveryBatchRows + k)
+				rows[k] = orthoq.Row{
+					types.NewInt(id),
+					types.NewString(fmt.Sprintf("payload-%s-%08d", policy, id)),
+				}
+			}
+			if err := db.Insert("kv", rows...); err != nil {
+				db.Kill()
+				os.RemoveAll(dir)
+				return res, err
+			}
+		}
+		insertTimes = append(insertTimes, time.Since(start))
+		if m := db.Metrics().WAL; m != nil {
+			res.Fsyncs = m.Fsyncs
+			res.LogBytes = m.Bytes
+		}
+
+		if rep < reps-1 {
+			db.Kill()
+			os.RemoveAll(dir)
+			continue
+		}
+		// Last rep: forced kill, then the timed reopen replays the log.
+		// Under "off" the unsynced suffix is legitimately lost; the
+		// acked-durability check below only applies to syncing policies.
+		db.Kill()
+		lastDir = dir
+	}
+
+	db2, err := orthoq.OpenDurable(orthoq.DurableConfig{DataDir: lastDir, SyncPolicy: policy})
+	if err != nil {
+		os.RemoveAll(lastDir)
+		return res, err
+	}
+	if m := db2.Metrics().WAL; m != nil {
+		res.ReplayRecs = m.ReplayRecords
+		res.ReplayBytes = m.ReplayBytes
+		res.ReplayMS = float64(m.ReplayDurationUS) / 1e3
+	}
+	rows, err := db2.Query("select count(*) from kv")
+	if err == nil && len(rows.Data) == 1 {
+		got := rows.Data[0][0].Int()
+		want := int64(recoveryBatches * recoveryBatchRows)
+		switch policy {
+		case "off":
+			res.RecoveredOK = got <= want
+			res.LostUnsynced = got < want
+		default:
+			res.RecoveredOK = got == want
+		}
+	}
+	if cerr := db2.Close(); cerr != nil && err == nil {
+		err = cerr
+	}
+	os.RemoveAll(lastDir)
+	if err != nil {
+		return res, err
+	}
+
+	med := medianDuration(insertTimes)
+	res.InsertMS = float64(med.Microseconds()) / 1e3
+	if med > 0 {
+		res.RowsPerSec = float64(res.Rows) / med.Seconds()
+	}
+	return res, nil
+}
+
+func medianDuration(ds []time.Duration) time.Duration {
+	if len(ds) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), ds...)
+	for i := 1; i < len(sorted); i++ {
+		for j := i; j > 0 && sorted[j] < sorted[j-1]; j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+	}
+	return sorted[len(sorted)/2]
+}

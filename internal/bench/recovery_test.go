@@ -1,0 +1,46 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// The recovery experiment end to end at rep 1: real temp directories,
+// a forced kill per policy, replay on reopen, and the unified
+// artifact. RunRecovery itself fails if any syncing policy loses an
+// acknowledged row.
+func TestRunRecoverySmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real fsync workloads")
+	}
+	dir := t.TempDir()
+	var sb strings.Builder
+	if err := RunRecovery(&sb, 1, true, dir); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"always", "interval", "off", "replay_recs"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("recovery output missing %q:\n%s", want, out)
+		}
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "BENCH_recovery.json"))
+	if err != nil {
+		t.Fatalf("artifact: %v", err)
+	}
+	var a Artifact
+	if err := json.Unmarshal(data, &a); err != nil {
+		t.Fatalf("artifact JSON: %v", err)
+	}
+	if a.Name != "recovery" {
+		t.Errorf("artifact name = %q", a.Name)
+	}
+	for _, key := range []string{"always_rows_per_sec", "interval_replay_ms", "off_insert_ms"} {
+		if _, ok := a.Medians[key]; !ok {
+			t.Errorf("artifact missing median %q", key)
+		}
+	}
+}

@@ -142,6 +142,12 @@ type Snapshot struct {
 	// enables the cache; filled by the DB layer from the cache's own
 	// counters.
 	ResultCache *ResultCacheSnapshot `json:"result_cache,omitempty"`
+
+	// WAL holds durability counters (log appends, fsyncs, group
+	// commits, checkpoints, recovery replay). Nil for purely in-memory
+	// handles; filled by the DB layer when the database was opened with
+	// a data directory.
+	WAL *WALSnapshot `json:"wal,omitempty"`
 }
 
 // ResultCacheSnapshot is the point-in-time copy of the semantic result

@@ -1,0 +1,128 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync/atomic"
+	"time"
+)
+
+// WALMetrics is the registry of durability counters: write-ahead-log
+// append traffic, fsync activity, group-commit batching, checkpoints,
+// and the recovery replay gauges. Like Metrics it is all atomics — the
+// WAL writer and flusher update it inline on the commit path, so the
+// registry adds no locking to write acknowledgement. One instance is
+// shared between the WAL manager and the DB handle; snapshot via
+// Snapshot(), which DB.Metrics merges into the engine Snapshot's WAL
+// field.
+type WALMetrics struct {
+	// Appends counts log records written; Bytes totals their on-disk
+	// framed size.
+	Appends atomic.Uint64
+	Bytes   atomic.Uint64
+	// Fsyncs counts log-file fsync calls (one per record under the
+	// "always" policy, one per group-commit batch under "interval").
+	Fsyncs atomic.Uint64
+	// GroupCommits counts flusher batches that acknowledged at least
+	// one waiting writer; GroupCommitRecords totals the records those
+	// batches acknowledged (records/batches = mean group size).
+	GroupCommits       atomic.Uint64
+	GroupCommitRecords atomic.Uint64
+	// Checkpoints counts completed checkpoints; CheckpointBytes totals
+	// the serialized snapshot bytes they wrote.
+	Checkpoints     atomic.Uint64
+	CheckpointBytes atomic.Uint64
+	// SegmentsDeleted counts log segments truncated by checkpoints.
+	SegmentsDeleted atomic.Uint64
+	// ReplayRecords and ReplayBytes describe the last recovery's log
+	// replay; ReplayDurationUS is its wall time (gauges, set once at
+	// open).
+	ReplayRecords    atomic.Uint64
+	ReplayBytes      atomic.Uint64
+	ReplayDurationUS atomic.Int64
+	// TornTruncations counts torn (or corrupt) log tails discarded by
+	// recovery.
+	TornTruncations atomic.Uint64
+}
+
+// WALSnapshot is a point-in-time copy of WALMetrics.
+type WALSnapshot struct {
+	Appends            uint64 `json:"appends"`
+	Bytes              uint64 `json:"bytes"`
+	Fsyncs             uint64 `json:"fsyncs"`
+	GroupCommits       uint64 `json:"group_commits"`
+	GroupCommitRecords uint64 `json:"group_commit_records"`
+	Checkpoints        uint64 `json:"checkpoints"`
+	CheckpointBytes    uint64 `json:"checkpoint_bytes"`
+	SegmentsDeleted    uint64 `json:"segments_deleted"`
+	ReplayRecords      uint64 `json:"replay_records"`
+	ReplayBytes        uint64 `json:"replay_bytes"`
+	ReplayDurationUS   int64  `json:"replay_duration_us"`
+	TornTruncations    uint64 `json:"torn_truncations"`
+}
+
+// Snapshot copies the registry.
+func (m *WALMetrics) Snapshot() WALSnapshot {
+	return WALSnapshot{
+		Appends:            m.Appends.Load(),
+		Bytes:              m.Bytes.Load(),
+		Fsyncs:             m.Fsyncs.Load(),
+		GroupCommits:       m.GroupCommits.Load(),
+		GroupCommitRecords: m.GroupCommitRecords.Load(),
+		Checkpoints:        m.Checkpoints.Load(),
+		CheckpointBytes:    m.CheckpointBytes.Load(),
+		SegmentsDeleted:    m.SegmentsDeleted.Load(),
+		ReplayRecords:      m.ReplayRecords.Load(),
+		ReplayBytes:        m.ReplayBytes.Load(),
+		ReplayDurationUS:   m.ReplayDurationUS.Load(),
+		TornTruncations:    m.TornTruncations.Load(),
+	}
+}
+
+// RecoveryRecord is the structured query-log line emitted once per
+// durable open, describing what recovery did: which checkpoint was
+// loaded, how much log tail was replayed, and whether a torn final
+// record was truncated. It shares the query log's JSONL discipline
+// (one marshal, one Write) so recovery events interleave cleanly with
+// query records.
+type RecoveryRecord struct {
+	// Time is the recovery completion time, RFC3339 with nanoseconds.
+	Time string `json:"ts"`
+	// Event is always "recovery" (the discriminator against
+	// QueryRecord lines in a shared log).
+	Event string `json:"event"`
+	// CheckpointLSN is the LSN of the loaded checkpoint (0 = none).
+	CheckpointLSN uint64 `json:"checkpoint_lsn"`
+	// ReplayedRecords and ReplayedBytes measure the log tail applied
+	// after the checkpoint.
+	ReplayedRecords uint64 `json:"replayed_records"`
+	ReplayedBytes   uint64 `json:"replayed_bytes"`
+	// TornTailTruncated reports that recovery discarded a torn or
+	// corrupt final record (an un-acknowledged write interrupted by the
+	// crash).
+	TornTailTruncated bool `json:"torn_tail_truncated,omitempty"`
+	// DurationUS is the total recovery wall time in microseconds.
+	DurationUS int64 `json:"duration_us"`
+	// Tables and Rows describe the recovered database.
+	Tables int   `json:"tables"`
+	Rows   int64 `json:"rows"`
+}
+
+// Now stamps the record's completion time.
+func (r *RecoveryRecord) Now() {
+	r.Time = time.Now().Format(time.RFC3339Nano)
+	r.Event = "recovery"
+}
+
+// Append marshals the record and writes it to w as one line in a
+// single Write call (see QueryRecord.Append for the serialization
+// contract).
+func (r *RecoveryRecord) Append(w io.Writer) error {
+	buf, err := json.Marshal(r)
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	_, err = w.Write(buf)
+	return err
+}

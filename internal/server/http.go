@@ -42,6 +42,8 @@ func classify(err error) (status int, class string, retryAfter time.Duration) {
 		return http.StatusConflict, "txn_write", 0
 	case errors.Is(err, ErrServerClosed):
 		return http.StatusServiceUnavailable, "closed", 0
+	case errors.Is(err, ErrNotReady):
+		return http.StatusServiceUnavailable, "not_ready", 0
 	case errors.Is(err, orthoq.ErrTimeout):
 		return http.StatusGatewayTimeout, "timeout", 0
 	case errors.Is(err, orthoq.ErrCanceled):
@@ -193,9 +195,25 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /cursor/{id}", s.handleCursorFetch)
 	mux.HandleFunc("DELETE /cursor/{id}", s.handleCursorClose)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /schema", s.handleSchema)
-	return mux
+	// Readiness gate: while the database is opening (recovery replaying
+	// the log) every data-path request is rejected with 503 not_ready.
+	// The probes stay open — /healthz answers liveness throughout, and
+	// /readyz reports the gate itself.
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case "/healthz", "/readyz":
+			mux.ServeHTTP(w, r)
+			return
+		}
+		if err := s.Ready(); err != nil {
+			writeError(w, err)
+			return
+		}
+		mux.ServeHTTP(w, r)
+	})
 }
 
 // sessionResponse is the /session response shape.
@@ -615,6 +633,10 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, map[string]string{"plan": plan})
 }
 
+// handleHealthz is the liveness probe: it answers ok whenever the
+// process can serve HTTP at all — including while recovery is still
+// replaying or the server is draining. Only Close makes it fail (the
+// process is on its way out). Routing decisions belong to /readyz.
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	select {
 	case <-s.closed:
@@ -622,6 +644,27 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	default:
 		writeJSON(w, map[string]string{"status": "ok"})
 	}
+}
+
+// handleReadyz is the readiness probe: 200 only when the database is
+// open and the server is neither draining nor closed — the signal load
+// balancers use to route (or stop routing) traffic.
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	select {
+	case <-s.closed:
+		writeError(w, ErrServerClosed)
+		return
+	default:
+	}
+	if err := s.Ready(); err != nil {
+		writeError(w, err)
+		return
+	}
+	if s.draining.Load() {
+		writeError(w, fmt.Errorf("%w: draining", ErrNotReady))
+		return
+	}
+	writeJSON(w, map[string]string{"status": "ready"})
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {

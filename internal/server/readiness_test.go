@@ -1,0 +1,111 @@
+package server
+
+import (
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"orthoq"
+)
+
+// Liveness vs readiness while a durable open is still replaying:
+// /healthz answers 200 throughout, /readyz and every data-path
+// endpoint answer 503 not_ready, and the gate lifts the moment the
+// open completes.
+func TestReadinessGateDuringOpen(t *testing.T) {
+	release := make(chan struct{})
+	db := newMemDB(t, 5)
+	srv := NewOpening(func() (*orthoq.DB, error) {
+		<-release
+		return db, nil
+	}, Config{})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() { ts.Close(); srv.Close() })
+	s := &testServer{srv: srv, ts: ts}
+
+	if resp, data := s.get(t, "/healthz"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("/healthz while opening: %d %s, want 200", resp.StatusCode, data)
+	}
+	resp, data := s.get(t, "/readyz")
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz while opening: %d %s, want 503", resp.StatusCode, data)
+	}
+	if got := errClassOf(t, data); got != "not_ready" {
+		t.Errorf("/readyz class = %q, want not_ready", got)
+	}
+	resp, data = s.post(t, "/query", map[string]string{"sql": "select count(*) as n from t"})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("data path while opening: %d %s, want 503", resp.StatusCode, data)
+	}
+	if got := errClassOf(t, data); got != "not_ready" {
+		t.Errorf("data-path class = %q, want not_ready", got)
+	}
+	if srv.DB() != nil {
+		t.Error("DB() non-nil while still opening")
+	}
+
+	close(release)
+	if err := srv.WaitReady(); err != nil {
+		t.Fatalf("WaitReady: %v", err)
+	}
+	if resp, data := s.get(t, "/readyz"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("/readyz after open: %d %s, want 200", resp.StatusCode, data)
+	}
+	if resp, data := s.post(t, "/query", map[string]string{"sql": "select count(*) as n from t"}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("query after open: %d %s, want 200", resp.StatusCode, data)
+	}
+}
+
+// A failed open leaves the server permanently unready, with the
+// failure visible on /readyz — alive, but never routed to.
+func TestReadinessOpenFailure(t *testing.T) {
+	srv := NewOpening(func() (*orthoq.DB, error) {
+		return nil, errors.New("disk on fire")
+	}, Config{})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() { ts.Close(); srv.Close() })
+	s := &testServer{srv: srv, ts: ts}
+
+	if err := srv.WaitReady(); err == nil || !errors.Is(err, ErrNotReady) {
+		t.Fatalf("WaitReady after failed open: %v, want ErrNotReady", err)
+	}
+	resp, data := s.get(t, "/readyz")
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz after failed open: %d, want 503", resp.StatusCode)
+	}
+	if got := string(data); !strings.Contains(got, "disk on fire") {
+		t.Errorf("/readyz body %q does not carry the open failure", got)
+	}
+	if resp, _ := s.get(t, "/healthz"); resp.StatusCode != http.StatusOK {
+		t.Errorf("/healthz after failed open: %d, want 200 (still alive)", resp.StatusCode)
+	}
+	if srv.DB() != nil {
+		t.Error("DB() non-nil after failed open")
+	}
+}
+
+// Drain flips only /readyz: load balancers stop routing, while
+// liveness and the data path (in-flight and straggler requests) keep
+// working until shutdown.
+func TestDrainAffectsOnlyReadyz(t *testing.T) {
+	s := newTestServer(t, newMemDB(t, 5), Config{})
+	if resp, _ := s.get(t, "/readyz"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("/readyz before drain: %d, want 200", resp.StatusCode)
+	}
+	s.srv.Drain()
+	resp, data := s.get(t, "/readyz")
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz during drain: %d, want 503", resp.StatusCode)
+	}
+	if got := errClassOf(t, data); got != "not_ready" {
+		t.Errorf("/readyz class during drain = %q, want not_ready", got)
+	}
+	if resp, _ := s.get(t, "/healthz"); resp.StatusCode != http.StatusOK {
+		t.Errorf("/healthz during drain: %d, want 200", resp.StatusCode)
+	}
+	if resp, data := s.post(t, "/query", map[string]string{"sql": "select count(*) as n from t"}); resp.StatusCode != http.StatusOK {
+		t.Errorf("straggler query during drain: %d %s, want 200", resp.StatusCode, data)
+	}
+}

@@ -93,15 +93,82 @@ type Server struct {
 	closed    chan struct{}
 	closeOnce sync.Once
 	wg        sync.WaitGroup
+
+	// Readiness: a server is ready once its database is open (for
+	// NewOpening, after recovery finishes) and not draining. Liveness
+	// (/healthz) is independent — a replaying or draining server is
+	// alive but should receive no new traffic. openDone closing
+	// publishes db and openErr (channel happens-before).
+	draining atomic.Bool
+	openDone chan struct{}
+	openErr  error // written before openDone closes
 }
 
-// New creates a server over db and starts its idle reaper.
+// New creates a server over db and starts its idle reaper. The server
+// is immediately ready.
 func New(db *orthoq.DB, cfg Config) *Server {
+	s := newServer(db, cfg)
+	close(s.openDone)
+	return s
+}
+
+// NewOpening creates a server whose database is still opening — the
+// durable-open path, where recovery may spend seconds replaying the
+// write-ahead log. The server binds and answers liveness immediately;
+// every data-path request (and /readyz) is rejected with ErrNotReady
+// until open returns. If open fails, the server stays unready forever,
+// reporting the failure — the load balancer never routes to it and the
+// operator sees the reason on /readyz.
+func NewOpening(open func() (*orthoq.DB, error), cfg Config) *Server {
+	s := newServer(nil, cfg)
+	go func() {
+		db, err := open()
+		if err != nil {
+			s.openErr = fmt.Errorf("%w: open failed: %v", ErrNotReady, err)
+		} else {
+			s.db = db
+		}
+		close(s.openDone)
+	}()
+	return s
+}
+
+// Ready reports whether the server can serve queries: nil when the
+// database is open, ErrNotReady (with the reason) while recovery is
+// still replaying or after a failed open. Draining does not affect
+// Ready — in-flight and straggler requests still complete; only
+// /readyz advertises the drain.
+func (s *Server) Ready() error {
+	select {
+	case <-s.openDone:
+		return s.openErr
+	default:
+		return fmt.Errorf("%w: database opening (recovery in progress)", ErrNotReady)
+	}
+}
+
+// WaitReady blocks until the database open completes and returns its
+// outcome (nil immediately for servers created with New).
+func (s *Server) WaitReady() error {
+	<-s.openDone
+	return s.openErr
+}
+
+// Drain marks the server draining: /readyz starts failing so load
+// balancers stop routing new traffic, while everything already here —
+// sessions, cursors, in-flight queries — continues to completion. Call
+// before Close for a graceful shutdown.
+func (s *Server) Drain() {
+	s.draining.Store(true)
+}
+
+func newServer(db *orthoq.DB, cfg Config) *Server {
 	s := &Server{
 		db:       db,
 		cfg:      cfg.withDefaults(),
 		sessions: make(map[string]*Session),
 		closed:   make(chan struct{}),
+		openDone: make(chan struct{}),
 	}
 	adm := s.cfg.Admission
 	if !s.cfg.DisableResultCache {
@@ -126,8 +193,16 @@ func New(db *orthoq.DB, cfg Config) *Server {
 	return s
 }
 
-// DB returns the embedded engine handle.
-func (s *Server) DB() *orthoq.DB { return s.db }
+// DB returns the embedded engine handle (nil while a NewOpening
+// server is still opening or after its open failed).
+func (s *Server) DB() *orthoq.DB {
+	select {
+	case <-s.openDone:
+		return s.db
+	default:
+		return nil
+	}
+}
 
 // Metrics snapshots the engine counters with the server-mode section
 // filled in.

@@ -24,6 +24,11 @@ var (
 	ErrTxnWrite = errors.New("server: writes are not allowed inside a transaction")
 	// ErrServerClosed is returned for requests arriving after Close.
 	ErrServerClosed = errors.New("server: closed")
+	// ErrNotReady is returned while the server cannot serve queries:
+	// the database is still opening (recovery replaying the write-ahead
+	// log) or failed to open (HTTP 503). Load balancers watch /readyz,
+	// which reports the same condition.
+	ErrNotReady = errors.New("server: not ready")
 )
 
 // SessionConfig carries the per-session execution defaults a client

@@ -1,0 +1,190 @@
+package storage
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"testing"
+
+	"orthoq/internal/sql/catalog"
+	"orthoq/internal/sql/types"
+)
+
+func TestDatumRoundTrip(t *testing.T) {
+	datums := []types.Datum{
+		types.NewBool(true),
+		types.NewBool(false),
+		types.NewInt(0),
+		types.NewInt(-1),
+		types.NewInt(math.MaxInt64),
+		types.NewInt(math.MinInt64),
+		types.NewFloat(0),
+		types.NewFloat(-3.25),
+		types.NewFloat(math.Inf(1)),
+		types.NewDate(0),
+		types.NewDate(19234),
+		types.NewString(""),
+		types.NewString("hello, 世界"),
+		types.Null(types.Int),
+		types.Null(types.String),
+		types.Null(types.Float),
+	}
+	for _, d := range datums {
+		buf := AppendDatum(nil, d)
+		got, rest, err := DecodeDatum(buf)
+		if err != nil {
+			t.Fatalf("DecodeDatum(%v): %v", d, err)
+		}
+		if len(rest) != 0 {
+			t.Errorf("DecodeDatum(%v) left %d trailing bytes", d, len(rest))
+		}
+		if !reflect.DeepEqual(got, d) {
+			t.Errorf("round trip: got %#v, want %#v", got, d)
+		}
+	}
+}
+
+func TestDatumDecodeTruncated(t *testing.T) {
+	full := AppendDatum(nil, types.NewString("truncate me"))
+	for cut := 0; cut < len(full); cut++ {
+		if _, _, err := DecodeDatum(full[:cut]); err == nil {
+			t.Errorf("DecodeDatum accepted a %d/%d-byte prefix", cut, len(full))
+		}
+	}
+}
+
+func TestRowsRoundTrip(t *testing.T) {
+	rows := []types.Row{
+		{types.NewInt(1), types.NewString("a"), types.Null(types.Float)},
+		{types.NewInt(2), types.NewString(""), types.NewFloat(2.5)},
+		{}, // empty row
+	}
+	buf := AppendRows(nil, rows)
+	got, rest, err := DecodeRows(buf)
+	if err != nil {
+		t.Fatalf("DecodeRows: %v", err)
+	}
+	if len(rest) != 0 {
+		t.Errorf("DecodeRows left %d trailing bytes", len(rest))
+	}
+	if len(got) != len(rows) {
+		t.Fatalf("DecodeRows returned %d rows, want %d", len(got), len(rows))
+	}
+	for i := range rows {
+		if len(got[i]) != len(rows[i]) {
+			t.Errorf("row %d: %d datums, want %d", i, len(got[i]), len(rows[i]))
+			continue
+		}
+		if !reflect.DeepEqual(append(types.Row{}, got[i]...), append(types.Row{}, rows[i]...)) {
+			t.Errorf("row %d: got %v, want %v", i, got[i], rows[i])
+		}
+	}
+}
+
+func TestSchemaRoundTrip(t *testing.T) {
+	schema := &catalog.Table{
+		Name: "orders",
+		Columns: []catalog.Column{
+			{Name: "o_orderkey", Type: types.Int},
+			{Name: "o_comment", Type: types.String, Nullable: true},
+		},
+		Key: []int{0},
+		Indexes: []catalog.Index{
+			{Name: "pk", Cols: []int{0}, Unique: true, Ordered: true},
+		},
+	}
+	buf, err := AppendSchema(nil, schema)
+	if err != nil {
+		t.Fatalf("AppendSchema: %v", err)
+	}
+	got, rest, err := DecodeSchema(buf)
+	if err != nil {
+		t.Fatalf("DecodeSchema: %v", err)
+	}
+	if len(rest) != 0 {
+		t.Errorf("DecodeSchema left %d trailing bytes", len(rest))
+	}
+	if !reflect.DeepEqual(got, schema) {
+		t.Errorf("schema round trip: got %+v, want %+v", got, schema)
+	}
+}
+
+// A snapshot written and read back reproduces every table's schema,
+// rows, and publication LSN.
+func TestSnapshotRoundTrip(t *testing.T) {
+	st := New(catalog.New())
+	mk := func(name string, lsn uint64, rows ...types.Row) {
+		tbl, err := st.CreateTable(&catalog.Table{
+			Name: name,
+			Columns: []catalog.Column{
+				{Name: "id", Type: types.Int},
+				{Name: "s", Type: types.String, Nullable: true},
+			},
+			Key: []int{0},
+		})
+		if err != nil {
+			t.Fatalf("CreateTable(%s): %v", name, err)
+		}
+		if err := tbl.InsertAll(rows); err != nil {
+			t.Fatalf("InsertAll(%s): %v", name, err)
+		}
+		tbl.mu.Lock()
+		tbl.publish(nil, nil, lsn)
+		tbl.mu.Unlock()
+	}
+	mk("a", 7, types.Row{types.NewInt(1), types.NewString("x")})
+	mk("b", 9,
+		types.Row{types.NewInt(1), types.Null(types.String)},
+		types.Row{types.NewInt(2), types.NewString("y")})
+
+	var buf bytes.Buffer
+	if err := WriteSnapshot(&buf, st.Snapshot()); err != nil {
+		t.Fatalf("WriteSnapshot: %v", err)
+	}
+	got, err := ReadSnapshot(buf.Bytes())
+	if err != nil {
+		t.Fatalf("ReadSnapshot: %v", err)
+	}
+	for name, wantLSN := range map[string]uint64{"a": 7, "b": 9} {
+		src, _ := st.Table(name)
+		dst, ok := got.Table(name)
+		if !ok {
+			t.Fatalf("table %s missing after round trip", name)
+		}
+		if dst.Version().LSN() != wantLSN {
+			t.Errorf("table %s LSN = %d, want %d", name, dst.Version().LSN(), wantLSN)
+		}
+		if !reflect.DeepEqual(dst.AllRows(), src.AllRows()) {
+			t.Errorf("table %s rows differ after round trip", name)
+		}
+		if !reflect.DeepEqual(dst.Schema, src.Schema) {
+			t.Errorf("table %s schema differs after round trip", name)
+		}
+	}
+}
+
+// ReadSnapshot rejects truncation anywhere in the stream.
+func TestSnapshotTruncated(t *testing.T) {
+	st := New(catalog.New())
+	tbl, err := st.CreateTable(&catalog.Table{
+		Name:    "t",
+		Columns: []catalog.Column{{Name: "id", Type: types.Int}},
+		Key:     []int{0},
+	})
+	if err != nil {
+		t.Fatalf("CreateTable: %v", err)
+	}
+	if err := tbl.InsertAll([]types.Row{{types.NewInt(1)}, {types.NewInt(2)}}); err != nil {
+		t.Fatalf("InsertAll: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := WriteSnapshot(&buf, st.Snapshot()); err != nil {
+		t.Fatalf("WriteSnapshot: %v", err)
+	}
+	full := buf.Bytes()
+	for cut := 1; cut < len(full); cut++ {
+		if _, err := ReadSnapshot(full[:cut]); err == nil {
+			t.Errorf("ReadSnapshot accepted a %d/%d-byte prefix", cut, len(full))
+		}
+	}
+}

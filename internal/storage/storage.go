@@ -45,6 +45,15 @@ type Version struct {
 	rows    []types.Row
 	hashIdx map[string]*hashIndex // index name -> hash index
 	ordIdx  map[string]*orderedIndex
+
+	// lsn is the write-ahead-log sequence number of the journal record
+	// whose application produced this version (0 when no journal is
+	// attached). Because writers append to the journal and publish under
+	// the same table lock, a table's publication order equals its LSN
+	// order — which is what lets checkpoints record "this version
+	// contains every record up to lsn" and recovery skip re-applying
+	// them.
+	lsn uint64
 }
 
 // versionIDs hands out process-unique identifiers for published
@@ -58,6 +67,10 @@ var versionIDs atomic.Uint64
 // minted at every publication (insert batch, index rebuild, table
 // creation), so equal IDs imply identical visible state.
 func (v *Version) ID() uint64 { return v.id }
+
+// LSN returns the journal sequence number of the record that produced
+// this version (0 when the store has no journal attached).
+func (v *Version) LSN() uint64 { return v.lsn }
 
 type hashIndex struct {
 	cols    []int
@@ -178,14 +191,27 @@ type Table struct {
 	// serialize on mu and republish after every mutation.
 	Rows []types.Row
 
+	// store points back at the owning Store, through which the table
+	// reaches the attached journal (nil for tables of a store without
+	// one).
+	store *Store
+
 	mu  sync.Mutex
 	cur atomic.Pointer[Version]
 }
 
-func newTable(schema *catalog.Table) *Table {
-	t := &Table{Schema: schema}
-	t.cur.Store(&Version{Schema: schema, id: versionIDs.Add(1)})
+func newTable(s *Store, schema *catalog.Table, lsn uint64) *Table {
+	t := &Table{Schema: schema, store: s}
+	t.cur.Store(&Version{Schema: schema, id: versionIDs.Add(1), lsn: lsn})
 	return t
+}
+
+// journal returns the store's attached journal (nil when none).
+func (t *Table) journal() Journal {
+	if t.store == nil {
+		return nil
+	}
+	return t.store.journal()
 }
 
 // Version returns the current published version of the table. The
@@ -200,13 +226,14 @@ func (t *Table) Version() *Version {
 // prefix aliases the working array — writers only append past the
 // published length, so readers of the frozen prefix never observe a
 // mutation.
-func (t *Table) publish(hashIdx map[string]*hashIndex, ordIdx map[string]*orderedIndex) {
+func (t *Table) publish(hashIdx map[string]*hashIndex, ordIdx map[string]*orderedIndex, lsn uint64) {
 	v := &Version{
 		Schema:  t.Schema,
 		id:      versionIDs.Add(1),
 		rows:    t.Rows[:len(t.Rows):len(t.Rows)],
 		hashIdx: hashIdx,
 		ordIdx:  ordIdx,
+		lsn:     lsn,
 	}
 	t.cur.Store(v)
 }
@@ -253,6 +280,12 @@ func (t *Table) InsertAll(rows []types.Row) error {
 // layer's stats-epoch bump) and the row publication form one atomic
 // step with respect to other writers: no second writer can publish in
 // between.
+//
+// With a journal attached, the batch is write-ahead logged — and the
+// log write acknowledged per the journal's sync policy — before any
+// in-memory state changes. A journal error aborts the insert with
+// nothing published: the write was never acknowledged, so recovery
+// owes it nothing.
 func (t *Table) InsertAllThen(rows []types.Row, then func(total int)) error {
 	for _, r := range rows {
 		if err := t.checkRow(r); err != nil {
@@ -261,9 +294,16 @@ func (t *Table) InsertAllThen(rows []types.Row, then func(total int)) error {
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	t.Rows = append(t.Rows, rows...)
 	prev := t.cur.Load()
-	t.publish(prev.hashIdx, prev.ordIdx)
+	lsn := prev.lsn
+	if j := t.journal(); j != nil {
+		var err error
+		if lsn, err = j.LogInsert(t.Schema.Name, rows); err != nil {
+			return err
+		}
+	}
+	t.Rows = append(t.Rows, rows...)
+	t.publish(prev.hashIdx, prev.ordIdx, lsn)
 	if then != nil {
 		then(len(t.Rows))
 	}
@@ -307,7 +347,7 @@ func (t *Table) BuildIndexes() {
 			hashIdx[decl.Name] = hi
 		}
 	}
-	t.publish(hashIdx, ordIdx)
+	t.publish(hashIdx, ordIdx, t.cur.Load().lsn)
 }
 
 // Lookup returns matching row ordinals via the current published
@@ -334,6 +374,21 @@ func (t *Table) LookupOrds(index string, key []types.Datum) []int {
 	return t.Lookup(index, key)
 }
 
+// Journal is the durability hook installed under the store: a
+// write-ahead log that mutations append to — and wait on, per the
+// journal's sync policy — before publishing. It is an interface (the
+// implementation lives in internal/wal) so storage stays a leaf
+// package; the orthoq layer wires the two together. Each Log method
+// returns the sequence number assigned to the record, which the
+// mutation stamps onto the Version it publishes.
+type Journal interface {
+	// LogCreateTable appends a table-creation record.
+	LogCreateTable(schema *catalog.Table) (uint64, error)
+	// LogInsert appends a row-batch record. The call returns only once
+	// the record is acknowledged per the journal's sync policy.
+	LogInsert(table string, rows []types.Row) (uint64, error)
+}
+
 // Store is a database instance: catalog plus stored tables. Table
 // lookup is lock-free (the table map is copy-on-write); CreateTable
 // serializes writers on an internal mutex.
@@ -342,6 +397,28 @@ type Store struct {
 
 	mu     sync.Mutex // serializes CreateTable
 	tables atomic.Pointer[map[string]*Table]
+
+	jnl atomic.Pointer[Journal]
+}
+
+// SetJournal attaches (or detaches, with nil) the store's journal.
+// Attach after bootstrap/recovery so initial population is not logged;
+// mutations from that point on are write-ahead logged.
+func (s *Store) SetJournal(j Journal) {
+	if j == nil {
+		s.jnl.Store(nil)
+		return
+	}
+	s.jnl.Store(&j)
+}
+
+// journal returns the attached journal (nil when none).
+func (s *Store) journal() Journal {
+	p := s.jnl.Load()
+	if p == nil {
+		return nil
+	}
+	return *p
 }
 
 // New creates an empty store over the catalog.
@@ -354,14 +431,22 @@ func New(cat *catalog.Catalog) *Store {
 
 // CreateTable registers schema in the catalog and allocates storage,
 // publishing the extended table map atomically so concurrent readers
-// never observe a torn map.
+// never observe a torn map. With a journal attached the creation is
+// write-ahead logged (after catalog validation, before publication).
 func (s *Store) CreateTable(schema *catalog.Table) (*Table, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if err := s.Catalog.Add(schema); err != nil {
 		return nil, err
 	}
-	t := newTable(schema)
+	var lsn uint64
+	if j := s.journal(); j != nil {
+		var err error
+		if lsn, err = j.LogCreateTable(schema); err != nil {
+			return nil, err
+		}
+	}
+	t := newTable(s, schema, lsn)
 	old := *s.tables.Load()
 	next := make(map[string]*Table, len(old)+1)
 	for k, v := range old {
@@ -415,13 +500,90 @@ func (sn *Snapshot) Table(name string) (*Version, bool) {
 	return v, ok
 }
 
+// CheckpointSnapshot pins a checkpoint-consistent view: it acquires
+// the store lock plus every table's writer lock, runs pin (the
+// checkpointer reads the journal's next-LSN watermark and rotates the
+// active segment there), and collects each table's current Version
+// before releasing. Because mutations append their journal record and
+// publish under the same table lock, no record with an LSN below the
+// watermark can be missing from the returned snapshot — the watermark
+// is an exact consistency point, so a successful checkpoint may delete
+// every rotated-out segment. Writers stall only for the duration of
+// the pin (the snapshot serialization itself happens after release).
+func (s *Store) CheckpointSnapshot(pin func()) *Snapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	tables := *s.tables.Load()
+	names := make([]string, 0, len(tables))
+	for name := range tables {
+		names = append(names, name)
+	}
+	sort.Strings(names) // deterministic acquisition order
+	for _, name := range names {
+		tables[name].mu.Lock()
+	}
+	if pin != nil {
+		pin()
+	}
+	sn := &Snapshot{versions: make(map[string]*Version, len(tables))}
+	for _, name := range names {
+		sn.versions[name] = tables[name].Version()
+		tables[name].mu.Unlock()
+	}
+	return sn
+}
+
+// ApplyCreateTable re-applies a logged table creation during recovery.
+// A table that already exists (it was captured by the checkpoint the
+// replay starts from) is left untouched.
+func (s *Store) ApplyCreateTable(schema *catalog.Table, lsn uint64) error {
+	if _, ok := s.Table(schema.Name); ok {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.Catalog.Add(schema); err != nil {
+		return err
+	}
+	t := newTable(s, schema, lsn)
+	old := *s.tables.Load()
+	next := make(map[string]*Table, len(old)+1)
+	for k, v := range old {
+		next[k] = v
+	}
+	next[lower(schema.Name)] = t
+	s.tables.Store(&next)
+	return nil
+}
+
+// ApplyInsert re-applies a logged row batch during recovery. Records
+// at or below the table's checkpointed LSN are skipped (their rows are
+// already in the snapshot); everything newer is appended and the
+// version restamped. Rows are applied without re-validation — they
+// passed checkRow when first logged.
+func (s *Store) ApplyInsert(table string, rows []types.Row, lsn uint64) error {
+	t, ok := s.Table(table)
+	if !ok {
+		return fmt.Errorf("storage: replay insert into unknown table %q", table)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	prev := t.cur.Load()
+	if lsn <= prev.lsn {
+		return nil
+	}
+	t.Rows = append(t.Rows, rows...)
+	t.publish(prev.hashIdx, prev.ordIdx, lsn)
+	return nil
+}
+
 // NewFromCatalog creates a store with (empty) table storage allocated
 // for every table already registered in the catalog.
 func NewFromCatalog(cat *catalog.Catalog) *Store {
 	s := &Store{Catalog: cat}
 	m := make(map[string]*Table)
 	for _, t := range cat.Tables() {
-		m[lower(t.Name)] = newTable(t)
+		m[lower(t.Name)] = newTable(s, t, 0)
 	}
 	s.tables.Store(&m)
 	return s

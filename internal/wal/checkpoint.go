@@ -1,0 +1,152 @@
+// Checkpointing: serialize the store's published version set, land it
+// atomically, truncate the log behind it.
+//
+// Protocol (crash-safe at every step):
+//
+//  1. Pin. Store.CheckpointSnapshot acquires every table's writer
+//     lock, then (inside the pin) the log rotates: the active segment
+//     is fsynced and closed, a fresh segment is created, and the
+//     checkpoint LSN is fixed at nextLSN-1. Because mutations append
+//     their record and publish under the same table lock, the pinned
+//     versions contain exactly the records up to that LSN — the
+//     rotated-out segments are fully covered by the snapshot.
+//  2. Serialize the snapshot (schemas + per-table LSN + rows, CRC
+//     trailer) to CHECKPOINT.tmp, fsync it.
+//  3. Atomically rename CHECKPOINT.tmp → CHECKPOINT, fsync the
+//     directory. This rename is the commit point: a crash before it
+//     leaves the previous checkpoint + full log (recovery replays); a
+//     crash after it finds the new checkpoint.
+//  4. Delete the rotated-out segments, fsync the directory. A crash
+//     between 3 and 4 leaves stale segments whose records are all at
+//     or below the checkpoint LSN — replay skips them by LSN.
+//
+// Checkpoints run on the background checkpointer goroutine when the
+// un-checkpointed log exceeds Options.CheckpointBytes, and on demand
+// via DB.Checkpoint / graceful shutdown.
+package wal
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"path/filepath"
+
+	"orthoq/internal/storage"
+)
+
+// Checkpoint file layout: magic, checkpoint LSN, snapshot body
+// (storage.WriteSnapshot), CRC32 trailer over everything before it.
+const (
+	ckptMagic = "OQCKPT01"
+	ckptName  = "CHECKPOINT"
+	ckptTmp   = "CHECKPOINT.tmp"
+)
+
+// Checkpoint serializes the current version set and truncates the log
+// behind it. Serialization happens after the pin is released, so
+// writers stall only for the fsync-and-rotate, not for the disk write
+// of the snapshot. Any I/O error poisons the manager (fail-stop).
+func (m *Manager) Checkpoint() error {
+	m.ckptMu.Lock()
+	defer m.ckptMu.Unlock()
+
+	var (
+		ckptLSN uint64
+		oldSegs []string
+		pinErr  error
+	)
+	sn := m.store.CheckpointSnapshot(func() {
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		ckptLSN, oldSegs, pinErr = m.rotateLocked()
+	})
+	if pinErr != nil {
+		return pinErr
+	}
+
+	var body bytes.Buffer
+	body.WriteString(ckptMagic)
+	var lsnBuf [8]byte
+	binary.BigEndian.PutUint64(lsnBuf[:], ckptLSN)
+	body.Write(lsnBuf[:])
+	if err := storage.WriteSnapshot(&body, sn); err != nil {
+		return m.failCheckpoint(err)
+	}
+	var crcBuf [4]byte
+	binary.BigEndian.PutUint32(crcBuf[:], crc32.ChecksumIEEE(body.Bytes()))
+	body.Write(crcBuf[:])
+
+	tmp := filepath.Join(m.dir, ckptTmp)
+	f, err := m.fs.Create(tmp)
+	if err != nil {
+		return m.failCheckpoint(err)
+	}
+	if _, err := f.Write(body.Bytes()); err != nil {
+		f.Close()
+		return m.failCheckpoint(err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return m.failCheckpoint(err)
+	}
+	f.Close()
+	if err := m.fs.Rename(tmp, filepath.Join(m.dir, ckptName)); err != nil {
+		return m.failCheckpoint(err)
+	}
+	if err := m.fs.SyncDir(m.dir); err != nil {
+		return m.failCheckpoint(err)
+	}
+
+	// Commit point passed: the rotated-out segments are now redundant.
+	for _, seg := range oldSegs {
+		if err := m.fs.Remove(seg); err != nil {
+			return m.failCheckpoint(err)
+		}
+		m.met.SegmentsDeleted.Add(1)
+	}
+	if err := m.fs.SyncDir(m.dir); err != nil {
+		return m.failCheckpoint(err)
+	}
+	m.met.Checkpoints.Add(1)
+	m.met.CheckpointBytes.Add(uint64(body.Len()))
+	return nil
+}
+
+// failCheckpoint poisons the manager with a checkpoint I/O error.
+func (m *Manager) failCheckpoint(err error) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.fail(fmt.Errorf("wal: checkpoint: %w", err))
+}
+
+// rotateLocked fixes the checkpoint LSN, makes the active segment
+// fully durable (acknowledging any group-commit waiters), and swaps in
+// a fresh segment. Returns the rotated-out segment paths. Callers must
+// hold m.mu; the store's table locks are held by the enclosing pin.
+func (m *Manager) rotateLocked() (uint64, []string, error) {
+	if m.err != nil {
+		return 0, nil, m.err
+	}
+	ckptLSN := m.nextLSN - 1
+	if err := m.flushLocked(true); err != nil {
+		return 0, nil, err
+	}
+	if m.f != nil {
+		m.f.Close()
+	}
+	seg := filepath.Join(m.dir, segName(m.nextLSN))
+	f, err := m.fs.Create(seg)
+	if err != nil {
+		return 0, nil, m.fail(err)
+	}
+	if err := m.fs.SyncDir(m.dir); err != nil {
+		f.Close()
+		return 0, nil, m.fail(err)
+	}
+	old := m.segs
+	m.f = f
+	m.segs = []string{seg}
+	m.logBytes = 0
+	return ckptLSN, old, nil
+}

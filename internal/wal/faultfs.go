@@ -1,0 +1,391 @@
+// FaultFS: the deterministic disk fault-injection seam, mirroring
+// exec/faultinject's discipline (exact rules, fire-once, no
+// randomness). It is a fully in-memory filesystem that models the two
+// ways real disks lose data on a crash:
+//
+//   - written bytes are volatile until File.Sync — a crash discards
+//     every unsynced suffix;
+//   - directory entries (create, rename, remove) are volatile until
+//     SyncDir — a crash rolls the namespace back to its last synced
+//     state.
+//
+// A crash (injected or explicit) kills the "machine": every subsequent
+// operation fails with ErrCrashed. Reboot() then constructs the
+// post-crash filesystem — exactly what a real disk would hold — for
+// recovery to open. Tests drive the crash matrix by planting one Rule
+// at a chosen I/O point and asserting the recovered state.
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// ErrCrashed is returned by every FaultFS operation after a crash.
+var ErrCrashed = errors.New("wal: simulated crash")
+
+// ErrInjected is the default error of a KindError rule.
+var ErrInjected = errors.New("wal: injected I/O error")
+
+// Op names one FaultFS operation class for rule matching.
+type Op string
+
+// Operation classes.
+const (
+	OpCreate   Op = "create"
+	OpAppend   Op = "append"
+	OpWrite    Op = "write"
+	OpSync     Op = "sync"
+	OpRename   Op = "rename"
+	OpRemove   Op = "remove"
+	OpTruncate Op = "truncate"
+	OpSyncDir  Op = "syncdir"
+)
+
+// Kind is what an armed rule does when it fires.
+type Kind int
+
+// Rule kinds.
+const (
+	// KindError fails the operation with Err (machine stays alive).
+	KindError Kind = iota
+	// KindCrash kills the machine before the operation takes effect.
+	KindCrash
+	// KindTorn (writes only) persists the first KeepBytes of the write
+	// as if synced, then kills the machine — the torn-record case.
+	KindTorn
+)
+
+// Rule is one deterministic fault: it fires on the (After+1)-th
+// operation matching Op and Path (substring, "" = any), then disarms.
+type Rule struct {
+	Op        Op
+	Path      string
+	After     int
+	Kind      Kind
+	Err       error
+	KeepBytes int
+}
+
+// Injector holds armed rules. Matching is counted per rule, so a test
+// can express "crash on the 3rd fsync of the log segment" exactly.
+type Injector struct {
+	mu    sync.Mutex
+	rules []*ruleState
+}
+
+type ruleState struct {
+	Rule
+	seen  int
+	fired bool
+}
+
+// Arm adds a rule.
+func (in *Injector) Arm(r Rule) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.rules = append(in.rules, &ruleState{Rule: r})
+}
+
+// match returns the rule firing on this operation, if any.
+func (in *Injector) match(op Op, path string) *Rule {
+	if in == nil {
+		return nil
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	for _, rs := range in.rules {
+		if rs.fired || rs.Op != op {
+			continue
+		}
+		if rs.Path != "" && !strings.Contains(path, rs.Path) {
+			continue
+		}
+		if rs.seen < rs.After {
+			rs.seen++
+			continue
+		}
+		rs.fired = true
+		r := rs.Rule
+		return &r
+	}
+	return nil
+}
+
+type faultFile struct {
+	data   []byte
+	synced int // durable prefix length
+}
+
+// FaultFS is the in-memory crash-faithful FS. See the package comment
+// above for the durability model.
+type FaultFS struct {
+	mu      sync.Mutex
+	live    map[string]*faultFile // current namespace
+	durable map[string]*faultFile // namespace as of the last SyncDir
+	dead    bool
+	inj     *Injector
+}
+
+// NewFaultFS creates an empty FaultFS with the given injector (nil for
+// none).
+func NewFaultFS(inj *Injector) *FaultFS {
+	return &FaultFS{
+		live:    make(map[string]*faultFile),
+		durable: make(map[string]*faultFile),
+		inj:     inj,
+	}
+}
+
+// Crash kills the machine: every subsequent operation fails.
+func (fs *FaultFS) Crash() {
+	fs.mu.Lock()
+	fs.dead = true
+	fs.mu.Unlock()
+}
+
+// Reboot returns the filesystem a restart would find: the last synced
+// namespace, each file truncated to its synced prefix. The new FS is
+// alive with no injector (recovery is not re-faulted unless the test
+// arms it).
+func (fs *FaultFS) Reboot() *FaultFS {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	next := NewFaultFS(nil)
+	for path, f := range fs.durable {
+		data := make([]byte, f.synced)
+		copy(data, f.data[:f.synced])
+		nf := &faultFile{data: data, synced: f.synced}
+		next.live[path] = nf
+		next.durable[path] = nf
+	}
+	return next
+}
+
+// SetInjector arms an injector on a (typically rebooted) FS.
+func (fs *FaultFS) SetInjector(inj *Injector) {
+	fs.mu.Lock()
+	fs.inj = inj
+	fs.mu.Unlock()
+}
+
+// check applies the dead state and any firing rule for op on path. It
+// must be called with fs.mu held; a KindTorn rule is returned to the
+// caller (only Write handles it).
+func (fs *FaultFS) check(op Op, path string) (*Rule, error) {
+	if fs.dead {
+		return nil, ErrCrashed
+	}
+	r := fs.inj.match(op, path)
+	if r == nil {
+		return nil, nil
+	}
+	switch r.Kind {
+	case KindError:
+		if r.Err != nil {
+			return nil, r.Err
+		}
+		return nil, ErrInjected
+	case KindCrash:
+		fs.dead = true
+		return nil, ErrCrashed
+	default: // KindTorn
+		return r, nil
+	}
+}
+
+// MkdirAll implements FS (the namespace is flat; only liveness is
+// checked).
+func (fs *FaultFS) MkdirAll(string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.dead {
+		return ErrCrashed
+	}
+	return nil
+}
+
+// Create implements FS.
+func (fs *FaultFS) Create(path string) (File, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if _, err := fs.check(OpCreate, path); err != nil {
+		return nil, err
+	}
+	f := &faultFile{}
+	fs.live[path] = f
+	return &faultHandle{fs: fs, path: path, f: f}, nil
+}
+
+// OpenAppend implements FS.
+func (fs *FaultFS) OpenAppend(path string) (File, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if _, err := fs.check(OpAppend, path); err != nil {
+		return nil, err
+	}
+	f, ok := fs.live[path]
+	if !ok {
+		f = &faultFile{}
+		fs.live[path] = f
+	}
+	return &faultHandle{fs: fs, path: path, f: f}, nil
+}
+
+// ReadFile implements FS.
+func (fs *FaultFS) ReadFile(path string) ([]byte, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.dead {
+		return nil, ErrCrashed
+	}
+	f, ok := fs.live[path]
+	if !ok {
+		return nil, fmt.Errorf("wal: %s: %w", path, errNotExist)
+	}
+	out := make([]byte, len(f.data))
+	copy(out, f.data)
+	return out, nil
+}
+
+// ReadDir implements FS: every live path under dir.
+func (fs *FaultFS) ReadDir(dir string) ([]string, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.dead {
+		return nil, ErrCrashed
+	}
+	prefix := strings.TrimSuffix(dir, "/") + "/"
+	var names []string
+	for path := range fs.live {
+		if strings.HasPrefix(path, prefix) {
+			names = append(names, strings.TrimPrefix(path, prefix))
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Rename implements FS. The rename is immediately visible but durable
+// only after SyncDir.
+func (fs *FaultFS) Rename(oldpath, newpath string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if _, err := fs.check(OpRename, newpath); err != nil {
+		return err
+	}
+	f, ok := fs.live[oldpath]
+	if !ok {
+		return fmt.Errorf("wal: %s: %w", oldpath, errNotExist)
+	}
+	delete(fs.live, oldpath)
+	fs.live[newpath] = f
+	return nil
+}
+
+// Remove implements FS (durable after SyncDir).
+func (fs *FaultFS) Remove(path string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if _, err := fs.check(OpRemove, path); err != nil {
+		return err
+	}
+	if _, ok := fs.live[path]; !ok {
+		return fmt.Errorf("wal: %s: %w", path, errNotExist)
+	}
+	delete(fs.live, path)
+	return nil
+}
+
+// Truncate implements FS. Truncation is treated as durable (recovery
+// truncates a torn tail and must not see it again after a re-crash).
+func (fs *FaultFS) Truncate(path string, size int64) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if _, err := fs.check(OpTruncate, path); err != nil {
+		return err
+	}
+	f, ok := fs.live[path]
+	if !ok {
+		return fmt.Errorf("wal: %s: %w", path, errNotExist)
+	}
+	if int(size) < len(f.data) {
+		f.data = f.data[:size]
+	}
+	if f.synced > len(f.data) {
+		f.synced = len(f.data)
+	}
+	return nil
+}
+
+// SyncDir implements FS: the current namespace under dir becomes the
+// durable one.
+func (fs *FaultFS) SyncDir(dir string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if _, err := fs.check(OpSyncDir, dir); err != nil {
+		return err
+	}
+	prefix := strings.TrimSuffix(dir, "/") + "/"
+	for path := range fs.durable {
+		if strings.HasPrefix(path, prefix) {
+			if _, ok := fs.live[path]; !ok {
+				delete(fs.durable, path)
+			}
+		}
+	}
+	for path, f := range fs.live {
+		if strings.HasPrefix(path, prefix) {
+			fs.durable[path] = f
+		}
+	}
+	return nil
+}
+
+var errNotExist = errors.New("file does not exist")
+
+type faultHandle struct {
+	fs   *FaultFS
+	path string
+	f    *faultFile
+}
+
+// Write appends p; the bytes stay volatile until Sync. A KindTorn rule
+// persists a prefix of p as synced, then crashes.
+func (h *faultHandle) Write(p []byte) (int, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	r, err := h.fs.check(OpWrite, h.path)
+	if err != nil {
+		return 0, err
+	}
+	if r != nil { // torn write
+		keep := r.KeepBytes
+		if keep > len(p) {
+			keep = len(p)
+		}
+		h.f.data = append(h.f.data, p[:keep]...)
+		h.f.synced = len(h.f.data)
+		h.fs.dead = true
+		return keep, ErrCrashed
+	}
+	h.f.data = append(h.f.data, p...)
+	return len(p), nil
+}
+
+// Sync makes all written data durable.
+func (h *faultHandle) Sync() error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if _, err := h.fs.check(OpSync, h.path); err != nil {
+		return err
+	}
+	h.f.synced = len(h.f.data)
+	return nil
+}
+
+// Close implements File (no-op; durability comes from Sync alone).
+func (h *faultHandle) Close() error { return nil }

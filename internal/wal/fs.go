@@ -1,0 +1,108 @@
+// Package wal is the durability subsystem: a write-ahead log with
+// CRC-checksummed, length-prefixed, monotonically sequenced records; a
+// checkpointer that serializes the store's published version set and
+// truncates the log behind it; and crash recovery that reloads the
+// latest checkpoint and replays the log tail. The package implements
+// storage.Journal — the store calls back into it on every mutation —
+// and is wired under a store by the orthoq layer, so storage itself
+// stays a leaf package.
+//
+// All disk access goes through the FS seam below, mirroring the
+// deterministic fault-injection discipline of exec/faultinject: tests
+// swap in FaultFS to crash the "machine" at exact I/O points and prove
+// recovery, rather than hoping for it.
+package wal
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// FS is the filesystem seam the WAL writes through. The production
+// implementation is OSFS; crash tests use FaultFS, which models the
+// page cache (writes are volatile until Sync) and injectable failures.
+type FS interface {
+	// MkdirAll creates dir and any missing parents.
+	MkdirAll(dir string) error
+	// Create creates (or truncates) the file for writing.
+	Create(path string) (File, error)
+	// OpenAppend opens the file for appending, creating it if missing.
+	OpenAppend(path string) (File, error)
+	// ReadFile returns the file's full contents.
+	ReadFile(path string) ([]byte, error)
+	// ReadDir returns the sorted names of dir's entries.
+	ReadDir(dir string) ([]string, error)
+	// Rename atomically replaces newpath with oldpath.
+	Rename(oldpath, newpath string) error
+	// Remove deletes the file.
+	Remove(path string) error
+	// Truncate cuts the file to size bytes.
+	Truncate(path string, size int64) error
+	// SyncDir makes directory-entry operations (create, rename, remove)
+	// in dir durable.
+	SyncDir(dir string) error
+}
+
+// File is the writable-file seam.
+type File interface {
+	io.Writer
+	// Sync makes all written data durable.
+	Sync() error
+	// Close releases the file (without syncing).
+	Close() error
+}
+
+// OSFS is the real-filesystem implementation of FS.
+type OSFS struct{}
+
+// MkdirAll implements FS.
+func (OSFS) MkdirAll(dir string) error { return os.MkdirAll(dir, 0o755) }
+
+// Create implements FS.
+func (OSFS) Create(path string) (File, error) {
+	return os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+}
+
+// OpenAppend implements FS.
+func (OSFS) OpenAppend(path string) (File, error) {
+	return os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+}
+
+// ReadFile implements FS.
+func (OSFS) ReadFile(path string) ([]byte, error) { return os.ReadFile(path) }
+
+// ReadDir implements FS.
+func (OSFS) ReadDir(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(ents))
+	for _, e := range ents {
+		names = append(names, e.Name())
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Rename implements FS.
+func (OSFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+// Remove implements FS.
+func (OSFS) Remove(path string) error { return os.Remove(path) }
+
+// Truncate implements FS.
+func (OSFS) Truncate(path string, size int64) error { return os.Truncate(path, size) }
+
+// SyncDir implements FS. Directory fsync is what makes renames and
+// segment creations crash-durable on POSIX filesystems.
+func (OSFS) SyncDir(dir string) error {
+	d, err := os.Open(filepath.Clean(dir))
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}

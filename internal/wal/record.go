@@ -1,0 +1,135 @@
+// Log record framing and the typed record bodies.
+//
+// On-disk frame:
+//
+//	uint32 length   (big-endian, length of payload)
+//	uint32 crc32    (IEEE, over payload)
+//	payload:
+//	    uint64 lsn  (big-endian, monotonically increasing from 1)
+//	    byte   type (recCreate | recInsert | recEpoch)
+//	    body        (type-specific, see below)
+//
+// Bodies use the storage package's binary codec: recCreate carries the
+// length-prefixed schema JSON, recInsert a uvarint-prefixed table name
+// plus the encoded row batch, recEpoch nothing (it marks an Analyze
+// stats-epoch bump; replay re-runs Analyze regardless, so the record
+// is informational).
+//
+// A decoder distinguishes three end states: a clean end (zero bytes
+// left), a torn tail (partial frame or CRC mismatch at the very end —
+// the write the crash interrupted), and mid-log corruption (garbage
+// with valid data after it — a damaged disk, which recovery refuses to
+// paper over).
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+
+	"orthoq/internal/sql/catalog"
+	"orthoq/internal/sql/types"
+	"orthoq/internal/storage"
+)
+
+// Record types.
+const (
+	recCreate byte = 1
+	recInsert byte = 2
+	recEpoch  byte = 3
+)
+
+// frameHeader is the fixed frame prefix: length + CRC.
+const frameHeader = 8
+
+// appendFrame appends one framed record (lsn, typ, body) to buf.
+func appendFrame(buf []byte, lsn uint64, typ byte, body []byte) []byte {
+	payloadLen := 8 + 1 + len(body)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(payloadLen))
+	crcAt := len(buf)
+	buf = binary.BigEndian.AppendUint32(buf, 0) // CRC placeholder
+	start := len(buf)
+	buf = binary.BigEndian.AppendUint64(buf, lsn)
+	buf = append(buf, typ)
+	buf = append(buf, body...)
+	binary.BigEndian.PutUint32(buf[crcAt:], crc32.ChecksumIEEE(buf[start:]))
+	return buf
+}
+
+// record is one decoded log record.
+type record struct {
+	lsn  uint64
+	typ  byte
+	body []byte
+}
+
+// errTorn marks a partial or checksum-failing record at the end of the
+// stream — the expected signature of a crash mid-append.
+var errTorn = fmt.Errorf("wal: torn record")
+
+// decodeFrame decodes the first record in buf, returning the record,
+// the remainder, and the framed size consumed. A partial frame or a
+// CRC mismatch yields errTorn; the caller decides whether that is a
+// tolerable tail (last segment) or fatal mid-log corruption.
+func decodeFrame(buf []byte) (record, []byte, int, error) {
+	if len(buf) < frameHeader {
+		return record{}, nil, 0, errTorn
+	}
+	payloadLen := binary.BigEndian.Uint32(buf)
+	crc := binary.BigEndian.Uint32(buf[4:])
+	if payloadLen < 9 || uint64(len(buf)-frameHeader) < uint64(payloadLen) {
+		return record{}, nil, 0, errTorn
+	}
+	payload := buf[frameHeader : frameHeader+int(payloadLen)]
+	if crc32.ChecksumIEEE(payload) != crc {
+		return record{}, nil, 0, errTorn
+	}
+	rec := record{
+		lsn:  binary.BigEndian.Uint64(payload),
+		typ:  payload[8],
+		body: payload[9:],
+	}
+	n := frameHeader + int(payloadLen)
+	return rec, buf[n:], n, nil
+}
+
+// encodeCreateBody builds a recCreate body.
+func encodeCreateBody(schema *catalog.Table) ([]byte, error) {
+	return storage.AppendSchema(nil, schema)
+}
+
+// decodeCreateBody parses a recCreate body.
+func decodeCreateBody(body []byte) (*catalog.Table, error) {
+	schema, rest, err := storage.DecodeSchema(body)
+	if err != nil {
+		return nil, err
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("wal: trailing bytes in create record")
+	}
+	return schema, nil
+}
+
+// encodeInsertBody builds a recInsert body.
+func encodeInsertBody(table string, rows []types.Row) []byte {
+	buf := binary.AppendUvarint(nil, uint64(len(table)))
+	buf = append(buf, table...)
+	return storage.AppendRows(buf, rows)
+}
+
+// decodeInsertBody parses a recInsert body.
+func decodeInsertBody(body []byte) (string, []types.Row, error) {
+	l, w := binary.Uvarint(body)
+	if w <= 0 || uint64(len(body)-w) < l {
+		return "", nil, fmt.Errorf("wal: bad insert record")
+	}
+	table := string(body[w : w+int(l)])
+	rows, rest, err := storage.DecodeRows(body[w+int(l):])
+	if err != nil {
+		return "", nil, err
+	}
+	if len(rest) != 0 {
+		return "", nil, fmt.Errorf("wal: trailing bytes in insert record")
+	}
+	return table, rows, nil
+}

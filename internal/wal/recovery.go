@@ -1,0 +1,241 @@
+// Recovery: Open rebuilds the store a crash (or clean shutdown) left
+// behind — load the latest checkpoint, replay the log tail, truncate a
+// torn final record — and returns a running Manager over a fresh
+// active segment.
+//
+// Replay tolerances are deliberate:
+//
+//   - A torn or CRC-failing record at the very end of the LAST segment
+//     is the expected signature of a crash mid-append: the record was
+//     never acknowledged, so it is truncated away and counted.
+//   - The same damage anywhere else — mid-segment, or in a segment with
+//     later segments after it — means the disk lost data it had synced.
+//     That is not recoverable by pretending; Open fails loudly.
+//   - Records at or below a table's checkpointed LSN are skipped (their
+//     effects are already in the snapshot); creates of tables that
+//     already exist are skipped the same way.
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"orthoq/internal/obs"
+	"orthoq/internal/sql/catalog"
+	"orthoq/internal/storage"
+)
+
+// RecoveryInfo describes what Open's recovery did.
+type RecoveryInfo struct {
+	// CheckpointLSN is the LSN of the loaded checkpoint (0 = none).
+	CheckpointLSN uint64
+	// ReplayedRecords and ReplayedBytes measure the applied log tail.
+	ReplayedRecords uint64
+	ReplayedBytes   uint64
+	// TornTailTruncated reports that a torn final record was discarded.
+	TornTailTruncated bool
+	// Duration is the recovery wall time.
+	Duration time.Duration
+}
+
+// Open recovers the data directory and returns a running Manager plus
+// the recovered store. The store has no journal attached yet — the
+// caller wires store.SetJournal(m) once any unlogged bootstrap
+// (e.g. TPC-H seeding of a fresh directory) is done.
+func Open(opts Options) (*Manager, *storage.Store, *RecoveryInfo, error) {
+	start := time.Now()
+	fs := opts.FS
+	if fs == nil {
+		fs = OSFS{}
+	}
+	met := opts.Metrics
+	if met == nil {
+		met = &obs.WALMetrics{}
+	}
+	policy := opts.Policy
+	if policy == "" {
+		policy = SyncInterval
+	}
+	interval := opts.Interval
+	if interval <= 0 {
+		interval = DefaultInterval
+	}
+
+	if err := fs.MkdirAll(opts.Dir); err != nil {
+		return nil, nil, nil, err
+	}
+	names, err := fs.ReadDir(opts.Dir)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	info := &RecoveryInfo{}
+
+	// A stray CHECKPOINT.tmp is a checkpoint that crashed before its
+	// commit rename; the log still covers everything it held.
+	hasCkpt := false
+	var segNames []string
+	for _, name := range names {
+		switch {
+		case name == ckptTmp:
+			if err := fs.Remove(filepath.Join(opts.Dir, ckptTmp)); err != nil {
+				return nil, nil, nil, err
+			}
+			if err := fs.SyncDir(opts.Dir); err != nil {
+				return nil, nil, nil, err
+			}
+		case name == ckptName:
+			hasCkpt = true
+		case strings.HasPrefix(name, "wal-") && strings.HasSuffix(name, ".log"):
+			segNames = append(segNames, name)
+		}
+	}
+	sort.Strings(segNames) // hex-padded first-LSN names: order = LSN order
+
+	var st *storage.Store
+	if hasCkpt {
+		st, info.CheckpointLSN, err = readCheckpoint(fs, opts.Dir)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+	} else {
+		st = storage.New(catalog.New())
+	}
+
+	// Replay the log tail over the checkpoint.
+	maxLSN := info.CheckpointLSN
+	var segPaths []string
+	var logBytes int64
+	for i, name := range segNames {
+		path := filepath.Join(opts.Dir, name)
+		segPaths = append(segPaths, path)
+		data, err := fs.ReadFile(path)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		logBytes += int64(len(data))
+		off := 0
+		rest := data
+		for len(rest) > 0 {
+			rec, next, n, err := decodeFrame(rest)
+			if err != nil {
+				if i != len(segNames)-1 {
+					return nil, nil, nil, fmt.Errorf("wal: corrupt record at %s+%d with later segments present", name, off)
+				}
+				// Torn tail of the final segment: the crash-interrupted,
+				// never-acknowledged write. Truncate it away.
+				if err := fs.Truncate(path, int64(off)); err != nil {
+					return nil, nil, nil, err
+				}
+				logBytes -= int64(len(rest))
+				info.TornTailTruncated = true
+				met.TornTruncations.Add(1)
+				break
+			}
+			if err := applyRecord(st, rec); err != nil {
+				return nil, nil, nil, fmt.Errorf("wal: replay %s+%d: %w", name, off, err)
+			}
+			if rec.lsn > maxLSN {
+				maxLSN = rec.lsn
+			}
+			info.ReplayedRecords++
+			info.ReplayedBytes += uint64(n)
+			off += n
+			rest = next
+		}
+	}
+
+	// Fresh active segment for the new epoch.
+	nextLSN := maxLSN + 1
+	seg := filepath.Join(opts.Dir, segName(nextLSN))
+	f, err := fs.Create(seg)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	if err := fs.SyncDir(opts.Dir); err != nil {
+		f.Close()
+		return nil, nil, nil, err
+	}
+
+	m := &Manager{
+		dir:        opts.Dir,
+		policy:     policy,
+		interval:   interval,
+		ckptBytes:  opts.CheckpointBytes,
+		fs:         fs,
+		met:        met,
+		store:      st,
+		f:          f,
+		segs:       append(segPaths, seg),
+		nextLSN:    nextLSN,
+		durableLSN: maxLSN,
+		syncedLSN:  maxLSN,
+		ckptC:      make(chan struct{}, 1),
+		quit:       make(chan struct{}),
+	}
+	m.lastAppended = maxLSN
+	m.logBytes = logBytes
+	m.cond = sync.NewCond(&m.mu)
+	if policy == SyncInterval {
+		m.wg.Add(1)
+		go m.flusher()
+	}
+	m.wg.Add(1)
+	go m.checkpointer()
+
+	info.Duration = time.Since(start)
+	met.ReplayRecords.Store(info.ReplayedRecords)
+	met.ReplayBytes.Store(info.ReplayedBytes)
+	met.ReplayDurationUS.Store(info.Duration.Microseconds())
+	return m, st, info, nil
+}
+
+// readCheckpoint parses and validates the CHECKPOINT file. Corruption
+// here is fatal: the checkpoint was fsynced before its commit rename,
+// so damage means the disk lost synced data.
+func readCheckpoint(fs FS, dir string) (*storage.Store, uint64, error) {
+	data, err := fs.ReadFile(filepath.Join(dir, ckptName))
+	if err != nil {
+		return nil, 0, err
+	}
+	if len(data) < len(ckptMagic)+8+4 || string(data[:len(ckptMagic)]) != ckptMagic {
+		return nil, 0, fmt.Errorf("wal: corrupt checkpoint: bad header")
+	}
+	body, trailer := data[:len(data)-4], data[len(data)-4:]
+	if crc32.ChecksumIEEE(body) != binary.BigEndian.Uint32(trailer) {
+		return nil, 0, fmt.Errorf("wal: corrupt checkpoint: checksum mismatch")
+	}
+	ckptLSN := binary.BigEndian.Uint64(body[len(ckptMagic):])
+	st, err := storage.ReadSnapshot(body[len(ckptMagic)+8:])
+	if err != nil {
+		return nil, 0, fmt.Errorf("wal: corrupt checkpoint: %w", err)
+	}
+	return st, ckptLSN, nil
+}
+
+// applyRecord re-applies one replayed record to the store.
+func applyRecord(st *storage.Store, rec record) error {
+	switch rec.typ {
+	case recCreate:
+		schema, err := decodeCreateBody(rec.body)
+		if err != nil {
+			return err
+		}
+		return st.ApplyCreateTable(schema, rec.lsn)
+	case recInsert:
+		table, rows, err := decodeInsertBody(rec.body)
+		if err != nil {
+			return err
+		}
+		return st.ApplyInsert(table, rows, rec.lsn)
+	case recEpoch:
+		return nil
+	default:
+		return fmt.Errorf("wal: unknown record type %d", rec.typ)
+	}
+}

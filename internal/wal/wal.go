@@ -1,0 +1,338 @@
+// Manager: the write-ahead-log writer and group-commit flusher. It
+// implements storage.Journal — the store calls LogInsert/LogCreateTable
+// under the mutating table's lock before publishing — and owns the
+// active log segment, the LSN counter, and the durability watermark.
+//
+// Sync policies trade write latency against the crash-loss window:
+//
+//   - SyncAlways: every record is fsynced before acknowledgement — no
+//     acknowledged write is ever lost, at one fsync per mutation.
+//   - SyncInterval: group commit. Writers append under the log lock and
+//     block until the flusher's next tick fsyncs the segment; one fsync
+//     acknowledges every writer that appended since the previous one.
+//     Same no-acked-loss guarantee, amortized fsync cost, bounded
+//     added latency (≤ the tick interval).
+//   - SyncOff: acknowledge immediately, never fsync the log on the
+//     write path. A crash loses the unsynced suffix — the embedded /
+//     benchmark setting.
+//
+// Error model: the manager is fail-stop. The first I/O error (or
+// injected crash) poisons it — every subsequent and in-flight append
+// returns the error, nothing further touches the disk, and the store
+// above keeps serving reads from memory. The operator restarts the
+// process and recovery re-establishes the durable state.
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"orthoq/internal/obs"
+	"orthoq/internal/sql/catalog"
+	"orthoq/internal/sql/types"
+	"orthoq/internal/storage"
+)
+
+// SyncPolicy selects when a log append is acknowledged.
+type SyncPolicy string
+
+// Sync policies.
+const (
+	SyncAlways   SyncPolicy = "always"
+	SyncInterval SyncPolicy = "interval"
+	SyncOff      SyncPolicy = "off"
+)
+
+// ParsePolicy validates a sync-policy string ("" = SyncInterval).
+func ParsePolicy(s string) (SyncPolicy, error) {
+	switch SyncPolicy(s) {
+	case "":
+		return SyncInterval, nil
+	case SyncAlways, SyncInterval, SyncOff:
+		return SyncPolicy(s), nil
+	default:
+		return "", fmt.Errorf("wal: unknown sync policy %q (want always, interval, or off)", s)
+	}
+}
+
+// ErrClosed is returned by appends after Close or Kill.
+var ErrClosed = errors.New("wal: closed")
+
+// DefaultInterval is the group-commit flusher tick.
+const DefaultInterval = 2 * time.Millisecond
+
+// Options configures Open.
+type Options struct {
+	// Dir is the data directory (created if missing).
+	Dir string
+	// Policy is the sync policy (default SyncInterval).
+	Policy SyncPolicy
+	// Interval is the group-commit tick (default DefaultInterval).
+	Interval time.Duration
+	// CheckpointBytes triggers a background checkpoint when the
+	// un-checkpointed log exceeds it (0 = manual checkpoints only).
+	CheckpointBytes int64
+	// FS is the filesystem seam (default OSFS).
+	FS FS
+	// Metrics receives durability counters (default: a private registry).
+	Metrics *obs.WALMetrics
+}
+
+// Manager is the write-ahead-log writer. Create one with Open, which
+// also runs recovery and returns the recovered store.
+type Manager struct {
+	dir       string
+	policy    SyncPolicy
+	interval  time.Duration
+	ckptBytes int64
+	fs        FS
+	met       *obs.WALMetrics
+	store     *storage.Store
+
+	mu   sync.Mutex
+	cond *sync.Cond
+	f    File
+	segs []string // all live segment paths, oldest first (last = active)
+
+	nextLSN      uint64 // LSN the next append will take
+	lastAppended uint64
+	durableLSN   uint64 // acknowledgement watermark (== syncedLSN except under SyncOff)
+	syncedLSN    uint64 // highest LSN actually fsynced
+	pending      int    // records appended since the last fsync
+	logBytes     int64
+	err          error // sticky fail-stop error
+
+	ckptMu sync.Mutex // serializes checkpoints
+	ckptC  chan struct{}
+	quit   chan struct{}
+	wg     sync.WaitGroup
+	once   sync.Once
+}
+
+// segName returns the file name of the segment whose first record will
+// carry firstLSN. Hex-padded so lexicographic order is LSN order.
+func segName(firstLSN uint64) string {
+	return fmt.Sprintf("wal-%016x.log", firstLSN)
+}
+
+// Store returns the store recovered (or created) by Open.
+func (m *Manager) Store() *storage.Store { return m.store }
+
+// Policy returns the manager's sync policy.
+func (m *Manager) Policy() SyncPolicy { return m.policy }
+
+// fail poisons the manager with err (first error wins) and wakes every
+// blocked writer. Callers must hold m.mu.
+func (m *Manager) fail(err error) error {
+	if m.err == nil {
+		m.err = err
+	}
+	m.cond.Broadcast()
+	return m.err
+}
+
+// append frames and writes one record, then waits for durability per
+// the sync policy. Returns the record's LSN.
+func (m *Manager) append(typ byte, body []byte) (uint64, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.err != nil {
+		return 0, m.err
+	}
+	lsn := m.nextLSN
+	frame := appendFrame(nil, lsn, typ, body)
+	if _, err := m.f.Write(frame); err != nil {
+		return 0, m.fail(err)
+	}
+	m.nextLSN++
+	m.lastAppended = lsn
+	m.pending++
+	m.logBytes += int64(len(frame))
+	m.met.Appends.Add(1)
+	m.met.Bytes.Add(uint64(len(frame)))
+
+	switch m.policy {
+	case SyncOff:
+		// Acknowledge without durability: syncedLSN stays behind so a
+		// later Sync/Close/checkpoint barrier still fsyncs the suffix.
+		m.durableLSN = lsn
+	case SyncAlways:
+		if err := m.f.Sync(); err != nil {
+			return 0, m.fail(err)
+		}
+		m.met.Fsyncs.Add(1)
+		m.durableLSN = lsn
+		m.syncedLSN = lsn
+		m.pending = 0
+	case SyncInterval:
+		for m.durableLSN < lsn && m.err == nil {
+			m.cond.Wait()
+		}
+		// Durability decides the outcome, not the poison flag: if the
+		// flusher made this record durable before a later failure, the
+		// write is acknowledged.
+		if m.durableLSN < lsn {
+			return 0, m.err
+		}
+	}
+	m.maybeTriggerCheckpointLocked()
+	return lsn, nil
+}
+
+// flushLocked fsyncs the active segment and acknowledges everything
+// appended so far. Callers must hold m.mu.
+func (m *Manager) flushLocked(group bool) error {
+	if m.err != nil {
+		return m.err
+	}
+	if m.syncedLSN >= m.lastAppended {
+		return nil
+	}
+	if err := m.f.Sync(); err != nil {
+		return m.fail(err)
+	}
+	m.met.Fsyncs.Add(1)
+	if group && m.pending > 0 {
+		m.met.GroupCommits.Add(1)
+		m.met.GroupCommitRecords.Add(uint64(m.pending))
+	}
+	m.durableLSN = m.lastAppended
+	m.syncedLSN = m.lastAppended
+	m.pending = 0
+	m.cond.Broadcast()
+	return nil
+}
+
+// flusher is the group-commit goroutine (SyncInterval only): each tick
+// it fsyncs once and acknowledges the whole waiting batch.
+func (m *Manager) flusher() {
+	defer m.wg.Done()
+	t := time.NewTicker(m.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-m.quit:
+			// Final flush so no writer stays blocked across shutdown.
+			// (Kill poisons the manager before signalling quit, which
+			// makes this a no-op there — unsynced data must stay lost.)
+			m.mu.Lock()
+			_ = m.flushLocked(true)
+			m.mu.Unlock()
+			return
+		case <-t.C:
+			m.mu.Lock()
+			_ = m.flushLocked(true)
+			m.mu.Unlock()
+		}
+	}
+}
+
+// checkpointer runs background checkpoints when the log-size trigger
+// fires.
+func (m *Manager) checkpointer() {
+	defer m.wg.Done()
+	for {
+		select {
+		case <-m.quit:
+			return
+		case <-m.ckptC:
+			_ = m.Checkpoint()
+		}
+	}
+}
+
+// maybeTriggerCheckpointLocked nudges the checkpointer when the
+// un-checkpointed log has outgrown the threshold. Non-blocking: a
+// checkpoint already in flight absorbs the trigger.
+func (m *Manager) maybeTriggerCheckpointLocked() {
+	if m.ckptBytes <= 0 || m.logBytes < m.ckptBytes {
+		return
+	}
+	select {
+	case m.ckptC <- struct{}{}:
+	default:
+	}
+}
+
+// LogCreateTable implements storage.Journal.
+func (m *Manager) LogCreateTable(schema *catalog.Table) (uint64, error) {
+	body, err := encodeCreateBody(schema)
+	if err != nil {
+		return 0, err
+	}
+	return m.append(recCreate, body)
+}
+
+// LogInsert implements storage.Journal.
+func (m *Manager) LogInsert(table string, rows []types.Row) (uint64, error) {
+	return m.append(recInsert, encodeInsertBody(table, rows))
+}
+
+// LogEpoch records an Analyze stats-epoch bump. The record is
+// informational — recovery re-runs Analyze unconditionally — but it
+// keeps the log a complete mutation history.
+func (m *Manager) LogEpoch() (uint64, error) {
+	return m.append(recEpoch, nil)
+}
+
+// Sync forces an fsync of the active segment, acknowledging all
+// appended records (a manual barrier for SyncOff / graceful shutdown).
+func (m *Manager) Sync() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.flushLocked(false)
+}
+
+// stop halts the background goroutines exactly once.
+func (m *Manager) stop() {
+	m.once.Do(func() {
+		close(m.quit)
+	})
+	m.wg.Wait()
+}
+
+// Close shuts the log down gracefully: a final fsync acknowledges
+// every appended record, background goroutines stop, and the segment
+// is closed. Appends after Close fail with ErrClosed.
+func (m *Manager) Close() error {
+	m.mu.Lock()
+	err := m.flushLocked(false)
+	if m.err == nil {
+		m.err = ErrClosed
+	}
+	m.cond.Broadcast()
+	m.mu.Unlock()
+	m.stop()
+	m.mu.Lock()
+	if m.f != nil {
+		m.f.Close()
+		m.f = nil
+	}
+	m.mu.Unlock()
+	if err != nil && !errors.Is(err, ErrClosed) {
+		return err
+	}
+	return nil
+}
+
+// Kill abandons the log without flushing or checkpointing — the
+// in-process stand-in for kill -9, used by crash tests and the
+// recovery benchmark. The manager is poisoned before the goroutines
+// are stopped, so neither the flusher's shutdown flush nor an
+// in-flight checkpoint can make unsynced data durable; the next Open
+// must replay the log to recover.
+func (m *Manager) Kill() {
+	m.mu.Lock()
+	if m.err == nil {
+		m.err = ErrClosed
+	}
+	m.cond.Broadcast()
+	if m.f != nil {
+		m.f.Close()
+		m.f = nil
+	}
+	m.mu.Unlock()
+	m.stop()
+}

@@ -46,6 +46,7 @@ import (
 	"orthoq/internal/stats"
 	"orthoq/internal/storage"
 	"orthoq/internal/tpch"
+	"orthoq/internal/wal"
 )
 
 // Typed execution errors, re-exported from the engine. Classify
@@ -388,6 +389,11 @@ type DB struct {
 	// execution path folds into it with a few atomic adds. Snapshot via
 	// Metrics().
 	metrics obs.Metrics
+	// wal and walMetrics are set by OpenDurable: the write-ahead-log
+	// manager journaling every mutation, and its durability counters.
+	// Both nil for in-memory handles.
+	wal        *wal.Manager
+	walMetrics *obs.WALMetrics
 	// logMu serializes query-log writes: one lock per handle covers
 	// every Config.QueryLog writer, so interleaved runs with different
 	// writers still produce intact lines even when those writers alias
@@ -453,6 +459,10 @@ func (db *DB) Metrics() MetricsSnapshot {
 			Entries:       rs.Entries,
 			Bytes:         rs.Bytes,
 		}
+	}
+	if db.walMetrics != nil {
+		ws := db.walMetrics.Snapshot()
+		s.WAL = &ws
 	}
 	return s
 }
@@ -544,6 +554,12 @@ func (db *DB) Analyze() {
 	db.analyzedRows.Store(totalRows(sc, db.store))
 	db.drift.Store(0)
 	db.epoch.Add(1)
+	// Journal the epoch bump so the log stays a complete mutation
+	// history (recovery re-runs Analyze regardless; a dead log only
+	// costs the informational record).
+	if db.wal != nil {
+		_, _ = db.wal.LogEpoch()
+	}
 	// BuildIndexes republished every table with fresh version IDs, so
 	// the entire result cache just became unreachable; reclaim it now.
 	db.purgeResultCache()

@@ -63,6 +63,16 @@ go run ./cmd/orthoq-bench -exp resultcache -sf 0.002 -sessions 8 -ops 5 -json > 
 # counted, errors are not).
 go run ./cmd/orthoq-bench -exp concurrency -sf 0.002 -sessions 32 -ops 5 -json > /dev/null
 
+# Recovery leg: the WAL crash matrix (fault-injected crashes mid-append,
+# mid-fsync, mid-checkpoint-rename; torn tails; CRC corruption; the
+# concurrent group-commit kill) under -race, the durable end-to-end
+# cycle/kill/TPC-H-equality tests, and the readiness gate. Then the
+# real thing: build orthoq-server, write over the wire, kill -9, and
+# verify every acknowledged write survives the restart.
+go test -race ./internal/wal
+go test -run 'TestDurable|TestNotDurable|TestReadiness|TestDrain' -race . ./internal/server
+go test -run TestKill9RestartSmoke -race ./cmd/orthoq-server
+
 # Full suite under -race. Run separately from coverage: the root and
 # bench packages execute the whole TPC-H property corpus, and stacking
 # cross-package coverage instrumentation on top of the race detector
