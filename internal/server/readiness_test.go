@@ -45,6 +45,12 @@ func TestReadinessGateDuringOpen(t *testing.T) {
 	if srv.DB() != nil {
 		t.Error("DB() non-nil while still opening")
 	}
+	// Metrics is exported API reachable before the open completes; it
+	// must serve the server-mode section without touching the absent
+	// engine.
+	if m := srv.Metrics(); m.Server == nil {
+		t.Error("Metrics() while opening lacks the server section")
+	}
 
 	close(release)
 	if err := srv.WaitReady(); err != nil {
@@ -83,6 +89,9 @@ func TestReadinessOpenFailure(t *testing.T) {
 	}
 	if srv.DB() != nil {
 		t.Error("DB() non-nil after failed open")
+	}
+	if m := srv.Metrics(); m.Server == nil {
+		t.Error("Metrics() after failed open lacks the server section")
 	}
 }
 

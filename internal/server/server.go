@@ -205,9 +205,14 @@ func (s *Server) DB() *orthoq.DB {
 }
 
 // Metrics snapshots the engine counters with the server-mode section
-// filled in.
+// filled in. While a NewOpening server is still opening (or after its
+// open failed) the engine section is zero and only the server-mode
+// counters are live.
 func (s *Server) Metrics() orthoq.MetricsSnapshot {
-	m := s.db.Metrics()
+	var m orthoq.MetricsSnapshot
+	if db := s.DB(); db != nil {
+		m = db.Metrics()
+	}
 	sn := s.sm.Snapshot()
 	m.Server = &sn
 	return m

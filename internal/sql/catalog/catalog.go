@@ -135,6 +135,26 @@ func (c *Catalog) Add(t *Table) error {
 	return nil
 }
 
+// Remove unregisters a table by case-insensitive name; removing an
+// absent table is a no-op. Storage uses it to roll back a registration
+// whose write-ahead-log append failed, so the catalog never advertises
+// a table that was neither published nor logged.
+func (c *Catalog) Remove(name string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	key := strings.ToLower(name)
+	if _, ok := c.tables[key]; !ok {
+		return
+	}
+	delete(c.tables, key)
+	for i, n := range c.order {
+		if n == key {
+			c.order = append(c.order[:i], c.order[i+1:]...)
+			break
+		}
+	}
+}
+
 // Table looks up a table by case-insensitive name.
 func (c *Catalog) Table(name string) (*Table, bool) {
 	c.mu.RLock()

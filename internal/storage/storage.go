@@ -443,6 +443,10 @@ func (s *Store) CreateTable(schema *catalog.Table) (*Table, error) {
 	if j := s.journal(); j != nil {
 		var err error
 		if lsn, err = j.LogCreateTable(schema); err != nil {
+			// Roll back the registration: no Table was published and no
+			// record was logged, so a catalog entry would be a phantom —
+			// lookups miss it, yet a retry fails with "already exists".
+			s.Catalog.Remove(schema.Name)
 			return nil, err
 		}
 	}

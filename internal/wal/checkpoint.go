@@ -132,10 +132,22 @@ func (m *Manager) rotateLocked() (uint64, []string, error) {
 	if err := m.flushLocked(true); err != nil {
 		return 0, nil, err
 	}
+	seg := filepath.Join(m.dir, segName(m.nextLSN))
+	if active := m.segs[len(m.segs)-1]; seg == active {
+		// Nothing was appended since the active segment was created
+		// (e.g. two back-to-back checkpoints), so the rotation would
+		// recreate it under the same name — Create would truncate the
+		// live segment and the post-commit delete would unlink it.
+		// Keep it active; rotate out only the older segments, which
+		// the checkpoint fully covers.
+		old := m.segs[:len(m.segs)-1]
+		m.segs = []string{active}
+		m.logBytes = 0
+		return ckptLSN, old, nil
+	}
 	if m.f != nil {
 		m.f.Close()
 	}
-	seg := filepath.Join(m.dir, segName(m.nextLSN))
 	f, err := m.fs.Create(seg)
 	if err != nil {
 		return 0, nil, m.fail(err)

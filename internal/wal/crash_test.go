@@ -607,6 +607,139 @@ func TestEpochRecordReplay(t *testing.T) {
 	}
 }
 
+// Back-to-back checkpoints with no appends in between: the rotation
+// would recreate the active segment under its own name, so the
+// post-commit delete must not unlink the live segment. Writes
+// acknowledged after the second checkpoint have to survive a crash,
+// and a third checkpoint has to succeed (no ENOENT poison).
+func TestBackToBackCheckpointsKeepActiveSegment(t *testing.T) {
+	ffs := NewFaultFS(nil)
+	m, st, _ := openFF(t, ffs, SyncAlways)
+	tbl := mustCreate(t, st, "t")
+	if err := tbl.InsertAll(batchRows(1, 3)); err != nil {
+		t.Fatalf("InsertAll batch 1: %v", err)
+	}
+	if err := m.Checkpoint(); err != nil {
+		t.Fatalf("Checkpoint 1: %v", err)
+	}
+	if err := m.Checkpoint(); err != nil {
+		t.Fatalf("Checkpoint 2 (no intervening appends): %v", err)
+	}
+	if err := tbl.InsertAll(batchRows(2, 3)); err != nil {
+		t.Fatalf("InsertAll batch 2: %v", err)
+	}
+	if err := m.Checkpoint(); err != nil {
+		t.Fatalf("Checkpoint 3 after back-to-back pair: %v", err)
+	}
+	if err := tbl.InsertAll(batchRows(3, 3)); err != nil {
+		t.Fatalf("InsertAll batch 3: %v", err)
+	}
+	ffs.Crash()
+	m.Kill()
+
+	_, st2, _ := openFF(t, ffs.Reboot(), SyncAlways)
+	counts := batchCounts(t, st2, "t")
+	for b := int64(1); b <= 3; b++ {
+		if counts[b] != 3 {
+			t.Errorf("acked batch %d has %d rows after recovery, want 3", b, counts[b])
+		}
+	}
+}
+
+// A CRC flip in the MIDDLE of the final segment — with valid, synced
+// records after it — is disk corruption, not a torn tail. Truncating
+// there would silently discard acknowledged data; Open must refuse.
+func TestMidSegmentCorruptionFinalSegmentFatal(t *testing.T) {
+	ffs := NewFaultFS(nil)
+	m, st, _ := openFF(t, ffs, SyncAlways)
+	tbl := mustCreate(t, st, "t")
+	if err := tbl.InsertAll(batchRows(1, 3)); err != nil {
+		t.Fatalf("InsertAll batch 1: %v", err)
+	}
+	if err := tbl.InsertAll(batchRows(2, 3)); err != nil {
+		t.Fatalf("InsertAll batch 2: %v", err)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	ffs2 := ffs.Reboot()
+	// Flip a payload byte of the FIRST record (offset 8 is the LSN's
+	// high byte, past the length+CRC header): its CRC fails while the
+	// records after it stay valid.
+	corruptByte(t, ffs2, lastSegment(t, ffs2), frameHeader)
+	_, _, _, err := Open(Options{Dir: testDir, Policy: SyncAlways, FS: ffs2})
+	if err == nil || !strings.Contains(err.Error(), "valid records after it") {
+		t.Fatalf("mid-segment corruption: err = %v, want valid-records-after failure", err)
+	}
+}
+
+// A crash right after a checkpoint leaves a committed checkpoint plus a
+// record-free rotated segment whose name recovery's fresh active
+// segment reuses. Recovery must not track the path twice: the next
+// checkpoint has to succeed instead of poisoning on a double Remove.
+func TestRecoverEmptySegmentNameCollision(t *testing.T) {
+	ffs := NewFaultFS(nil)
+	m, st, _ := openFF(t, ffs, SyncAlways)
+	tbl := mustCreate(t, st, "t")
+	if err := tbl.InsertAll(batchRows(1, 3)); err != nil {
+		t.Fatalf("InsertAll batch 1: %v", err)
+	}
+	if err := m.Checkpoint(); err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+	ffs.Crash()
+	m.Kill()
+
+	ffs2 := ffs.Reboot()
+	m2, st2, info := openFF(t, ffs2, SyncAlways)
+	if info.CheckpointLSN == 0 {
+		t.Fatal("committed checkpoint not loaded")
+	}
+	tbl2, ok := st2.Table("t")
+	if !ok {
+		t.Fatal("table missing after recovery")
+	}
+	if err := tbl2.InsertAll(batchRows(2, 3)); err != nil {
+		t.Fatalf("InsertAll batch 2: %v", err)
+	}
+	if err := m2.Checkpoint(); err != nil {
+		t.Fatalf("Checkpoint after empty-segment recovery: %v", err)
+	}
+	if err := tbl2.InsertAll(batchRows(3, 3)); err != nil {
+		t.Fatalf("InsertAll batch 3: %v", err)
+	}
+	if err := m2.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	_, st3, _ := openFF(t, ffs2.Reboot(), SyncAlways)
+	counts := batchCounts(t, st3, "t")
+	for b := int64(1); b <= 3; b++ {
+		if counts[b] != 3 {
+			t.Errorf("batch %d has %d rows after second recovery, want 3", b, counts[b])
+		}
+	}
+}
+
+// A failed journal append during CreateTable rolls the catalog entry
+// back: no phantom table that lookups miss but re-creation trips over.
+func TestCreateTableJournalFailureRollsBackCatalog(t *testing.T) {
+	inj := &Injector{}
+	inj.Arm(Rule{Op: OpWrite, Path: "wal-", Kind: KindError})
+	ffs := NewFaultFS(inj)
+	m, st, _ := openFF(t, ffs, SyncAlways)
+	if _, err := st.CreateTable(testSchema("t")); err == nil {
+		t.Fatal("CreateTable with failing journal append succeeded")
+	}
+	if _, ok := st.Catalog.Table("t"); ok {
+		t.Error("catalog kept a phantom entry for the unlogged table")
+	}
+	if _, ok := st.Table("t"); ok {
+		t.Error("table published despite failed journal append")
+	}
+	m.Kill()
+}
+
 // lastSegment returns the path of the newest non-empty log segment.
 func lastSegment(t *testing.T, ffs *FaultFS) string {
 	t.Helper()
@@ -646,11 +779,21 @@ func pickSegment(t *testing.T, ffs *FaultFS, last bool) string {
 // FS interface, so the change is durable).
 func corruptLastByte(t *testing.T, ffs *FaultFS, path string) {
 	t.Helper()
+	corruptByte(t, ffs, path, -1)
+}
+
+// corruptByte flips the byte at idx of path in place (idx -1 = the
+// final byte), through the FS interface so the change is durable.
+func corruptByte(t *testing.T, ffs *FaultFS, path string, idx int) {
+	t.Helper()
 	data, err := ffs.ReadFile(path)
 	if err != nil || len(data) == 0 {
 		t.Fatalf("ReadFile(%s): %v (len %d)", path, err, len(data))
 	}
-	data[len(data)-1] ^= 0xff
+	if idx < 0 {
+		idx = len(data) - 1
+	}
+	data[idx] ^= 0xff
 	f, err := ffs.Create(path)
 	if err != nil {
 		t.Fatalf("Create(%s): %v", path, err)

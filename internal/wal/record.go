@@ -93,6 +93,20 @@ func decodeFrame(buf []byte) (record, []byte, int, error) {
 	return rec, buf[n:], n, nil
 }
 
+// hasFrameAfter reports whether any offset past the first byte of buf
+// decodes as a valid frame. buf starts at a frame that failed to
+// decode; a valid frame after it means the damage is mid-log
+// corruption (the disk lost synced bytes with synced data after them),
+// not the torn tail of a crash-interrupted final append.
+func hasFrameAfter(buf []byte) bool {
+	for i := 1; i+frameHeader <= len(buf); i++ {
+		if _, _, _, err := decodeFrame(buf[i:]); err == nil {
+			return true
+		}
+	}
+	return false
+}
+
 // encodeCreateBody builds a recCreate body.
 func encodeCreateBody(schema *catalog.Table) ([]byte, error) {
 	return storage.AppendSchema(nil, schema)

@@ -127,6 +127,12 @@ func Open(opts Options) (*Manager, *storage.Store, *RecoveryInfo, error) {
 				if i != len(segNames)-1 {
 					return nil, nil, nil, fmt.Errorf("wal: corrupt record at %s+%d with later segments present", name, off)
 				}
+				if hasFrameAfter(rest) {
+					// Valid, synced records follow the damage in the same
+					// segment: a mid-segment CRC flip, not a torn tail.
+					// Truncating would silently discard acknowledged data.
+					return nil, nil, nil, fmt.Errorf("wal: corrupt record at %s+%d with valid records after it", name, off)
+				}
 				// Torn tail of the final segment: the crash-interrupted,
 				// never-acknowledged write. Truncate it away.
 				if err := fs.Truncate(path, int64(off)); err != nil {
@@ -150,9 +156,22 @@ func Open(opts Options) (*Manager, *storage.Store, *RecoveryInfo, error) {
 		}
 	}
 
-	// Fresh active segment for the new epoch.
+	// Fresh active segment for the new epoch. Its name can collide with
+	// an existing record-free final segment (one created by a rotation
+	// that crashed before any append, or whose only record was torn and
+	// truncated away): Create truncates it harmlessly — any surviving
+	// record in it would have raised maxLSN — but the stale path must
+	// not be tracked twice, or the next checkpoint would Remove it
+	// twice and poison the manager on the second ENOENT.
 	nextLSN := maxLSN + 1
 	seg := filepath.Join(opts.Dir, segName(nextLSN))
+	keep := segPaths[:0]
+	for _, p := range segPaths {
+		if p != seg {
+			keep = append(keep, p)
+		}
+	}
+	segPaths = keep
 	f, err := fs.Create(seg)
 	if err != nil {
 		return nil, nil, nil, err
