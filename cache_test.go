@@ -664,3 +664,88 @@ func TestStmtReusableAfterFailure(t *testing.T) {
 		t.Fatal("budgeted prepared run returned wrong rows")
 	}
 }
+
+// TestCacheOrderStrategySeparation: the order knobs are plan identity —
+// the same SQL under different join/agg strategies or with sort
+// elimination off occupies distinct cache slots, each with its own
+// hit stream.
+func TestCacheOrderStrategySeparation(t *testing.T) {
+	db, err := OpenTPCH(0.001, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const q = `select o_orderkey, l_linenumber from orders join lineitem on l_orderkey = o_orderkey
+	           order by o_orderkey, l_linenumber`
+	base := DefaultConfig()
+	merge := base
+	merge.JoinStrategy = "merge"
+	noelim := base
+	noelim.DisableSortElim = true
+	for _, cfg := range []Config{base, merge, noelim} {
+		r, err := db.QueryCfg(q, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Cache != "miss" {
+			t.Fatalf("first run under %q cache = %q, want miss (plan aliased across order knobs)",
+				cfg.planKey(), r.Cache)
+		}
+	}
+	for _, cfg := range []Config{base, merge, noelim} {
+		r, err := db.QueryCfg(q, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Cache != "hit" {
+			t.Fatalf("second run under %q cache = %q, want hit", cfg.planKey(), r.Cache)
+		}
+	}
+}
+
+// TestCacheStaleOrderedIndexStillSorted: a cached sort-elided plan runs
+// against a table whose ordered index is stale (rows inserted, no
+// Analyze). The executor must detect the staleness and fall back to an
+// explicit sort, so the result — including the fresh rows — is still
+// in ORDER BY order.
+func TestCacheStaleOrderedIndexStillSorted(t *testing.T) {
+	db, err := OpenTPCH(0.001, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const q = `select o_orderkey from orders order by o_orderkey desc`
+	r, err := db.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(r.Plan, "Sort") {
+		t.Fatalf("expected sort-elided plan:\n%s", r.Plan)
+	}
+	before := len(r.Data)
+
+	// A key far above the generated range, inserted without Analyze:
+	// the ordered index no longer covers the table version.
+	fresh := Row{types.NewInt(9_999_999), types.NewInt(1), types.NewString("O"),
+		types.NewFloat(1.0), types.NewDate(9500), types.NewString("1-URGENT"),
+		types.NewString("clerk"), types.NewInt(0), types.NewString("late row")}
+	if err := db.Insert("orders", fresh); err != nil {
+		t.Fatal(err)
+	}
+	r2, err := db.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Cache != "hit" {
+		t.Fatalf("post-insert run cache = %q, want hit (one row is below the drift threshold)", r2.Cache)
+	}
+	if len(r2.Data) != before+1 {
+		t.Fatalf("rows = %d, want %d", len(r2.Data), before+1)
+	}
+	if got := r2.Data[0][0].Int(); got != 9_999_999 {
+		t.Fatalf("first row (desc) = %d, want the fresh max key (stale ordered scan not detected?)", got)
+	}
+	for i := 1; i < len(r2.Data); i++ {
+		if r2.Data[i-1][0].Int() < r2.Data[i][0].Int() {
+			t.Fatalf("row %d out of order: %d < %d", i, r2.Data[i-1][0].Int(), r2.Data[i][0].Int())
+		}
+	}
+}

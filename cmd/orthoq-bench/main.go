@@ -29,7 +29,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: figure1|figure8|figure9|ablation|parallel|cache|batch|spill|obs|apply|concurrency|resultcache|recovery|all")
+	exp := flag.String("exp", "all", "experiment: figure1|figure8|figure9|ablation|parallel|cache|batch|spill|obs|apply|order|concurrency|resultcache|recovery|all")
 	sf := flag.Float64("sf", 0.01, "TPC-H scale factor for figure1/figure8/ablation/parallel/batch")
 	sfList := flag.String("sfs", "0.002,0.005,0.01,0.02", "comma-separated scale factors for figure9")
 	seed := flag.Int64("seed", 1, "data generator seed")
@@ -101,6 +101,7 @@ func main() {
 	run("spill", func() error { return bench.RunSpill(os.Stdout, openDB(), *reps, *jsonOut) })
 	run("obs", func() error { return bench.RunObs(os.Stdout, openDB(), *reps, *jsonOut) })
 	run("apply", func() error { return bench.RunApply(os.Stdout, openDB(), *reps, *jsonOut) })
+	run("order", func() error { return bench.RunOrder(os.Stdout, *sf, *seed, *reps, *jsonOut, *artifacts) })
 	if *exp == "concurrency" {
 		// Not part of -exp all: it builds its own DB plus an in-process
 		// HTTP server, which would distort the timing experiments.
@@ -130,7 +131,7 @@ func main() {
 	}
 
 	if !ran {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q (want figure1|figure8|figure9|ablation|parallel|cache|batch|spill|obs|apply|concurrency|resultcache|recovery|all)\n", *exp)
+		fmt.Fprintf(os.Stderr, "unknown experiment %q (want figure1|figure8|figure9|ablation|parallel|cache|batch|spill|obs|apply|order|concurrency|resultcache|recovery|all)\n", *exp)
 		os.Exit(2)
 	}
 

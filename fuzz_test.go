@@ -32,7 +32,7 @@ func randQuery(r *rand.Rand) string {
 		innerFilter = " and o_orderstatus = 'O'"
 	}
 
-	switch r.Intn(6) {
+	switch r.Intn(9) {
 	case 0: // scalar-aggregate subquery in WHERE
 		return fmt.Sprintf(`
 			select c_custkey from customer
@@ -69,13 +69,44 @@ func randQuery(r *rand.Rand) string {
 			select c_custkey from customer
 			where c_acctbal %s %s (select o_totalprice / 100.0 from orders where o_custkey = c_custkey)`,
 			cmps[r.Intn(len(cmps))], q)
-	default: // nested: aggregate over a semijoin-reduced set
+	case 5: // nested: aggregate over a semijoin-reduced set
 		return fmt.Sprintf(`
 			select o_custkey, %s as v from orders
 			where exists (select l_orderkey from lineitem where l_orderkey = o_orderkey%s)
 			group by o_custkey`,
 			aggs[r.Intn(len(aggs))],
 			map[bool]string{true: " and l_quantity > 5", false: ""}[r.Intn(2) == 0])
+	case 6: // ORDER BY on an indexed unique key (sort-elidable), maybe LIMIT
+		dir := []string{"", " desc"}[r.Intn(2)]
+		limit := []string{"", " limit 7", " limit 40"}[r.Intn(3)]
+		return fmt.Sprintf(`
+			select o_orderkey, o_totalprice from orders
+			where o_totalprice > %s
+			order by o_orderkey%s%s`,
+			threshold[r.Intn(len(threshold))], dir, limit)
+	case 7: // ORDER BY on a duplicate-heavy, NULL-bearing subquery value.
+		// The unique c_custkey tiebreaker makes the total order
+		// well-defined, so LIMIT selects the same rows on every plan.
+		dir := []string{"", " desc"}[r.Intn(2)]
+		limit := []string{"", " limit 11"}[r.Intn(2)]
+		return fmt.Sprintf(`
+			select c_custkey,
+				(select %s from orders where o_custkey = c_custkey%s) as v
+			from customer
+			order by v%s, c_custkey%s`,
+			aggs[r.Intn(len(aggs))], innerFilter, dir, limit)
+	default: // GROUP BY on a sorted index prefix (stream-agg-elidable)
+		ob := []string{"", " order by l_orderkey", " order by l_orderkey desc"}[r.Intn(3)]
+		limit := ""
+		if ob != "" && r.Intn(2) == 0 {
+			limit = " limit 13"
+		}
+		return fmt.Sprintf(`
+			select l_orderkey, sum(l_quantity) as q, count(*) as n
+			from lineitem%s
+			group by l_orderkey%s%s`,
+			map[bool]string{true: " where l_partkey > 50", false: ""}[r.Intn(2) == 0],
+			ob, limit)
 	}
 }
 

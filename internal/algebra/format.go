@@ -25,6 +25,19 @@ func formatRel(md *Metadata, r Rel, depth int, b *strings.Builder) {
 	switch t := r.(type) {
 	case *Get:
 		fmt.Fprintf(b, "Get %s", t.Table)
+		if len(t.Order) > 0 {
+			b.WriteString(" order=[")
+			for i, o := range t.Order {
+				if i > 0 {
+					b.WriteString(", ")
+				}
+				b.WriteString(md.QualifiedAlias(o.Col))
+				if o.Desc {
+					b.WriteString(" desc")
+				}
+			}
+			b.WriteString("]")
+		}
 	case *Select:
 		fmt.Fprintf(b, "Select [%s]", FormatScalar(md, t.Filter))
 	case *Project:

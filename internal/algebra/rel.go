@@ -60,6 +60,13 @@ type Get struct {
 	// KeyCols is the primary key of the table, as column IDs. Key
 	// inference (identities (7)-(9) require keys) starts here.
 	KeyCols ColSet
+	// Order, when non-empty, is a physical property requirement: the
+	// scan must deliver rows in this order. The optimizer sets it when
+	// an ordered index makes the order free, letting downstream Sorts
+	// be elided and merge-style operators stream; the executor honors
+	// it via an ordered index scan (or an explicit sort fallback when
+	// the index is stale). Empty means no ordering requirement.
+	Order []Ordering
 }
 
 // Select filters Input by Filter (relational selection σ).

@@ -151,6 +151,24 @@ func compileNode(ctx *Context, rel algebra.Rel) (*node, error) {
 		for _, a := range t.Aggs {
 			cols = append(cols, a.Col)
 		}
+		useStream := false
+		switch ctx.ForceAgg {
+		case "stream":
+			useStream = true
+		case "hash":
+		default:
+			useStream = !ctx.DisableOrderOpt && StreamAggApplicable(t)
+		}
+		if useStream {
+			if !StreamAggApplicable(t) {
+				// Forced streaming over ungrouped input: sort by the
+				// group columns first (the correctness net).
+				in = sortWrapNode(ctx, in, t.GroupCols.Ordered(), t)
+			}
+			agg := iterator(&streamAggIter{ctx: ctx, in: in, gb: t, cols: cols,
+				st: ctx.traceStats(t)})
+			return newNode(maybeCacheSub(ctx, t, agg), cols), nil
+		}
 		hint := estimateGroups(ctx, t, estimateRows(ctx, t.Input))
 		agg := iterator(&hashAggIter{ctx: ctx, in: in, gb: t, cols: cols,
 			sizeHint: hint, st: ctx.traceStats(t)})
@@ -194,7 +212,7 @@ func compileNode(ctx *Context, rel algebra.Rel) (*node, error) {
 		if err != nil {
 			return nil, err
 		}
-		return newNode(&topIter{in: in, n: t.N}, in.cols), nil
+		return newNode(&topIter{in: in, n: t.N, st: ctx.traceStats(t)}, in.cols), nil
 
 	case *algebra.RowNumber:
 		in, err := compile(ctx, t.Input)

@@ -76,6 +76,22 @@ type Context struct {
 	// SpillDir is where spill partition files are created ("" = the
 	// system temp directory).
 	SpillDir string
+	// ForceJoin overrides physical join selection for every equi-join in
+	// the plan: "merge" forces merge join (sorting unordered inputs at
+	// Open), "hash" forces hash join even over sorted inputs. "" (or
+	// "auto") streams a merge join when both input orders already cover
+	// the keys and hashes otherwise.
+	ForceJoin string
+	// ForceAgg overrides physical aggregation selection: "stream" forces
+	// sorted-input streaming aggregation (sorting the input first when
+	// it is not already grouped), "hash" forces hash aggregation. "" (or
+	// "auto") streams when the input order makes groups contiguous.
+	ForceAgg string
+	// DisableOrderOpt turns off order-based physical selection in the
+	// executor: ordered index scans for Get.Order fall back to
+	// scan+sort, and auto-detected merge joins / streaming aggregations
+	// revert to their hash forms. Forced modes still apply.
+	DisableOrderOpt bool
 	// ApplyStrategy overrides the binding-batch Apply strategy selector:
 	// "sequential", "batched", or "parallel" force that mode for every
 	// Apply in the plan; "" (or "auto") picks per Apply from estimated
@@ -227,26 +243,29 @@ func (c *Context) workerClone() *Context {
 		wt = make(map[algebra.Rel]*OpStats)
 	}
 	return &Context{
-		Store:         c.Store,
-		Md:            c.Md,
-		Stats:         c.Stats,
-		RowBudget:     c.RowBudget,
-		Params:        c.Params,
-		DisableBatch:  c.DisableBatch,
-		Ctx:           c.Ctx,
-		MemBudget:     c.MemBudget,
-		DisableSpill:  c.DisableSpill,
-		SpillDir:      c.SpillDir,
-		ApplyStrategy: c.ApplyStrategy,
-		Faults:        c.Faults,
-		Fingerprint:   c.Fingerprint,
-		Snap:          c.Snap,
-		shared:        c.shared,
-		params:        make(eval.MapEnv),
-		segments:      make(map[*algebra.SegmentApply]*segmentBinding),
-		ev:            &eval.Evaluator{Params: c.Params},
-		trace:         wt,
-		isWorker:      true,
+		Store:           c.Store,
+		Md:              c.Md,
+		Stats:           c.Stats,
+		RowBudget:       c.RowBudget,
+		Params:          c.Params,
+		DisableBatch:    c.DisableBatch,
+		Ctx:             c.Ctx,
+		MemBudget:       c.MemBudget,
+		DisableSpill:    c.DisableSpill,
+		SpillDir:        c.SpillDir,
+		ForceJoin:       c.ForceJoin,
+		ForceAgg:        c.ForceAgg,
+		DisableOrderOpt: c.DisableOrderOpt,
+		ApplyStrategy:   c.ApplyStrategy,
+		Faults:          c.Faults,
+		Fingerprint:     c.Fingerprint,
+		Snap:            c.Snap,
+		shared:          c.shared,
+		params:          make(eval.MapEnv),
+		segments:        make(map[*algebra.SegmentApply]*segmentBinding),
+		ev:              &eval.Evaluator{Params: c.Params},
+		trace:           wt,
+		isWorker:        true,
 	}
 }
 

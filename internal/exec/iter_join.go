@@ -25,6 +25,9 @@ func compileJoin(ctx *Context, j *algebra.Join) (*node, error) {
 	lKeys, rKeys, residual := SplitJoinKeys(j.On,
 		algebra.NewColSet(left.cols...), algebra.NewColSet(right.cols...))
 	if len(lKeys) > 0 {
+		if n, ok := maybeMergeJoin(ctx, j, left, right, lKeys, rKeys, residual); ok {
+			return n, nil
+		}
 		lOrds := make([]int, len(lKeys))
 		rOrds := make([]int, len(rKeys))
 		for i := range lKeys {

@@ -26,6 +26,11 @@ func compileGet(ctx *Context, g *algebra.Get, filter algebra.Scalar) (*node, err
 		it := &morselScanIter{ctx: ctx, tbl: tbl, cols: g.Cols, pred: filter, src: ctx.morsels}
 		return newNode(it, g.Cols), nil
 	}
+	if len(g.Order) > 0 {
+		// An Order requirement precludes the seek path: the scan must
+		// deliver every row in index order, with the filter as residual.
+		return compileOrderedGet(ctx, g, tbl, filter)
+	}
 	index, keyExprs, pred := planSeek(tbl, g, filter)
 	if index != "" {
 		it := &seekIter{ctx: ctx, tbl: tbl, index: index, keyExprs: keyExprs,
@@ -613,11 +618,15 @@ func (m *max1RowIter) Next() (types.Row, bool, error) {
 
 func (m *max1RowIter) Close() error { return m.in.it.Close() }
 
-// topIter limits output.
+// topIter limits output. st is the operator's stats slot (parity with
+// sortIter — the slot EXPLAIN ANALYZE renders for the Top span).
 type topIter struct {
 	in   *node
 	n    int64
 	seen int64
+	st   *OpStats
+
+	cb Batch
 }
 
 func (t *topIter) Open() error {
@@ -635,6 +644,49 @@ func (t *topIter) Next() (types.Row, bool, error) {
 	}
 	t.seen++
 	return row, true, nil
+}
+
+// NextBatch forwards full input batches only while an entire batch
+// fits under the limit, then switches to row-at-a-time pulls for the
+// final stretch — the input never produces a row the limit would
+// discard, so traced per-operator counts match row execution exactly.
+func (t *topIter) NextBatch(b *Batch) error {
+	remain := t.n - t.seen
+	if remain <= 0 {
+		b.setEmpty()
+		return nil
+	}
+	if remain >= int64(BatchSize) {
+		if err := nextBatch(t.in.it, &t.cb); err != nil {
+			return err
+		}
+		live := t.cb.Len()
+		if live == 0 {
+			b.setEmpty()
+			return nil
+		}
+		t.seen += int64(live)
+		b.Rows, b.Sel = t.cb.Rows, t.cb.Sel
+		return nil
+	}
+	if b.buf == nil {
+		b.buf = make([]types.Row, 0, BatchSize)
+	}
+	buf := b.buf[:0]
+	for int64(len(buf)) < remain {
+		row, ok, err := t.in.it.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		buf = append(buf, row)
+	}
+	t.seen += int64(len(buf))
+	b.buf = buf
+	b.Rows, b.Sel = buf, nil
+	return nil
 }
 
 func (t *topIter) Close() error { return t.in.it.Close() }
@@ -731,6 +783,21 @@ func (s *sortIter) Next() (types.Row, bool, error) {
 	row := s.rows[s.pos]
 	s.pos++
 	return row, true, nil
+}
+
+// NextBatch serves windows of the sorted buffer directly.
+func (s *sortIter) NextBatch(b *Batch) error {
+	if s.pos >= len(s.rows) {
+		b.setEmpty()
+		return nil
+	}
+	end := s.pos + BatchSize
+	if end > len(s.rows) {
+		end = len(s.rows)
+	}
+	b.Rows, b.Sel = s.rows[s.pos:end], nil
+	s.pos = end
+	return nil
 }
 
 func (s *sortIter) Close() error {

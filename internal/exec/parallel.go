@@ -158,6 +158,13 @@ func aggMergeable(gb *algebra.GroupBy) bool {
 func streamDriver(ctx *Context, rel algebra.Rel) (*algebra.Get, bool) {
 	switch t := rel.(type) {
 	case *algebra.Get:
+		if len(t.Order) > 0 {
+			// An ordered scan cannot be morsel-partitioned: workers
+			// claim morsels in arbitrary interleaving, destroying the
+			// order the Get promises (and that a downstream elided Sort
+			// depends on). Stay serial.
+			return nil, false
+		}
 		if _, ok := ctx.table(t.Table); !ok {
 			return nil, false
 		}
@@ -167,6 +174,9 @@ func streamDriver(ctx *Context, rel algebra.Rel) (*algebra.Get, bool) {
 			return nil, false
 		}
 		if g, ok := t.Input.(*algebra.Get); ok {
+			if len(g.Order) > 0 {
+				return nil, false // ordered scans stay serial (see Get case)
+			}
 			tbl, ok := ctx.table(g.Table)
 			if !ok {
 				return nil, false

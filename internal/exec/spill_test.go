@@ -1,10 +1,16 @@
 package exec
 
 import (
+	"errors"
 	"math"
+	"sort"
+	"strings"
 	"testing"
 
+	"orthoq/internal/algebra"
+	"orthoq/internal/core"
 	"orthoq/internal/sql/types"
+	"orthoq/internal/storage"
 )
 
 // TestSpillCodecRoundtrip: every datum kind, null and non-null,
@@ -128,5 +134,171 @@ func TestReleaseSpillsBackstop(t *testing.T) {
 	ctx.releaseSpills()
 	if _, err := f.reader(); err == nil {
 		t.Fatal("spill file survived releaseSpills")
+	}
+}
+
+// orderSpillStore builds a store with a deliberately hot join key:
+// 1200 orders; the first 60 carry four lineitems each except one with
+// 300 — a single merge-join key group large enough to trip a tight
+// memory cap.
+func orderSpillStore(t *testing.T) *storage.Store {
+	t.Helper()
+	st := freshStore()
+	var orders, items [][]any
+	for k := 1; k <= 1200; k++ {
+		orders = append(orders, []any{k, k % 7, "O", float64(100 * k), types.MustDate("1995-01-01"),
+			"1-URGENT", "clerk", 0, "o"})
+		if k > 60 {
+			continue
+		}
+		n := 4
+		if k == 25 {
+			n = 300
+		}
+		for ln := 1; ln <= n; ln++ {
+			items = append(items, []any{k, 100 + ln%5, 1, ln, float64(ln), float64(10 * ln),
+				0.0, 0.0, "N", "O", types.MustDate("1995-01-02"), types.MustDate("1995-01-03"),
+				types.MustDate("1995-01-04"), "i", "AIR", "some filler comment text"})
+		}
+	}
+	mustLoad(t, st, "orders", orders)
+	mustLoad(t, st, "lineitem", items)
+	return st
+}
+
+// installScanOrder mutates every Get of the named table to promise the
+// ascending order of the given column ordinals, standing in for the
+// optimizer's EliminateSort/MergeJoinOrder/StreamAggOrder rewrites
+// (these plans are compiled without cost-based search).
+func installScanOrder(rel algebra.Rel, table string, ordinals ...int) {
+	algebra.VisitRel(rel, func(n algebra.Rel) bool {
+		if g, ok := n.(*algebra.Get); ok && g.Table == table {
+			g.Order = g.Order[:0]
+			for _, ord := range ordinals {
+				g.Order = append(g.Order, algebra.Ordering{Col: g.Cols[ord]})
+			}
+		}
+		return true
+	})
+}
+
+func sortedRowKeys(res *Result) string {
+	keys := make([]string, len(res.Rows))
+	for i, row := range res.Rows {
+		parts := make([]string, len(row))
+		for j, v := range row {
+			parts[j] = v.String()
+		}
+		keys[i] = strings.Join(parts, "|")
+	}
+	sort.Strings(keys)
+	return strings.Join(keys, "\n")
+}
+
+// TestMergeJoinUnderMemBudget: a merge join's right-key-group buffer is
+// governed memory. Under a tight cap it soft-overages when spilling is
+// permitted (a key group cannot be split) and aborts with ErrMemBudget
+// when the cap is hard — and in the permitted case the result matches
+// the hash join exactly. Both scans promise their index order, so the
+// only governed allocation is the key-group buffer itself.
+func TestMergeJoinUnderMemBudget(t *testing.T) {
+	st := orderSpillStore(t)
+	md, rel, out := compilePlan(t, st,
+		`select o_orderkey, l_linenumber from orders join lineitem on l_orderkey = o_orderkey`,
+		core.Options{})
+	installScanOrder(rel, "orders", 0)
+	installScanOrder(rel, "lineitem", 0, 3)
+
+	run := func(force string, budget int64, disableSpill bool) (*Result, error) {
+		ctx := NewContext(st, md)
+		ctx.ForceJoin = force
+		ctx.MemBudget = budget
+		ctx.DisableSpill = disableSpill
+		return Run(ctx, rel, out)
+	}
+
+	base, err := run("hash", 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sortedRowKeys(base)
+
+	soft, err := run("merge", 4096, false)
+	if err != nil {
+		t.Fatalf("merge join under soft cap: %v", err)
+	}
+	if got := sortedRowKeys(soft); got != want {
+		t.Error("merge join under soft cap changed the result bag")
+	}
+
+	if _, err := run("merge", 256, true); !errors.Is(err, ErrMemBudget) {
+		t.Fatalf("merge join under hard cap: err = %v, want ErrMemBudget", err)
+	}
+}
+
+// TestStreamAggSurvivesHardCapThatKillsHashAgg: streaming aggregation
+// over an ordered scan holds one group at a time, so it completes
+// under a hard memory cap that aborts the hash aggregation's table.
+func TestStreamAggSurvivesHardCapThatKillsHashAgg(t *testing.T) {
+	st := orderSpillStore(t)
+	md, rel, out := compilePlan(t, st,
+		`select l_orderkey, sum(l_quantity) as q, count(*) as n
+		 from lineitem group by l_orderkey`,
+		core.Options{})
+	installScanOrder(rel, "lineitem", 0, 3)
+
+	run := func(force string) (*Result, error) {
+		ctx := NewContext(st, md)
+		ctx.ForceAgg = force
+		ctx.MemBudget = 512
+		ctx.DisableSpill = true
+		return Run(ctx, rel, out)
+	}
+
+	if _, err := run("hash"); !errors.Is(err, ErrMemBudget) {
+		t.Fatalf("hash agg under hard cap: err = %v, want ErrMemBudget", err)
+	}
+	got, err := run("stream")
+	if err != nil {
+		t.Fatalf("stream agg under the same hard cap: %v", err)
+	}
+
+	ctx := NewContext(st, md)
+	res, err := Run(ctx, rel, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sortedRowKeys(got) != sortedRowKeys(res) {
+		t.Error("stream agg under hard cap changed the result bag")
+	}
+}
+
+// TestForcedStreamAggSortChargesBudget: forcing streaming aggregation
+// over an input with no usable order inserts an explicit sort, whose
+// buffer is governed like any other: hard caps abort, soft caps track.
+func TestForcedStreamAggSortChargesBudget(t *testing.T) {
+	st := orderSpillStore(t)
+	// Grouping on o_custkey: no index order to exploit, so the forced
+	// stream plan sorts 1200 orders first — enough to cross the sort
+	// buffer's charge chunk.
+	md, rel, out := compilePlan(t, st,
+		`select o_custkey, count(*) as n from orders group by o_custkey`,
+		core.Options{})
+
+	ctx := NewContext(st, md)
+	ctx.ForceAgg = "stream"
+	ctx.MemBudget = 128
+	ctx.DisableSpill = true
+	if _, err := Run(ctx, rel, out); !errors.Is(err, ErrMemBudget) {
+		t.Fatalf("forced stream sort under hard cap: err = %v, want ErrMemBudget", err)
+	}
+
+	ctx = NewContext(st, md)
+	ctx.ForceAgg = "stream"
+	ctx.MemBudget = 128
+	if res, err := Run(ctx, rel, out); err != nil {
+		t.Fatalf("forced stream sort under soft cap: %v", err)
+	} else if len(res.Rows) != 7 {
+		t.Fatalf("groups = %d, want 7", len(res.Rows))
 	}
 }

@@ -196,6 +196,44 @@ func TestSpanSelfTimeInvariant(t *testing.T) {
 	}
 }
 
+// TestTopSpanCounted pins the Top operator's trace wiring: a LIMIT
+// plan's Top span must report its produced rows and open (it was once
+// compiled without stats and showed up empty in every span tree).
+func TestTopSpanCounted(t *testing.T) {
+	st := testDB(t)
+	md, rel, out := compilePlan(t, st,
+		`select o_orderkey from orders order by o_orderkey desc limit 3`,
+		core.Options{})
+	for _, disableBatch := range []bool{false, true} {
+		ctx := NewContext(st, md)
+		ctx.DisableBatch = disableBatch
+		ctx.EnableTrace()
+		res, err := Run(ctx, rel, out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Rows) != 3 {
+			t.Fatalf("limit returned %d rows", len(res.Rows))
+		}
+		found := false
+		ctx.Spans(rel).Walk(func(s *obs.Span) {
+			if s.Op != "Top" {
+				return
+			}
+			found = true
+			if s.Rows != 3 {
+				t.Errorf("disableBatch=%v: Top span rows=%d, want 3", disableBatch, s.Rows)
+			}
+			if s.Opens != 1 {
+				t.Errorf("disableBatch=%v: Top span opens=%d, want 1", disableBatch, s.Opens)
+			}
+		})
+		if !found {
+			t.Fatalf("disableBatch=%v: no Top span in trace", disableBatch)
+		}
+	}
+}
+
 // TestSpansNilWhenUntraced: no trace, no spans — and no cost.
 func TestSpansNilWhenUntraced(t *testing.T) {
 	st := testDB(t)

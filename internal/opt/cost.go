@@ -28,6 +28,13 @@ const (
 	cSeek      = 25.0 // one index lookup (binary search + allocations)
 	cOpenIter  = 60.0 // re-opening an iterator tree (Apply inner per outer row)
 	cSortRow   = 2.0  // per-row sort weight (times log n)
+	// Order-exploiting operators: an ordered index scan gathers rows
+	// through the permutation (costlier than a sequential scan but far
+	// cheaper than sorting), merge join advances two sorted cursors,
+	// streaming aggregation folds into one resident group.
+	cOrderedRow = 1.15 // producing a row via an index permutation
+	cMergeRow   = 0.8  // advancing a merge-join cursor over a row
+	cStreamRow  = 0.6  // folding a row into the current stream-agg group
 )
 
 // estimate summarizes one subtree during costing.
@@ -96,7 +103,12 @@ func (c *coster) cost(r algebra.Rel) estimate {
 	case *algebra.GroupBy:
 		in := c.cost(t.Input)
 		groups := c.groupCount(t, in.rows)
-		return estimate{rows: groups, cost: in.cost + in.rows*cHashRow*float64(1+len(t.Aggs))}
+		perRow := cHashRow
+		if exec.StreamAggApplicable(t) {
+			// Grouped input streams: no hash table, one resident group.
+			perRow = cStreamRow
+		}
+		return estimate{rows: groups, cost: in.cost + in.rows*perRow*float64(1+len(t.Aggs))}
 
 	case *algebra.SegmentApply:
 		return c.costSegmentApply(t)
@@ -146,6 +158,16 @@ func (c *coster) costGet(g *algebra.Get, filter algebra.Scalar) estimate {
 	var rows float64 = 1000
 	if ts := c.st.Table(g.Table); ts != nil {
 		rows = float64(ts.RowCount)
+	}
+	if len(g.Order) > 0 {
+		// Ordered delivery precludes the seek path (the scan walks the
+		// whole index permutation); the filter stays residual.
+		sel := c.selectivity(filter, rows)
+		cost := rows * cOrderedRow
+		if filter != nil {
+			cost += rows * cPredEval
+		}
+		return estimate{rows: math.Max(rows*sel, 0), cost: cost}
 	}
 	if filter == nil {
 		return estimate{rows: rows, cost: rows * cScanRow}
@@ -216,7 +238,11 @@ func (c *coster) costJoin(j *algebra.Join) estimate {
 	}
 
 	var cost float64
-	if len(lk) > 0 {
+	if len(lk) > 0 && exec.MergeJoinApplicable(j) {
+		// Both inputs pre-sorted on the keys: the engine merges two
+		// cursors — no build table, no hashing.
+		cost = l.cost + r.cost + (l.rows+r.rows)*cMergeRow
+	} else if len(lk) > 0 {
 		// The engine builds the hash table on the right input and
 		// probes with the left; building is costlier than probing, so
 		// commuting to put the smaller input on the right pays off.

@@ -20,6 +20,14 @@ type ExecHints struct {
 	Parallelism int
 	// DisableBatch pins execution to the row-at-a-time path.
 	DisableBatch bool
+	// JoinStrategy is the Config override for the equi-join algorithm
+	// ("" / "auto", "hash", "merge").
+	JoinStrategy string
+	// AggStrategy is the Config override for the grouping algorithm
+	// ("" / "auto", "hash", "stream").
+	AggStrategy string
+	// DisableSortElim disables order-property execution choices.
+	DisableSortElim bool
 }
 
 // FormatWithEstimates renders a plan with per-node cardinality and
@@ -33,6 +41,15 @@ func FormatWithEstimates(md *algebra.Metadata, cat *catalog.Catalog, st *stats.C
 		ectx.ApplyStrategy = hints[0].ApplyStrategy
 		ectx.Parallelism = hints[0].Parallelism
 		ectx.DisableBatch = hints[0].DisableBatch
+		switch hints[0].JoinStrategy {
+		case "hash", "merge":
+			ectx.ForceJoin = hints[0].JoinStrategy
+		}
+		switch hints[0].AggStrategy {
+		case "hash", "stream":
+			ectx.ForceAgg = hints[0].AggStrategy
+		}
+		ectx.DisableOrderOpt = hints[0].DisableSortElim
 	}
 	var b strings.Builder
 	var walk func(algebra.Rel, int)
@@ -46,8 +63,29 @@ func FormatWithEstimates(md *algebra.Metadata, cat *catalog.Catalog, st *stats.C
 			b.WriteString("  ")
 		}
 		extra := ""
-		if ap, ok := n.(*algebra.Apply); ok {
-			extra = fmt.Sprintf(" apply=%s", exec.PredictApplyStrategy(ectx, ap, c.cost(ap.Left).rows))
+		switch t := n.(type) {
+		case *algebra.Apply:
+			extra = fmt.Sprintf(" apply=%s", exec.PredictApplyStrategy(ectx, t, c.cost(t.Left).rows))
+		case *algebra.Join:
+			// Annotate only order-exploiting picks; hash stays implicit.
+			// Forcing covers any equi-join (unsorted sides get explicit
+			// sorts); auto needs both sides pre-sorted.
+			if lk, _, _ := exec.SplitJoinKeys(t.On,
+				algebra.OutputCols(t.Left), algebra.OutputCols(t.Right)); len(lk) > 0 {
+				if ectx.ForceJoin == "merge" ||
+					(ectx.ForceJoin == "" && !ectx.DisableOrderOpt && exec.MergeJoinApplicable(t)) {
+					extra = " join=merge"
+				}
+			}
+		case *algebra.GroupBy:
+			if ectx.ForceAgg == "stream" ||
+				(ectx.ForceAgg == "" && !ectx.DisableOrderOpt && exec.StreamAggApplicable(t)) {
+				extra = " agg=stream"
+			}
+		case *algebra.Get:
+			if len(t.Order) > 0 && !ectx.DisableOrderOpt {
+				extra = " sort elided"
+			}
 		}
 		fmt.Fprintf(&b, "%s  [rows≈%.0f cost≈%.0f%s]\n", line, est.rows, est.cost, extra)
 		// Costing an Apply/SegmentApply inner requires scope bindings;

@@ -25,6 +25,9 @@ const (
 	RuleCommuteJoin               = "CommuteJoin"
 	RuleRotateJoin                = "RotateJoin"
 	RuleJoinToApply               = "JoinToApply"
+	RuleEliminateSort             = "EliminateSort"
+	RuleMergeJoinOrder            = "MergeJoinOrder"
+	RuleStreamAggOrder            = "StreamAggOrder"
 )
 
 // RuleNames lists every cost-based transformation rule.
@@ -34,6 +37,7 @@ func RuleNames() []string {
 		RulePullGroupByAboveJoin, RulePushSemiJoinBelowGroupBy, RuleSemiJoinToJoinDistinct,
 		RuleIntroduceSegmentApply, RulePushJoinBelowSegmentApply,
 		RuleCommuteJoin, RuleRotateJoin, RuleJoinToApply,
+		RuleEliminateSort, RuleMergeJoinOrder, RuleStreamAggOrder,
 	}
 }
 
@@ -54,6 +58,10 @@ type Config struct {
 	// DisableCorrelatedReintro turns off rewriting joins back into
 	// index-lookup Apply plans.
 	DisableCorrelatedReintro bool
+	// DisableOrderOpt turns off the order-property rules (sort
+	// elimination via ordered indexes, merge-join and streaming-
+	// aggregation enablement).
+	DisableOrderOpt bool
 	// DisableRules suppresses individual rules by canonical name (the
 	// Rule* constants) — finer grained than the family flags above; the
 	// rule-level equivalence harness disables one rule at a time and
@@ -204,6 +212,10 @@ func (o *Optimizer) rulesAt(r algebra.Rel) []candidate {
 				add(RulePushLocalGroupByBelowJoin, nr, ok)
 			}
 		}
+		if !o.Config.DisableOrderOpt {
+			nr, ok := tryStreamAggOrder(o.Md, o.Cat, t)
+			add(RuleStreamAggOrder, nr, ok)
+		}
 	case *algebra.Join:
 		if !o.Config.DisableGroupByReorder {
 			nr, ok := core.TryPullGroupByAboveJoin(o.Md, t)
@@ -253,6 +265,15 @@ func (o *Optimizer) rulesAt(r algebra.Rel) []candidate {
 		if !o.Config.DisableCorrelatedReintro {
 			nr, ok := joinToApply(o.Md, o.Cat, t)
 			add(RuleJoinToApply, nr, ok)
+		}
+		if !o.Config.DisableOrderOpt {
+			nr, ok := tryMergeJoinOrder(o.Md, o.Cat, t)
+			add(RuleMergeJoinOrder, nr, ok)
+		}
+	case *algebra.Sort:
+		if !o.Config.DisableOrderOpt {
+			nr, ok := tryEliminateSort(o.Md, o.Cat, t)
+			add(RuleEliminateSort, nr, ok)
 		}
 	}
 	return out

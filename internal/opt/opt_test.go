@@ -250,6 +250,7 @@ func TestAblationFlagsRespected(t *testing.T) {
 		DisableSegmentApply:      true,
 		DisableJoinReorder:       true,
 		DisableCorrelatedReintro: true,
+		DisableOrderOpt:          true,
 	}}
 	r2 := o2.Optimize(rel2)
 	if algebra.FormatRel(md2, r2.Plan) != algebra.FormatRel(md2, rel2) {

@@ -147,6 +147,21 @@ func (oi *orderedIndex) lookup(key []types.Datum) []int {
 	return out
 }
 
+// OrderedScan returns the full permutation of row ordinals sorted by
+// the named ordered index's columns (ascending), or false when the
+// index is absent or stale. An index is stale when rows were inserted
+// after the last BuildIndexes: those rows are visible to scans but not
+// covered by the index, so walking the permutation would silently drop
+// them. The returned slice is shared and immutable; callers must not
+// modify it.
+func (v *Version) OrderedScan(indexName string) ([]int, bool) {
+	oi, ok := v.ordIdx[indexName]
+	if !ok || len(oi.rows) != len(v.rows) {
+		return nil, false
+	}
+	return oi.perm, true
+}
+
 // RangeScan returns row ordinals with lo <= indexCols < hi (nil bound =
 // unbounded), via the named ordered index.
 func (v *Version) RangeScan(indexName string, lo, hi []types.Datum) []int {

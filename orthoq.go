@@ -133,6 +133,24 @@ type Config struct {
 	// (the default) picks per Apply from estimated cardinalities.
 	// Results are identical across strategies; only speed differs.
 	ApplyStrategy string
+	// JoinStrategy overrides the equi-join algorithm: "hash" always
+	// builds a hash table, "merge" always merge-joins (sorting
+	// unsorted inputs first). "" or "auto" (the default) merge-joins
+	// only when both inputs already arrive sorted on the keys. The
+	// result bag is identical across strategies.
+	JoinStrategy string
+	// AggStrategy overrides the grouping algorithm: "hash" always
+	// hash-aggregates, "stream" always aggregates streaming (sorting
+	// ungrouped input first). "" or "auto" (the default) streams only
+	// when the input already arrives grouped. The result bag is
+	// identical across strategies.
+	AggStrategy string
+	// DisableSortElim turns off every order-property optimization:
+	// the optimizer stops generating ordered-scan / merge-join /
+	// streaming-aggregation variants, and the executor ignores order
+	// metadata (explicit sorts run even where an ordered index could
+	// satisfy them). The baseline knob for the order benchmarks.
+	DisableSortElim bool
 	// PlanCache configures the parameterized plan cache consulted by
 	// Query/QueryCfg. The zero value enables it with defaults.
 	PlanCache PlanCacheConfig
@@ -261,11 +279,12 @@ type PlanCacheConfig struct {
 // (or its execution strategy) into the cache key, so plans compiled
 // under different configurations never alias.
 func (c Config) planKey() string {
-	key := fmt.Sprintf("%t%t%t%t%t%t%t%t%t%t|%d|%d|%s",
+	key := fmt.Sprintf("%t%t%t%t%t%t%t%t%t%t%t|%d|%d|%s|%s|%s",
 		c.Decorrelate, c.RemoveClass2, c.SimplifyOuterJoins, c.CostBased,
 		c.GroupByReorder, c.LocalAgg, c.SegmentApply, c.JoinReorder,
-		c.CorrelatedReintro, c.DisableBatch, c.MaxSteps, c.Parallelism,
-		c.normApplyStrategy())
+		c.CorrelatedReintro, c.DisableBatch, c.DisableSortElim,
+		c.MaxSteps, c.Parallelism,
+		c.normApplyStrategy(), c.normJoinStrategy(), c.normAggStrategy())
 	if len(c.DisableRules) > 0 {
 		// Sorted so the key is order-insensitive; Trace/QueryLog are
 		// deliberately absent — observability is run state.
@@ -295,6 +314,46 @@ func (c Config) normApplyStrategy() string {
 	s, err := c.applyStrategy()
 	if err != nil {
 		return c.ApplyStrategy
+	}
+	return s
+}
+
+// joinStrategy validates the JoinStrategy knob and normalizes "auto"
+// to the empty default.
+func (c Config) joinStrategy() (string, error) {
+	switch c.JoinStrategy {
+	case "", "auto":
+		return "", nil
+	case "hash", "merge":
+		return c.JoinStrategy, nil
+	}
+	return "", fmt.Errorf("orthoq: unknown JoinStrategy %q (want auto, hash, or merge)", c.JoinStrategy)
+}
+
+func (c Config) normJoinStrategy() string {
+	s, err := c.joinStrategy()
+	if err != nil {
+		return c.JoinStrategy
+	}
+	return s
+}
+
+// aggStrategy validates the AggStrategy knob and normalizes "auto" to
+// the empty default.
+func (c Config) aggStrategy() (string, error) {
+	switch c.AggStrategy {
+	case "", "auto":
+		return "", nil
+	case "hash", "stream":
+		return c.AggStrategy, nil
+	}
+	return "", fmt.Errorf("orthoq: unknown AggStrategy %q (want auto, hash, or stream)", c.AggStrategy)
+}
+
+func (c Config) normAggStrategy() string {
+	s, err := c.aggStrategy()
+	if err != nil {
+		return c.AggStrategy
 	}
 	return s
 }
@@ -350,6 +409,7 @@ func (c Config) optConfig() opt.Config {
 		DisableSegmentApply:      !c.SegmentApply,
 		DisableJoinReorder:       !c.JoinReorder,
 		DisableCorrelatedReintro: !c.CorrelatedReintro,
+		DisableOrderOpt:          c.DisableSortElim,
 		DisableRules:             ruleSet(c.DisableRules),
 		MaxSteps:                 c.MaxSteps,
 	}
@@ -958,6 +1018,12 @@ type prepared struct {
 	noBatch  bool
 	// applyStrat is the normalized ApplyStrategy override ("" = auto).
 	applyStrat string
+	// joinStrat / aggStrat are the normalized JoinStrategy and
+	// AggStrategy overrides ("" = auto); noOrderOpt pins execution to
+	// order-oblivious operator choices.
+	joinStrat  string
+	aggStrat   string
+	noOrderOpt bool
 	// rules records the rewrite rules that shaped the plan (see
 	// Rows.Rules). Immutable after prepare.
 	rules []string
@@ -989,6 +1055,14 @@ func (db *DB) prepareAST(q ast.Query, cfg Config, params []types.Datum) (*prepar
 	if err != nil {
 		return nil, err
 	}
+	jstrat, err := cfg.joinStrategy()
+	if err != nil {
+		return nil, err
+	}
+	astrat, err := cfg.aggStrategy()
+	if err != nil {
+		return nil, err
+	}
 	md := algebra.NewMetadata()
 	res, err := algebrize.BuildWithParams(db.store.Catalog, md, q, params)
 	if err != nil {
@@ -1002,7 +1076,8 @@ func (db *DB) prepareAST(q ast.Query, cfg Config, params []types.Datum) (*prepar
 		return nil, err
 	}
 	p := &prepared{md: md, plan: rel, outCols: res.OutCols, outNames: res.OutNames,
-		par: cfg.Parallelism, noBatch: cfg.DisableBatch, applyStrat: strat}
+		par: cfg.Parallelism, noBatch: cfg.DisableBatch, applyStrat: strat,
+		joinStrat: jstrat, aggStrat: astrat, noOrderOpt: cfg.DisableSortElim}
 	if cfg.CostBased {
 		o := &opt.Optimizer{Md: md, Cat: db.store.Catalog, Stats: db.statsNow(), Config: cfg.optConfig()}
 		r := o.Optimize(rel, correlatedSeed(md, res.Rel, cfg)...)
@@ -1066,6 +1141,9 @@ func (p *prepared) execContext(db *DB, params []types.Datum, opts runOpts) (*exe
 	ctx.Params = params
 	ctx.DisableBatch = p.noBatch
 	ctx.ApplyStrategy = p.applyStrat
+	ctx.ForceJoin = p.joinStrat
+	ctx.ForceAgg = p.aggStrat
+	ctx.DisableOrderOpt = p.noOrderOpt
 	ctx.RowBudget = opts.rowBudget
 	ctx.MemBudget = opts.memBudget
 	ctx.DisableSpill = opts.disableSpill
@@ -1435,9 +1513,12 @@ func (db *DB) Explain(sql string, cfg Config) (string, error) {
 		finalPlan = r.Plan
 		fmt.Fprintf(&b, "\n=== cost-based plan (cost %.0f, %d plans explored) ===\n", r.Cost, r.Explored)
 		b.WriteString(opt.FormatWithEstimates(md, db.store.Catalog, sc, r.Plan, opt.ExecHints{
-			ApplyStrategy: cfg.normApplyStrategy(),
-			Parallelism:   cfg.Parallelism,
-			DisableBatch:  cfg.DisableBatch,
+			ApplyStrategy:   cfg.normApplyStrategy(),
+			Parallelism:     cfg.Parallelism,
+			DisableBatch:    cfg.DisableBatch,
+			JoinStrategy:    cfg.normJoinStrategy(),
+			AggStrategy:     cfg.normAggStrategy(),
+			DisableSortElim: cfg.DisableSortElim,
 		}))
 	}
 	fmt.Fprintf(&b, "\nresult cache: %s\n", db.resultCacheStatus(md, finalPlan, cfg))

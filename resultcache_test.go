@@ -472,3 +472,60 @@ func TestResultCacheSubPlanSharing(t *testing.T) {
 			before, after)
 	}
 }
+
+// TestResultCacheOrderedReplay: a cached ORDER BY result must replay
+// in its original total order — both on a materialized warm hit and
+// row by row from a Stream's pinned entry.
+func TestResultCacheOrderedReplay(t *testing.T) {
+	db := sharedDB(t)
+	const q = `select o_orderkey, o_totalprice from orders
+	           where o_totalprice > 2000 order by o_orderkey desc`
+	cold, err := db.QueryCfg(q, rcCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cold.Data) < 10 {
+		t.Fatalf("corpus too small: %d rows", len(cold.Data))
+	}
+	for i := 1; i < len(cold.Data); i++ {
+		if cold.Data[i-1][0].Int() < cold.Data[i][0].Int() {
+			t.Fatalf("cold result row %d out of order", i)
+		}
+	}
+	warm, err := db.QueryCfg(q, rcCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Cache != "result" {
+		t.Fatalf("warm run cache = %q, want result", warm.Cache)
+	}
+	for i, row := range warm.Data {
+		if row[0].Int() != cold.Data[i][0].Int() {
+			t.Fatalf("warm replay row %d = %d, want %d (order lost in cache)",
+				i, row[0].Int(), cold.Data[i][0].Int())
+		}
+	}
+	st, err := db.QueryStream(q, rcCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	n := 0
+	for {
+		row, ok, err := st.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		if row[0].Int() != cold.Data[n][0].Int() {
+			t.Fatalf("stream replay row %d = %d, want %d (order lost in pinned entry)",
+				n, row[0].Int(), cold.Data[n][0].Int())
+		}
+		n++
+	}
+	if n != len(cold.Data) {
+		t.Fatalf("stream replayed %d rows, want %d", n, len(cold.Data))
+	}
+}

@@ -52,6 +52,17 @@ go test -run 'TestInsertQueryRace|TestSnapshotSerialEquivalence|TestStmtRunSnaps
 # older entry unreachable.
 go test -run 'TestResultCache' -race .
 
+# Order leg: the order-equivalence property suite (every TPC-H query
+# and the order-sensitive corpus under forced merge/hash join,
+# stream/hash agg, sort elimination on/off, batch/row, serial and
+# parallel — identical multisets everywhere, identical sequences
+# under ORDER BY) plus the sort-elision pins and the order-strategy
+# spill/cache interplay tests, under -race. Then the order experiment
+# at a tiny scale factor verifies each order-aware plan agrees with
+# its order-blind baseline before timing it.
+go test -run 'TestOrder|TestSortElided|TestMergeJoin|TestStreamAgg|TestForcedStreamAgg|TestTopSpanCounted|TestCacheStaleOrderedIndex|TestCacheOrderStrategySeparation' -race . ./internal/exec
+go run ./cmd/orthoq-bench -exp order -sf 0.002 -reps 1 -json > /dev/null
+
 # Result-cache wire smoke: identical concurrent traffic uncached vs
 # cached through the HTTP front end with a writer hammering a scratch
 # table — zero stale reads required (the run fails itself otherwise).
